@@ -1,0 +1,284 @@
+//! Imitation-learning baseline.
+//!
+//! Following Mandal et al. (reference \[12\] of the paper), the IL baseline first constructs an
+//! *Oracle* policy for a given trade-off by searching the configuration space for every
+//! decision epoch, then trains the shared MLP policy representation to mimic the Oracle with
+//! supervised learning. The paper's criticism — that Oracles are only available for objectives
+//! with a per-epoch decomposition and a fixed scalarization — is visible here: the Oracle
+//! minimizes a *weighted per-epoch* cost, which is not optimal for every trade-off and cannot
+//! be formed at all for non-decomposable objectives like PPW.
+
+use moo::scalarize::WeightVector;
+use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
+use policy::training::{train_policy, LabelledDecision, TrainingConfig, TrainingReport};
+use soc_sim::counters::CounterSnapshot;
+use soc_sim::platform::Platform;
+use soc_sim::workload::Application;
+
+/// Configuration of the imitation-learning baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlConfig {
+    /// Stride applied when enumerating the decision space for the Oracle search: 1 searches
+    /// all 4 940 configurations per epoch, larger values subsample uniformly to cut cost.
+    pub oracle_stride: usize,
+    /// Relative noise applied to the per-candidate measurements the Oracle search relies on.
+    /// On the real board the Oracle is built from profiled time/power measurements, which are
+    /// noisy; a few percent of deterministic pseudo-noise reproduces the resulting label
+    /// imperfection.
+    pub oracle_measurement_noise: f64,
+    /// Supervised-training hyperparameters for the imitation step.
+    pub training: TrainingConfig,
+    /// Policy architecture to train (the paper shares one architecture across methods).
+    pub architecture: PolicyArchitecture,
+    /// Seed for policy initialization.
+    pub seed: u64,
+}
+
+impl Default for IlConfig {
+    fn default() -> Self {
+        IlConfig {
+            oracle_stride: 7,
+            oracle_measurement_noise: 0.04,
+            training: TrainingConfig::default(),
+            architecture: PolicyArchitecture::paper_default(),
+            seed: 0x11AB,
+        }
+    }
+}
+
+/// A trained IL policy plus the artefacts of its construction.
+#[derive(Debug, Clone)]
+pub struct IlOutcome {
+    /// The trained policy (usable directly as a [`soc_sim::DrmController`]).
+    pub policy: DrmPolicy,
+    /// The Oracle dataset the policy was trained on.
+    pub dataset: Vec<LabelledDecision>,
+    /// Training diagnostics.
+    pub report: TrainingReport,
+}
+
+/// Builds the Oracle dataset for one application and scalarization.
+///
+/// The Oracle executes the application epoch by epoch; for each epoch it searches the
+/// (possibly strided) decision space for the configuration minimizing
+/// `λ_time · time/time_ref + λ_energy · energy/energy_ref`, where the reference values come
+/// from the maximum-performance configuration on the same epoch. The chosen configuration is
+/// recorded as the label for the counters observed *before* the epoch, and the Oracle then
+/// executes it so subsequent epochs see a consistent trajectory.
+///
+/// # Panics
+///
+/// Panics if `weights` does not have exactly two entries or `oracle_stride == 0`.
+pub fn oracle_dataset(
+    platform: &Platform,
+    app: &Application,
+    weights: &WeightVector,
+    oracle_stride: usize,
+) -> Vec<LabelledDecision> {
+    oracle_dataset_with_noise(platform, app, weights, oracle_stride, 0.0)
+}
+
+/// [`oracle_dataset`] with explicit measurement noise on the Oracle's per-candidate profiling
+/// measurements (deterministic pseudo-noise keyed on the epoch and candidate indices, so the
+/// dataset is reproducible).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`oracle_dataset`].
+pub fn oracle_dataset_with_noise(
+    platform: &Platform,
+    app: &Application,
+    weights: &WeightVector,
+    oracle_stride: usize,
+    measurement_noise: f64,
+) -> Vec<LabelledDecision> {
+    assert_eq!(weights.len(), 2, "the IL Oracle scalarizes (time, energy)");
+    assert!(oracle_stride > 0, "oracle_stride must be positive");
+    let space = platform.spec().decision_space().clone();
+    let reference = space.performance_decision();
+    let w_time = weights.as_slice()[0];
+    let w_energy = weights.as_slice()[1];
+
+    let candidates: Vec<_> = space.iter().step_by(oracle_stride).collect();
+    let mut counters = CounterSnapshot::zeroed();
+    let mut dataset = Vec::with_capacity(app.epoch_count());
+
+    for (epoch_idx, phase) in app.epochs.iter().enumerate() {
+        let baseline = platform
+            .run_epoch(&reference, phase)
+            .expect("the performance decision is always valid");
+        let mut best_cost = f64::INFINITY;
+        let mut best_decision = reference;
+        for (cand_idx, candidate) in candidates.iter().enumerate() {
+            let result = platform
+                .run_epoch(candidate, phase)
+                .expect("enumerated decisions are always valid");
+            let noise = 1.0 + measurement_noise * pseudo_noise(epoch_idx as u64, cand_idx as u64);
+            let cost = (w_time * result.time_s / baseline.time_s
+                + w_energy * result.energy_j / baseline.energy_j)
+                * noise;
+            if cost < best_cost {
+                best_cost = cost;
+                best_decision = *candidate;
+            }
+        }
+        let knob_indices = space
+            .knob_indices_of(&best_decision)
+            .expect("the best decision comes from the decision space");
+        dataset.push(LabelledDecision {
+            counters,
+            knob_indices,
+        });
+        // Execute the Oracle decision so the next epoch observes its counters.
+        counters = platform
+            .run_epoch(&best_decision, phase)
+            .expect("the best decision is valid")
+            .counters;
+    }
+    dataset
+}
+
+/// Deterministic pseudo-noise in `[-1, 1]` derived from the epoch and candidate indices
+/// (SplitMix64 finalizer).
+fn pseudo_noise(epoch: u64, candidate: u64) -> f64 {
+    let mut z = epoch
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(candidate.wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add(0x94d049bb133111eb);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Trains an imitation-learning policy for one application and scalarization.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`oracle_dataset`].
+pub fn train_il_policy(
+    platform: &Platform,
+    app: &Application,
+    weights: &WeightVector,
+    config: &IlConfig,
+) -> IlOutcome {
+    let space = platform.spec().decision_space().clone();
+    let dataset = oracle_dataset_with_noise(
+        platform,
+        app,
+        weights,
+        config.oracle_stride,
+        config.oracle_measurement_noise,
+    );
+    let mut policy = DrmPolicy::random(&space, &config.architecture, config.seed).with_name(
+        format!(
+            "il-{:.2}-{:.2}",
+            weights.as_slice()[0],
+            weights.as_slice()[1]
+        ),
+    );
+    let report = train_policy(&mut policy, &dataset, &config.training);
+    IlOutcome {
+        policy,
+        dataset,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::apps::Benchmark;
+    use soc_sim::platform::DrmController;
+
+    fn quick_config() -> IlConfig {
+        IlConfig {
+            oracle_stride: 37,
+            training: TrainingConfig {
+                epochs: 25,
+                learning_rate: 0.08,
+                seed: 3,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn oracle_dataset_covers_every_epoch_with_valid_labels() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Blowfish.application();
+        let weights = WeightVector::new(vec![0.5, 0.5]);
+        let dataset = oracle_dataset(&platform, &app, &weights, 61);
+        assert_eq!(dataset.len(), app.epoch_count());
+        let cards = platform.spec().decision_space().knob_cardinalities().as_array();
+        for ex in &dataset {
+            for (idx, card) in ex.knob_indices.iter().zip(&cards) {
+                assert!(idx < card);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_tracks_the_scalarization_preference() {
+        // A time-weighted Oracle should pick faster configurations (higher big frequencies)
+        // than an energy-weighted Oracle on a compute-bound application.
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Sha.application();
+        let space = platform.spec().decision_space().clone();
+        let fast = oracle_dataset(&platform, &app, &WeightVector::new(vec![0.95, 0.05]), 53);
+        let frugal = oracle_dataset(&platform, &app, &WeightVector::new(vec![0.05, 0.95]), 53);
+        let mean_big_freq = |data: &[LabelledDecision]| {
+            data.iter()
+                .map(|ex| {
+                    space
+                        .decision_from_knob_indices(ex.knob_indices)
+                        .big_freq_mhz as f64
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let f_fast = mean_big_freq(&fast);
+        let f_frugal = mean_big_freq(&frugal);
+        assert!(
+            f_fast > f_frugal,
+            "time-weighted Oracle should choose higher big frequencies ({f_fast} vs {f_frugal})"
+        );
+    }
+
+    #[test]
+    fn trained_policy_mimics_the_oracle_reasonably_well() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Kmeans.application();
+        let weights = WeightVector::new(vec![0.5, 0.5]);
+        let outcome = train_il_policy(&platform, &app, &weights, &quick_config());
+        assert_eq!(outcome.dataset.len(), app.epoch_count());
+        assert!(!outcome.report.loss_history.is_empty());
+        let first = outcome.report.loss_history[0];
+        let last = *outcome.report.loss_history.last().unwrap();
+        assert!(last < first, "imitation loss should decrease ({first} -> {last})");
+    }
+
+    #[test]
+    fn trained_policy_is_a_valid_controller() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Fft.application();
+        let weights = WeightVector::new(vec![0.7, 0.3]);
+        let mut outcome = train_il_policy(&platform, &app, &weights, &quick_config());
+        assert!(outcome.policy.name().starts_with("il-"));
+        let run = platform
+            .run_application(&app, &mut outcome.policy, 0)
+            .unwrap();
+        assert!(run.execution_time_s > 0.0);
+        assert!(run.energy_j > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oracle_rejects_zero_stride() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Sha.application();
+        oracle_dataset(&platform, &app, &WeightVector::new(vec![0.5, 0.5]), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Baseline DRM approaches the paper compares PaRMIS against (§V-B).
+//!
+//! * [`rl`] — scalarized reinforcement learning: per-knob tabular Q-learning agents trained
+//!   with a linear combination of per-epoch time and energy rewards, following the approach
+//!   of Kim et al. and Chen et al. referenced by the paper. A Pareto front is traced by
+//!   re-training the agents under a sweep of scalarization weights.
+//! * [`il`] — imitation learning: an Oracle policy is constructed per scalarization by
+//!   exhaustively searching the decision space for each epoch, and the shared MLP policy
+//!   representation is trained to mimic it (Mandal et al. style). As with RL, a weight sweep
+//!   produces the baseline's Pareto front.
+//! * [`sweep`] — glue that evaluates governors, RL and IL policy sets on arbitrary objective
+//!   pairs and collects their Pareto fronts, which is exactly what the paper's figures need
+//!   (the RL/IL PPW fronts reuse the energy/time-trained policies, §V-E).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use baselines::sweep::{governor_results, rl_front, SweepConfig};
+//! use parmis::objective::Objective;
+//! use soc_sim::apps::Benchmark;
+//!
+//! let objectives = Objective::TIME_ENERGY.to_vec();
+//! let governors = governor_results(Benchmark::Qsort, &objectives);
+//! assert_eq!(governors.len(), 4);
+//! let rl = rl_front(Benchmark::Qsort, &objectives, &SweepConfig::default());
+//! assert!(rl.len() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod il;
+pub mod rl;
+pub mod sweep;
+
+pub use il::{train_il_policy, IlConfig};
+pub use rl::{train_q_policy, QPolicy, RlConfig};
+pub use sweep::{governor_results, il_front, rl_front, SweepConfig};

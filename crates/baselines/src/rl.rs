@@ -1,0 +1,345 @@
+//! Scalarized reinforcement-learning baseline.
+//!
+//! Prior RL work on DRM (Chen et al., Kim et al. — references \[2\], \[10\] of the paper) defines
+//! a per-epoch reward for each objective and optimizes a linear combination
+//! `R = Σ λ_i R(O_i)`. This module reproduces that recipe with per-knob tabular Q-learning
+//! agents over a coarse discretization of the Table-I counters. Tracing a Pareto front
+//! requires re-training under many scalarization vectors, which is precisely the drawback the
+//! paper highlights.
+
+use moo::scalarize::WeightVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soc_sim::config::{DecisionSpace, DrmDecision, KnobCardinalities};
+use soc_sim::counters::CounterSnapshot;
+use soc_sim::platform::{DrmController, Platform};
+use soc_sim::workload::Application;
+
+/// Hyperparameters of the Q-learning baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlConfig {
+    /// Number of training episodes (full passes over the application).
+    pub episodes: usize,
+    /// Q-learning step size α.
+    pub learning_rate: f64,
+    /// Discount factor γ.
+    pub discount: f64,
+    /// Initial exploration rate ε (decayed linearly to `epsilon_final`).
+    pub epsilon_start: f64,
+    /// Final exploration rate.
+    pub epsilon_final: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig {
+            episodes: 30,
+            learning_rate: 0.25,
+            discount: 0.6,
+            epsilon_start: 0.5,
+            epsilon_final: 0.02,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// Coarse discretization of the counter features into a tabular state index.
+///
+/// Buckets: Big-cluster load (4) × Little-cluster load (4) × memory intensity (3) × CPI (3),
+/// giving 144 states — small enough for tabular learning in a few dozen episodes, rich enough
+/// to distinguish the phases the synthetic benchmarks expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateEncoder;
+
+impl StateEncoder {
+    /// Total number of discrete states.
+    pub const NUM_STATES: usize = 4 * 4 * 3 * 3;
+
+    /// Encodes a counter snapshot into a state index in `[0, NUM_STATES)`.
+    pub fn encode(&self, counters: &CounterSnapshot) -> usize {
+        let big = bucket(counters.big_cluster_utilization_per_core, 1.0, 4);
+        let little = bucket(counters.little_cluster_utilization_sum, 4.0, 4);
+        let instr = counters.instructions_retired.max(1.0);
+        let mpki = counters.l2_cache_misses / instr * 1000.0;
+        let mem = bucket(mpki, 30.0, 3);
+        let cpi = if counters.instructions_retired > 0.0 {
+            counters.cpu_cycles / counters.instructions_retired
+        } else {
+            0.0
+        };
+        let cpi_b = bucket(cpi, 9.0, 3);
+        ((big * 4 + little) * 3 + mem) * 3 + cpi_b
+    }
+}
+
+fn bucket(value: f64, max: f64, buckets: usize) -> usize {
+    let t = (value / max).clamp(0.0, 1.0 - 1e-9);
+    (t * buckets as f64) as usize
+}
+
+/// A trained tabular Q-learning policy: one Q-table per control knob, acting greedily.
+#[derive(Debug, Clone)]
+pub struct QPolicy {
+    space: DecisionSpace,
+    encoder: StateEncoder,
+    /// `q_tables[knob][state][action]`.
+    q_tables: Vec<Vec<Vec<f64>>>,
+    name: String,
+}
+
+impl QPolicy {
+    /// Creates an untrained (all-zero) policy.
+    pub fn new(space: DecisionSpace) -> Self {
+        let cards = space.knob_cardinalities();
+        let q_tables = cards
+            .as_array()
+            .iter()
+            .map(|&actions| vec![vec![0.0; actions]; StateEncoder::NUM_STATES])
+            .collect();
+        QPolicy {
+            space,
+            encoder: StateEncoder,
+            q_tables,
+            name: "rl".to_string(),
+        }
+    }
+
+    /// Knob cardinalities of the underlying decision space.
+    pub fn knob_cardinalities(&self) -> KnobCardinalities {
+        self.space.knob_cardinalities()
+    }
+
+    /// Sets the controller name used in run reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Greedy action indices for a state.
+    pub fn greedy_actions(&self, state: usize) -> [usize; 4] {
+        let mut actions = [0usize; 4];
+        for (knob, table) in self.q_tables.iter().enumerate() {
+            actions[knob] = argmax(&table[state]);
+        }
+        actions
+    }
+
+    fn q(&self, knob: usize, state: usize, action: usize) -> f64 {
+        self.q_tables[knob][state][action]
+    }
+
+    fn q_mut(&mut self, knob: usize, state: usize, action: usize) -> &mut f64 {
+        &mut self.q_tables[knob][state][action]
+    }
+
+    fn max_q(&self, knob: usize, state: usize) -> f64 {
+        self.q_tables[knob][state]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl DrmController for QPolicy {
+    fn decide(&mut self, counters: &CounterSnapshot, _previous: &DrmDecision) -> DrmDecision {
+        let state = self.encoder.encode(counters);
+        let actions = self.greedy_actions(state);
+        self.space.decision_from_knob_indices(actions)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Trains a [`QPolicy`] on one application with a scalarized time/energy reward.
+///
+/// `weights` holds the scalarization (λ_time, λ_energy); the per-epoch reward is the negative
+/// weighted sum of the epoch's execution time and energy, each normalized by the value the
+/// maximum-performance configuration would achieve on the same epoch so the two terms are
+/// commensurate.
+///
+/// # Panics
+///
+/// Panics if `weights` does not have exactly two entries.
+pub fn train_q_policy(
+    platform: &Platform,
+    app: &Application,
+    weights: &WeightVector,
+    config: &RlConfig,
+) -> QPolicy {
+    assert_eq!(
+        weights.len(),
+        2,
+        "the RL baseline scalarizes exactly two objectives (time, energy)"
+    );
+    let space = platform.spec().decision_space().clone();
+    let mut policy = QPolicy::new(space.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cards = space.knob_cardinalities().as_array();
+    let reference = space.performance_decision();
+    let w_time = weights.as_slice()[0];
+    let w_energy = weights.as_slice()[1];
+
+    for episode in 0..config.episodes {
+        let progress = if config.episodes > 1 {
+            episode as f64 / (config.episodes - 1) as f64
+        } else {
+            1.0
+        };
+        let epsilon =
+            config.epsilon_start + (config.epsilon_final - config.epsilon_start) * progress;
+
+        let mut counters = CounterSnapshot::zeroed();
+        let mut state = policy.encoder.encode(&counters);
+
+        for phase in &app.epochs {
+            // ε-greedy action per knob.
+            let mut actions = policy.greedy_actions(state);
+            for (knob, action) in actions.iter_mut().enumerate() {
+                if rng.gen::<f64>() < epsilon {
+                    *action = rng.gen_range(0..cards[knob]);
+                }
+            }
+            let decision = space.decision_from_knob_indices(actions);
+            let result = platform
+                .run_epoch(&decision, phase)
+                .expect("decisions built from knob indices are always valid");
+            let baseline = platform
+                .run_epoch(&reference, phase)
+                .expect("the performance decision is always valid");
+
+            let reward = -(w_time * result.time_s / baseline.time_s
+                + w_energy * result.energy_j / baseline.energy_j);
+
+            counters = result.counters;
+            let next_state = policy.encoder.encode(&counters);
+            for knob in 0..4 {
+                let old = policy.q(knob, state, actions[knob]);
+                let target = reward + config.discount * policy.max_q(knob, next_state);
+                *policy.q_mut(knob, state, actions[knob]) =
+                    old + config.learning_rate * (target - old);
+            }
+            state = next_state;
+        }
+    }
+    policy.with_name(format!("rl-{:.2}-{:.2}", w_time, w_energy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::apps::Benchmark;
+
+    #[test]
+    fn state_encoder_stays_in_range_and_distinguishes_loads() {
+        let enc = StateEncoder;
+        let idle = CounterSnapshot::zeroed();
+        let busy = CounterSnapshot {
+            instructions_retired: 1e8,
+            cpu_cycles: 4e8,
+            l2_cache_misses: 2e6,
+            big_cluster_utilization_per_core: 0.95,
+            little_cluster_utilization_sum: 3.8,
+            total_chip_power_w: 6.0,
+            ..CounterSnapshot::zeroed()
+        };
+        let a = enc.encode(&idle);
+        let b = enc.encode(&busy);
+        assert!(a < StateEncoder::NUM_STATES);
+        assert!(b < StateEncoder::NUM_STATES);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn untrained_policy_produces_valid_decisions() {
+        let space = DecisionSpace::exynos5422();
+        let mut policy = QPolicy::new(space.clone());
+        let d = policy.decide(&CounterSnapshot::zeroed(), &space.initial_decision());
+        assert!(space.validate(&d).is_ok());
+        assert_eq!(policy.name(), "rl");
+    }
+
+    #[test]
+    fn training_produces_a_runnable_policy_with_sensible_bias() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Blowfish.application();
+        let config = RlConfig {
+            episodes: 10,
+            ..Default::default()
+        };
+        // Performance-leaning scalarization vs energy-leaning scalarization.
+        let fast = train_q_policy(
+            &platform,
+            &app,
+            &WeightVector::new(vec![0.95, 0.05]),
+            &config,
+        );
+        let frugal = train_q_policy(
+            &platform,
+            &app,
+            &WeightVector::new(vec![0.05, 0.95]),
+            &config,
+        );
+        let mut fast = fast;
+        let mut frugal = frugal;
+        let run_fast = platform.run_application(&app, &mut fast, 0).unwrap();
+        let run_frugal = platform.run_application(&app, &mut frugal, 0).unwrap();
+        // The performance-weighted agent should be at least as fast; the energy-weighted
+        // agent should not use more energy.
+        assert!(
+            run_fast.execution_time_s <= run_frugal.execution_time_s * 1.05,
+            "time-weighted RL ({}) should not be much slower than energy-weighted RL ({})",
+            run_fast.execution_time_s,
+            run_frugal.execution_time_s
+        );
+        assert!(
+            run_frugal.energy_j <= run_fast.energy_j * 1.05,
+            "energy-weighted RL ({}) should not burn much more energy than time-weighted RL ({})",
+            run_frugal.energy_j,
+            run_fast.energy_j
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Sha.application();
+        let config = RlConfig {
+            episodes: 4,
+            ..Default::default()
+        };
+        let w = WeightVector::new(vec![0.5, 0.5]);
+        let mut a = train_q_policy(&platform, &app, &w, &config);
+        let mut b = train_q_policy(&platform, &app, &w, &config);
+        let ra = platform.run_application(&app, &mut a, 1).unwrap();
+        let rb = platform.run_application(&app, &mut b, 1).unwrap();
+        assert_eq!(ra.execution_time_s, rb.execution_time_s);
+        assert_eq!(ra.energy_j, rb.energy_j);
+    }
+
+    #[test]
+    #[should_panic]
+    fn training_rejects_non_biobjective_weights() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Sha.application();
+        train_q_policy(
+            &platform,
+            &app,
+            &WeightVector::new(vec![0.3, 0.3, 0.4]),
+            &RlConfig::default(),
+        );
+    }
+}

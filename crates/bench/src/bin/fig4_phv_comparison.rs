@@ -1,0 +1,78 @@
+//! Figure 4: normalized PHV of the RL and IL baselines w.r.t. PaRMIS for application-specific
+//! optimization of (execution time, energy), across all 12 benchmarks.
+//!
+//! The paper reports PaRMIS achieving on average 13 % higher PHV than RL and 23 % higher than
+//! IL; the reproduced numbers should show the same ordering (both normalized values below 1).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig4_phv_comparison [-- --quick | --iterations N | --apps qsort,pca]
+//! ```
+
+use bench::harness::{collect_method_fronts, phv_summary, ExperimentBudget};
+use bench::report::{fmt, print_header, print_table, write_json};
+use parmis::objective::Objective;
+use soc_sim::apps::Benchmark;
+
+/// Parses `--apps name,name,...`; defaults to the full 12-benchmark suite.
+fn benchmarks_from_args() -> Vec<Benchmark> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--apps") {
+        if let Some(list) = args.get(pos + 1) {
+            let parsed: Vec<Benchmark> =
+                list.split(',').filter_map(Benchmark::from_name).collect();
+            if !parsed.is_empty() {
+                return parsed;
+            }
+        }
+    }
+    Benchmark::ALL.to_vec()
+}
+
+fn main() {
+    let budget = ExperimentBudget::from_args();
+    let benchmarks = benchmarks_from_args();
+    print_header(
+        "Figure 4",
+        "Normalized PHV of RL and IL w.r.t. PaRMIS, application-specific (execution time, energy)",
+    );
+
+    let mut summaries = Vec::new();
+    for (i, benchmark) in benchmarks.iter().enumerate() {
+        let fronts = collect_method_fronts(*benchmark, &Objective::TIME_ENERGY, &budget, 100 + i as u64);
+        let summary = phv_summary(*benchmark, &fronts);
+        println!(
+            "{}: PaRMIS PHV {:.4}, RL {:.3}, IL {:.3} (normalized)",
+            summary.benchmark, summary.parmis_phv, summary.rl_normalized, summary.il_normalized
+        );
+        summaries.push(summary);
+    }
+
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.benchmark.clone(),
+                "1.000".to_string(),
+                fmt(s.rl_normalized),
+                fmt(s.il_normalized),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4: normalized PHV per application",
+        &["benchmark", "parmis", "rl", "il"],
+        &rows,
+    );
+
+    let avg_rl =
+        summaries.iter().map(|s| s.rl_normalized).sum::<f64>() / summaries.len() as f64;
+    let avg_il =
+        summaries.iter().map(|s| s.il_normalized).sum::<f64>() / summaries.len() as f64;
+    println!("\naverage normalized PHV: rl {avg_rl:.3}, il {avg_il:.3}");
+    println!(
+        "PaRMIS advantage: {:.1}% over RL (paper: ~13%), {:.1}% over IL (paper: ~23%)",
+        (1.0 / avg_rl.max(1e-9) - 1.0) * 100.0,
+        (1.0 / avg_il.max(1e-9) - 1.0) * 100.0
+    );
+    write_json("fig4_phv_comparison", &summaries);
+}

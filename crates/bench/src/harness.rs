@@ -1,0 +1,315 @@
+//! Experiment runners shared by the figure/table binaries.
+
+use baselines::sweep::{governor_results, il_front, rl_front, SweepConfig};
+use baselines::{IlConfig, RlConfig};
+use moo::hypervolume::{common_reference_point, hypervolume, normalized};
+use moo::ParetoFront;
+use parmis::acquisition::AcquisitionOptimizerConfig;
+use parmis::evaluation::{GlobalEvaluator, SocEvaluator};
+use parmis::framework::{Parmis, ParmisConfig, ParmisOutcome};
+use parmis::objective::Objective;
+use parmis::pareto_sampling::ParetoSamplingConfig;
+use policy::training::TrainingConfig;
+use serde::Serialize;
+use soc_sim::apps::Benchmark;
+
+/// How much compute an experiment binary is allowed to spend.
+///
+/// The figure binaries default to a "standard" budget that reproduces the paper's qualitative
+/// results in minutes on a laptop; `--quick` (or `PARMIS_QUICK=1`) shrinks everything for
+/// smoke tests and `--iterations N` overrides the PaRMIS evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentBudget {
+    /// PaRMIS evaluation budget (the paper runs up to 500, converging by ~300).
+    pub parmis_iterations: usize,
+    /// Number of scalarization weights for the RL/IL sweeps.
+    pub sweep_weights: usize,
+    /// RL episodes per scalarization.
+    pub rl_episodes: usize,
+    /// Oracle decision-space stride for IL.
+    pub il_stride: usize,
+    /// IL supervised-training epochs.
+    pub il_epochs: usize,
+}
+
+impl ExperimentBudget {
+    /// The default budget used when no flags are passed.
+    pub fn standard() -> Self {
+        ExperimentBudget {
+            parmis_iterations: 120,
+            sweep_weights: 7,
+            rl_episodes: 25,
+            il_stride: 7,
+            il_epochs: 50,
+        }
+    }
+
+    /// A small budget for smoke tests and CI.
+    pub fn quick() -> Self {
+        ExperimentBudget {
+            parmis_iterations: 18,
+            sweep_weights: 3,
+            rl_episodes: 4,
+            il_stride: 101,
+            il_epochs: 10,
+        }
+    }
+
+    /// Parses the budget from command-line arguments (`--quick`, `--iterations N`) and the
+    /// `PARMIS_QUICK` environment variable.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick_env = std::env::var("PARMIS_QUICK").map(|v| v != "0").unwrap_or(false);
+        let mut budget = if quick_env || args.iter().any(|a| a == "--quick") {
+            ExperimentBudget::quick()
+        } else {
+            ExperimentBudget::standard()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--iterations") {
+            if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+                budget.parmis_iterations = n.max(5);
+            }
+        }
+        budget
+    }
+
+    /// PaRMIS configuration matching this budget.
+    pub fn parmis_config(&self, seed: u64) -> ParmisConfig {
+        let quick = self.parmis_iterations < 40;
+        ParmisConfig {
+            max_iterations: self.parmis_iterations,
+            initial_samples: (self.parmis_iterations / 10).clamp(4, 12),
+            num_pareto_samples: 1,
+            sampling: if quick {
+                ParetoSamplingConfig {
+                    rff_features: 60,
+                    nsga_population: 16,
+                    nsga_generations: 8,
+                }
+            } else {
+                ParetoSamplingConfig::default()
+            },
+            acquisition: if quick {
+                AcquisitionOptimizerConfig {
+                    random_candidates: 32,
+                    local_candidates: 12,
+                    local_perturbation: 0.2,
+                }
+            } else {
+                AcquisitionOptimizerConfig::default()
+            },
+            kernel_family: gp::kernel::KernelFamily::Matern52,
+            refit_hyperparameters_every: 20,
+            convergence_window: 0,
+            seed,
+        }
+    }
+
+    /// Baseline sweep configuration matching this budget.
+    pub fn sweep_config(&self, seed: u64) -> SweepConfig {
+        SweepConfig {
+            weight_count: self.sweep_weights,
+            rl: RlConfig {
+                episodes: self.rl_episodes,
+                seed,
+                ..Default::default()
+            },
+            il: IlConfig {
+                oracle_stride: self.il_stride,
+                training: TrainingConfig {
+                    epochs: self.il_epochs,
+                    learning_rate: 0.06,
+                    seed,
+                },
+                ..Default::default()
+            },
+            eval_seed: 29,
+        }
+    }
+}
+
+/// A named Pareto front (or single point set) produced by one method on one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodFront {
+    /// Method name (`parmis`, `rl`, `il`, or a governor name).
+    pub method: String,
+    /// Minimization objective vectors of the front.
+    pub points: Vec<Vec<f64>>,
+}
+
+/// Per-benchmark PHV comparison of PaRMIS against the two learned baselines.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhvSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Absolute PHV of PaRMIS.
+    pub parmis_phv: f64,
+    /// PHV of RL normalized by the PaRMIS PHV.
+    pub rl_normalized: f64,
+    /// PHV of IL normalized by the PaRMIS PHV.
+    pub il_normalized: f64,
+}
+
+/// Runs PaRMIS for one benchmark with this budget.
+pub fn run_parmis(
+    benchmark: Benchmark,
+    objectives: &[Objective],
+    budget: &ExperimentBudget,
+    seed: u64,
+) -> ParmisOutcome {
+    let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.to_vec());
+    Parmis::new(budget.parmis_config(seed))
+        .run(&evaluator)
+        .expect("PaRMIS run failed")
+}
+
+/// Runs PaRMIS once over the whole application suite (global policies, Fig. 5).
+pub fn run_global_parmis(
+    benchmarks: &[Benchmark],
+    objectives: &[Objective],
+    budget: &ExperimentBudget,
+    seed: u64,
+) -> (GlobalEvaluator, ParmisOutcome) {
+    let evaluator = GlobalEvaluator::for_benchmarks(benchmarks, objectives.to_vec());
+    let outcome = Parmis::new(budget.parmis_config(seed))
+        .run(&evaluator)
+        .expect("global PaRMIS run failed");
+    (evaluator, outcome)
+}
+
+/// Collects the method fronts (PaRMIS, RL, IL, governors) for one benchmark.
+pub fn collect_method_fronts(
+    benchmark: Benchmark,
+    objectives: &[Objective],
+    budget: &ExperimentBudget,
+    seed: u64,
+) -> Vec<MethodFront> {
+    let parmis_outcome = run_parmis(benchmark, objectives, budget, seed);
+    let sweep = budget.sweep_config(seed);
+    let rl = rl_front(benchmark, objectives, &sweep);
+    let il = il_front(benchmark, objectives, &sweep);
+    let governors = governor_results(benchmark, objectives);
+
+    let mut fronts = vec![
+        MethodFront {
+            method: "parmis".into(),
+            points: parmis_outcome.front.objective_values(),
+        },
+        MethodFront {
+            method: "rl".into(),
+            points: rl.objective_values(),
+        },
+        MethodFront {
+            method: "il".into(),
+            points: il.objective_values(),
+        },
+    ];
+    for (name, point) in governors {
+        fronts.push(MethodFront {
+            method: name,
+            points: vec![point],
+        });
+    }
+    fronts
+}
+
+/// Computes the PHV of every method front against a reference point shared by all of them
+/// (the paper stresses that a common reference point is required for fair comparison, §V-C).
+pub fn phv_with_common_reference(fronts: &[MethodFront]) -> Vec<(String, f64)> {
+    let all: Vec<&[Vec<f64>]> = fronts.iter().map(|f| f.points.as_slice()).collect();
+    let reference = common_reference_point(&all, 0.05);
+    fronts
+        .iter()
+        .map(|f| (f.method.clone(), hypervolume(f.points.clone(), &reference)))
+        .collect()
+}
+
+/// Builds the Fig. 4 / Fig. 7 style normalized-PHV summary for one benchmark.
+pub fn phv_summary(benchmark: Benchmark, fronts: &[MethodFront]) -> PhvSummary {
+    let phv = phv_with_common_reference(fronts);
+    let get = |name: &str| phv.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0);
+    let parmis = get("parmis");
+    PhvSummary {
+        benchmark: benchmark.name().to_string(),
+        parmis_phv: parmis,
+        rl_normalized: normalized(get("rl"), parmis),
+        il_normalized: normalized(get("il"), parmis),
+    }
+}
+
+/// Extracts the non-dominated archive of an arbitrary point set (helper for Fig. 5, where a
+/// global policy set is re-evaluated per application).
+pub fn front_of(points: Vec<Vec<f64>>) -> ParetoFront<()> {
+    let dim = points.first().map(|p| p.len()).unwrap_or(1);
+    let mut front = ParetoFront::new(dim);
+    for p in points {
+        front.insert(p, ());
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_scale_as_expected() {
+        let quick = ExperimentBudget::quick();
+        let standard = ExperimentBudget::standard();
+        assert!(quick.parmis_iterations < standard.parmis_iterations);
+        assert!(quick.rl_episodes < standard.rl_episodes);
+        assert!(quick.il_stride > standard.il_stride);
+        let cfg = quick.parmis_config(1);
+        assert_eq!(cfg.max_iterations, quick.parmis_iterations);
+        assert!(cfg.sampling.rff_features <= 60);
+        let cfg = standard.parmis_config(1);
+        assert_eq!(cfg.sampling.rff_features, ParetoSamplingConfig::default().rff_features);
+        let sweep = quick.sweep_config(3);
+        assert_eq!(sweep.weight_count, 3);
+        assert_eq!(sweep.rl.episodes, 4);
+    }
+
+    #[test]
+    fn phv_with_common_reference_orders_methods_sensibly() {
+        // A front that dominates another must have at least as large a PHV.
+        let better = MethodFront {
+            method: "a".into(),
+            points: vec![vec![1.0, 1.0], vec![0.5, 2.0]],
+        };
+        let worse = MethodFront {
+            method: "b".into(),
+            points: vec![vec![2.0, 2.0]],
+        };
+        let phv = phv_with_common_reference(&[better, worse]);
+        assert!(phv[0].1 > phv[1].1);
+    }
+
+    #[test]
+    fn phv_summary_normalizes_against_parmis() {
+        let fronts = vec![
+            MethodFront {
+                method: "parmis".into(),
+                points: vec![vec![1.0, 1.0]],
+            },
+            MethodFront {
+                method: "rl".into(),
+                points: vec![vec![1.5, 1.5]],
+            },
+            MethodFront {
+                method: "il".into(),
+                points: vec![vec![2.0, 2.0]],
+            },
+        ];
+        let summary = phv_summary(Benchmark::Qsort, &fronts);
+        assert_eq!(summary.benchmark, "qsort");
+        assert!(summary.parmis_phv > 0.0);
+        assert!(summary.rl_normalized < 1.0);
+        assert!(summary.il_normalized < summary.rl_normalized);
+    }
+
+    #[test]
+    fn front_of_filters_dominated_points() {
+        let front = front_of(vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0]]);
+        assert_eq!(front.len(), 2);
+    }
+}

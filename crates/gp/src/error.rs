@@ -1,0 +1,83 @@
+//! Error type for Gaussian-process operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by Gaussian-process operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// Training or query data was empty or inconsistent.
+    InvalidData {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A kernel or noise hyperparameter was outside its valid range.
+    InvalidHyperparameter {
+        /// Name of the offending hyperparameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The underlying linear-algebra kernel failed (e.g. the kernel matrix was not positive
+    /// definite even after jitter).
+    Linalg(linalg::LinalgError),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::InvalidData { reason } => write!(f, "invalid training data: {reason}"),
+            GpError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyperparameter {name} = {value}")
+            }
+            GpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for GpError {
+    fn from(e: linalg::LinalgError) -> Self {
+        GpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GpError::InvalidData {
+            reason: "empty inputs".into(),
+        };
+        assert!(e.to_string().contains("empty inputs"));
+
+        let e = GpError::InvalidHyperparameter {
+            name: "lengthscale",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("lengthscale"));
+
+        let inner = linalg::LinalgError::Empty;
+        let e = GpError::from(inner.clone());
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(Error::source(&e).is_some());
+        assert_eq!(e, GpError::Linalg(inner));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpError>();
+    }
+}

@@ -1,0 +1,343 @@
+//! Exact Gaussian-process regression.
+
+use crate::kernel::Kernel;
+use crate::{GpError, Result};
+use linalg::{vector, Cholesky};
+
+/// An exact Gaussian-process regressor with zero prior mean and i.i.d. observation noise,
+/// matching the statistical model of the paper (§IV-A).
+///
+/// Internally the model stores the Cholesky factor of `K + σ_n² I` and the weight vector
+/// `α = (K + σ_n² I)⁻¹ y`, so posterior predictions cost one kernel-vector product plus a
+/// triangular solve.
+///
+/// # Examples
+///
+/// ```
+/// use gp::{GaussianProcess, kernel::Kernel};
+///
+/// # fn main() -> Result<(), gp::GpError> {
+/// let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.5]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
+/// let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 1e-6)?;
+/// let (mean, var) = gp.predict(&[1.0])?;
+/// assert!((mean - 1.0f64.sin()).abs() < 0.1);
+/// assert!(var < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    y_mean: f64,
+    kernel: Kernel,
+    noise_variance: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to the training pairs `(xs[i], ys[i])`.
+    ///
+    /// The targets are internally centred (their mean is subtracted and added back at
+    /// prediction time) so the zero-mean prior is a reasonable default for objectives with a
+    /// large offset such as execution times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidData`] if the inputs are empty, of inconsistent dimension or
+    /// mismatched lengths, [`GpError::InvalidHyperparameter`] for a negative noise variance,
+    /// and [`GpError::Linalg`] if the kernel matrix cannot be factorized.
+    pub fn fit(
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        kernel: Kernel,
+        noise_variance: f64,
+    ) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(GpError::InvalidData {
+                reason: "no training points".into(),
+            });
+        }
+        if xs.len() != ys.len() {
+            return Err(GpError::InvalidData {
+                reason: format!("{} inputs but {} targets", xs.len(), ys.len()),
+            });
+        }
+        let dim = xs[0].len();
+        if dim == 0 {
+            return Err(GpError::InvalidData {
+                reason: "inputs must have at least one dimension".into(),
+            });
+        }
+        if xs.iter().any(|x| x.len() != dim) {
+            return Err(GpError::InvalidData {
+                reason: "inputs have inconsistent dimensions".into(),
+            });
+        }
+        if ys.iter().any(|y| !y.is_finite()) {
+            return Err(GpError::InvalidData {
+                reason: "targets must be finite".into(),
+            });
+        }
+        if !(noise_variance.is_finite() && noise_variance >= 0.0) {
+            return Err(GpError::InvalidHyperparameter {
+                name: "noise_variance",
+                value: noise_variance,
+            });
+        }
+
+        let y_mean = vector::mean(&ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+
+        let mut gram = kernel.gram(&xs);
+        gram.add_diagonal(noise_variance.max(1e-10));
+        let chol = Cholesky::new_with_jitter(&gram, 1e-8, 8)?;
+        let alpha = chol.solve_vec(&centred)?;
+
+        Ok(GaussianProcess {
+            xs,
+            ys,
+            y_mean,
+            kernel,
+            noise_variance,
+            chol,
+            alpha,
+        })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if the model has no training data (never true for a fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.xs[0].len()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Observation-noise variance σ_n².
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Training inputs.
+    pub fn training_inputs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Training targets (uncentred, as supplied).
+    pub fn training_targets(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Mean of the training targets (the constant added back to predictions).
+    pub fn target_mean(&self) -> f64 {
+        self.y_mean
+    }
+
+    /// Posterior predictive mean and variance at a query point.
+    ///
+    /// The variance is the *latent* function variance (without observation noise), clamped at
+    /// a tiny positive floor to protect downstream `ln σ` computations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidData`] if the query dimension does not match the training
+    /// dimension.
+    pub fn predict(&self, x: &[f64]) -> Result<(f64, f64)> {
+        if x.len() != self.dim() {
+            return Err(GpError::InvalidData {
+                reason: format!(
+                    "query has dimension {} but the model expects {}",
+                    x.len(),
+                    self.dim()
+                ),
+            });
+        }
+        let k_star = self.kernel.cross(x, &self.xs);
+        let mean = self.y_mean + vector::dot(&k_star, &self.alpha);
+        let v = self.chol.solve_lower(&k_star)?;
+        let variance = (self.kernel.eval(x, x) - vector::dot(&v, &v)).max(1e-12);
+        Ok((mean, variance))
+    }
+
+    /// Posterior predictive standard deviation at a query point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict`](Self::predict).
+    pub fn predict_std(&self, x: &[f64]) -> Result<(f64, f64)> {
+        let (m, v) = self.predict(x)?;
+        Ok((m, v.sqrt()))
+    }
+
+    /// Log marginal likelihood of the training data under the current hyperparameters
+    /// (Rasmussen & Williams, Eq. 2.30). Used by [`crate::hyperopt`] for model selection.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.len() as f64;
+        let centred: Vec<f64> = self.ys.iter().map(|y| y - self.y_mean).collect();
+        let data_fit = -0.5 * vector::dot(&centred, &self.alpha);
+        let complexity = -0.5 * self.chol.log_determinant();
+        let norm = -0.5 * n * (2.0 * std::f64::consts::PI).ln();
+        data_fit + complexity + norm
+    }
+
+    /// Refits the model with an additional observation, returning the new model.
+    ///
+    /// PaRMIS adds exactly one evaluation per iteration (Algorithm 1, line 6); a full refit is
+    /// O(n³) but n ≤ 500 in every experiment, so the simplicity is worth it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit`](Self::fit).
+    pub fn with_observation(&self, x: Vec<f64>, y: f64) -> Result<Self> {
+        let mut xs = self.xs.clone();
+        let mut ys = self.ys.clone();
+        xs.push(x);
+        ys.push(y);
+        GaussianProcess::fit(xs, ys, self.kernel.clone(), self.noise_variance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_gp() -> GaussianProcess {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let ys = vec![0.0, 0.8, 0.9, 0.1, -0.8];
+        GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 1e-6).unwrap()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_small_noise() {
+        let gp = toy_gp();
+        for (x, y) in gp.training_inputs().iter().zip(gp.training_targets()) {
+            let (mean, var) = gp.predict(x).unwrap();
+            assert!((mean - y).abs() < 1e-3, "mean {mean} vs target {y}");
+            assert!(var < 1e-3);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let gp = toy_gp();
+        let (_, var_near) = gp.predict(&[2.0]).unwrap();
+        let (_, var_far) = gp.predict(&[10.0]).unwrap();
+        assert!(var_far > var_near);
+        // Far from all data the variance approaches the prior signal variance.
+        assert!((var_far - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn far_field_mean_reverts_to_target_mean() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![10.0, 12.0];
+        let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 0.5), 1e-6).unwrap();
+        let (mean, _) = gp.predict(&[100.0]).unwrap();
+        assert!((mean - 11.0).abs() < 1e-6, "far-field mean should revert to 11, got {mean}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let k = Kernel::rbf(1.0, 1.0);
+        assert!(GaussianProcess::fit(vec![], vec![], k.clone(), 1e-6).is_err());
+        assert!(
+            GaussianProcess::fit(vec![vec![0.0]], vec![1.0, 2.0], k.clone(), 1e-6).is_err()
+        );
+        assert!(GaussianProcess::fit(
+            vec![vec![0.0], vec![1.0, 2.0]],
+            vec![1.0, 2.0],
+            k.clone(),
+            1e-6
+        )
+        .is_err());
+        assert!(
+            GaussianProcess::fit(vec![vec![0.0]], vec![f64::NAN], k.clone(), 1e-6).is_err()
+        );
+        assert!(GaussianProcess::fit(vec![vec![0.0]], vec![1.0], k.clone(), -1.0).is_err());
+        assert!(GaussianProcess::fit(vec![vec![]], vec![1.0], k, 1e-6).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dimension() {
+        let gp = toy_gp();
+        assert!(gp.predict(&[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn log_marginal_likelihood_prefers_sensible_lengthscale() {
+        // Data drawn from a smooth function: a ridiculous tiny lengthscale should have a
+        // lower marginal likelihood than a moderate one.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.4]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.8).sin()).collect();
+        let good = GaussianProcess::fit(xs.clone(), ys.clone(), Kernel::rbf(1.0, 1.0), 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        let bad = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 0.01), 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        assert!(good > bad, "good {good} should exceed bad {bad}");
+    }
+
+    #[test]
+    fn with_observation_extends_model() {
+        let gp = toy_gp();
+        let updated = gp.with_observation(vec![5.0], -1.5).unwrap();
+        assert_eq!(updated.len(), gp.len() + 1);
+        let (mean, var) = updated.predict(&[5.0]).unwrap();
+        assert!((mean + 1.5).abs() < 1e-2);
+        assert!(var < 1e-2);
+        // Original model is untouched.
+        assert_eq!(gp.len(), 5);
+    }
+
+    #[test]
+    fn noisy_observations_smooth_the_fit() {
+        let xs = vec![vec![0.0], vec![0.0]];
+        let ys = vec![1.0, -1.0];
+        // Two conflicting observations at the same point: with noise the posterior mean is
+        // their average.
+        let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 0.5).unwrap();
+        let (mean, _) = gp.predict(&[0.0]).unwrap();
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let gp = toy_gp();
+        assert_eq!(gp.len(), 5);
+        assert!(!gp.is_empty());
+        assert_eq!(gp.dim(), 1);
+        assert_eq!(gp.noise_variance(), 1e-6);
+        assert_eq!(gp.training_targets().len(), 5);
+        assert!((gp.target_mean() - 0.2).abs() < 1e-12);
+        assert_eq!(gp.kernel().signal_variance(), 1.0);
+    }
+
+    #[test]
+    fn multi_dimensional_inputs_work() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![0.0, 1.0, 1.0, 2.0];
+        let gp = GaussianProcess::fit(xs, ys, Kernel::matern52(1.0, 1.0), 1e-6).unwrap();
+        let (mean, _) = gp.predict(&[0.5, 0.5]).unwrap();
+        assert!((mean - 1.0).abs() < 0.2);
+    }
+}

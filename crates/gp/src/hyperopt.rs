@@ -1,0 +1,219 @@
+//! Marginal-likelihood hyperparameter selection.
+//!
+//! PaRMIS refits its GP models every iteration from at most a few hundred points, so a simple
+//! but robust multi-start grid/coordinate search over (lengthscale, signal variance, noise) is
+//! entirely adequate — and considerably harder to get wrong than a hand-rolled gradient
+//! optimizer. The search maximizes the exact log marginal likelihood.
+
+use crate::kernel::{Kernel, KernelFamily};
+use crate::{GaussianProcess, GpError, Result};
+
+/// Configuration of the hyperparameter search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperoptConfig {
+    /// Kernel family to fit.
+    pub family: KernelFamily,
+    /// Candidate isotropic lengthscales (geometric grid recommended).
+    pub lengthscales: Vec<f64>,
+    /// Candidate signal variances.
+    pub signal_variances: Vec<f64>,
+    /// Candidate observation-noise variances.
+    pub noise_variances: Vec<f64>,
+    /// Number of coordinate-descent refinement passes after the grid search.
+    pub refinement_passes: usize,
+}
+
+impl Default for HyperoptConfig {
+    fn default() -> Self {
+        HyperoptConfig {
+            family: KernelFamily::Matern52,
+            lengthscales: vec![0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0],
+            signal_variances: vec![0.25, 1.0, 4.0],
+            noise_variances: vec![1e-6, 1e-4, 1e-2],
+            refinement_passes: 1,
+        }
+    }
+}
+
+/// Result of a hyperparameter search: the selected model and its score.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// GP refitted with the best hyperparameters found.
+    pub model: GaussianProcess,
+    /// Log marginal likelihood of the selected model.
+    pub log_marginal_likelihood: f64,
+}
+
+/// Fits a GP with hyperparameters chosen by maximizing the log marginal likelihood over the
+/// grid in `config`, followed by local coordinate refinement (multiplicative 0.5×/2× probes).
+///
+/// # Errors
+///
+/// Returns [`GpError::InvalidData`] if the training data is invalid or the configuration grid
+/// is empty, and propagates fitting failures for the *best* configuration (individual grid
+/// candidates that fail to factorize are skipped).
+///
+/// # Examples
+///
+/// ```
+/// use gp::hyperopt::{fit_with_hyperopt, HyperoptConfig};
+///
+/// # fn main() -> Result<(), gp::GpError> {
+/// let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.3]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (1.5 * x[0]).sin()).collect();
+/// let fitted = fit_with_hyperopt(xs, ys, &HyperoptConfig::default())?;
+/// assert!(fitted.log_marginal_likelihood.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_with_hyperopt(
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    config: &HyperoptConfig,
+) -> Result<FittedModel> {
+    if config.lengthscales.is_empty()
+        || config.signal_variances.is_empty()
+        || config.noise_variances.is_empty()
+    {
+        return Err(GpError::InvalidData {
+            reason: "hyperparameter grid must not be empty".into(),
+        });
+    }
+
+    let mut best: Option<(f64, f64, f64, f64)> = None; // (lml, ls, sv, nv)
+    for &ls in &config.lengthscales {
+        for &sv in &config.signal_variances {
+            for &nv in &config.noise_variances {
+                if let Some(lml) = score(&xs, &ys, config.family, ls, sv, nv) {
+                    if best.map_or(true, |(b, ..)| lml > b) {
+                        best = Some((lml, ls, sv, nv));
+                    }
+                }
+            }
+        }
+    }
+    let (mut best_lml, mut ls, mut sv, mut nv) = best.ok_or_else(|| GpError::InvalidData {
+        reason: "no hyperparameter configuration produced a valid model".into(),
+    })?;
+
+    // Local multiplicative coordinate refinement around the grid optimum.
+    for _ in 0..config.refinement_passes {
+        for factor in [0.5, 2.0] {
+            if let Some(lml) = score(&xs, &ys, config.family, ls * factor, sv, nv) {
+                if lml > best_lml {
+                    best_lml = lml;
+                    ls *= factor;
+                }
+            }
+            if let Some(lml) = score(&xs, &ys, config.family, ls, sv * factor, nv) {
+                if lml > best_lml {
+                    best_lml = lml;
+                    sv *= factor;
+                }
+            }
+            if let Some(lml) = score(&xs, &ys, config.family, ls, sv, nv * factor) {
+                if lml > best_lml {
+                    best_lml = lml;
+                    nv *= factor;
+                }
+            }
+        }
+    }
+
+    let kernel = Kernel::isotropic(config.family, sv, ls)?;
+    let model = GaussianProcess::fit(xs, ys, kernel, nv)?;
+    let log_marginal_likelihood = model.log_marginal_likelihood();
+    Ok(FittedModel {
+        model,
+        log_marginal_likelihood,
+    })
+}
+
+/// Scores one hyperparameter configuration, returning `None` if the fit fails.
+fn score(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    family: KernelFamily,
+    lengthscale: f64,
+    signal_variance: f64,
+    noise_variance: f64,
+) -> Option<f64> {
+    let kernel = Kernel::isotropic(family, signal_variance, lengthscale).ok()?;
+    let gp = GaussianProcess::fit(xs.to_vec(), ys.to_vec(), kernel, noise_variance).ok()?;
+    let lml = gp.log_marginal_likelihood();
+    lml.is_finite().then_some(lml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.25]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() * 2.0 + 1.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn finds_model_that_beats_a_bad_default() {
+        let (xs, ys) = smooth_data(16);
+        let fitted = fit_with_hyperopt(xs.clone(), ys.clone(), &HyperoptConfig::default()).unwrap();
+        let bad = GaussianProcess::fit(xs, ys, Kernel::rbf(0.01, 0.01), 1e-2).unwrap();
+        assert!(fitted.log_marginal_likelihood > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn selected_model_predicts_well() {
+        let (xs, ys) = smooth_data(20);
+        let fitted = fit_with_hyperopt(xs, ys, &HyperoptConfig::default()).unwrap();
+        let (mean, _) = fitted.model.predict(&[1.1]).unwrap();
+        let truth = (1.1f64).sin() * 2.0 + 1.0;
+        assert!((mean - truth).abs() < 0.2, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn empty_grid_is_rejected() {
+        let (xs, ys) = smooth_data(5);
+        let config = HyperoptConfig {
+            lengthscales: vec![],
+            ..Default::default()
+        };
+        assert!(fit_with_hyperopt(xs, ys, &config).is_err());
+    }
+
+    #[test]
+    fn invalid_data_is_rejected() {
+        let config = HyperoptConfig::default();
+        assert!(fit_with_hyperopt(vec![], vec![], &config).is_err());
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        let (xs, ys) = smooth_data(14);
+        let no_refine = HyperoptConfig {
+            refinement_passes: 0,
+            ..Default::default()
+        };
+        let refine = HyperoptConfig {
+            refinement_passes: 3,
+            ..Default::default()
+        };
+        let base = fit_with_hyperopt(xs.clone(), ys.clone(), &no_refine).unwrap();
+        let refined = fit_with_hyperopt(xs, ys, &refine).unwrap();
+        assert!(refined.log_marginal_likelihood >= base.log_marginal_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn rbf_family_is_supported() {
+        let (xs, ys) = smooth_data(10);
+        let config = HyperoptConfig {
+            family: KernelFamily::SquaredExponential,
+            ..Default::default()
+        };
+        let fitted = fit_with_hyperopt(xs, ys, &config).unwrap();
+        assert_eq!(
+            fitted.model.kernel().family(),
+            KernelFamily::SquaredExponential
+        );
+    }
+}

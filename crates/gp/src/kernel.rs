@@ -1,0 +1,317 @@
+//! Stationary covariance functions.
+//!
+//! PaRMIS places independent GP priors over the policy-parameter space. Two standard
+//! stationary kernels are provided; both support either an isotropic lengthscale or full
+//! automatic-relevance-determination (ARD, one lengthscale per input dimension).
+
+use crate::{GpError, Result};
+use linalg::vector;
+
+/// Family of the stationary kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelFamily {
+    /// Squared-exponential (RBF / Gaussian) kernel: infinitely smooth samples.
+    SquaredExponential,
+    /// Matérn-5/2 kernel: twice-differentiable samples, the usual BO default.
+    Matern52,
+}
+
+/// A stationary covariance function `k(x, x') = σ² g(r)` where `r` is the scaled distance.
+///
+/// # Examples
+///
+/// ```
+/// use gp::kernel::Kernel;
+///
+/// let k = Kernel::rbf(1.0, 0.5);
+/// // A kernel evaluated at identical inputs returns the signal variance.
+/// assert!((k.eval(&[0.3, 0.7], &[0.3, 0.7]) - 1.0).abs() < 1e-12);
+/// // Covariance decays with distance.
+/// assert!(k.eval(&[0.0, 0.0], &[1.0, 1.0]) < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    family: KernelFamily,
+    signal_variance: f64,
+    lengthscales: Lengthscales,
+}
+
+/// Either one shared lengthscale or one per dimension.
+#[derive(Debug, Clone, PartialEq)]
+enum Lengthscales {
+    Isotropic(f64),
+    Ard(Vec<f64>),
+}
+
+impl Kernel {
+    /// Creates a squared-exponential kernel with an isotropic lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_variance` or `lengthscale` is not strictly positive and finite.
+    pub fn rbf(signal_variance: f64, lengthscale: f64) -> Self {
+        Self::validated(
+            KernelFamily::SquaredExponential,
+            signal_variance,
+            Lengthscales::Isotropic(lengthscale),
+        )
+        .expect("rbf constructor arguments must be positive and finite")
+    }
+
+    /// Creates a Matérn-5/2 kernel with an isotropic lengthscale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_variance` or `lengthscale` is not strictly positive and finite.
+    pub fn matern52(signal_variance: f64, lengthscale: f64) -> Self {
+        Self::validated(
+            KernelFamily::Matern52,
+            signal_variance,
+            Lengthscales::Isotropic(lengthscale),
+        )
+        .expect("matern52 constructor arguments must be positive and finite")
+    }
+
+    /// Creates a kernel with per-dimension (ARD) lengthscales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidHyperparameter`] if any hyperparameter is non-positive or
+    /// non-finite, or [`GpError::InvalidData`] if `lengthscales` is empty.
+    pub fn ard(family: KernelFamily, signal_variance: f64, lengthscales: Vec<f64>) -> Result<Self> {
+        if lengthscales.is_empty() {
+            return Err(GpError::InvalidData {
+                reason: "ARD kernel requires at least one lengthscale".into(),
+            });
+        }
+        Self::validated(family, signal_variance, Lengthscales::Ard(lengthscales))
+    }
+
+    /// Creates an isotropic kernel of the given family, validating the hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidHyperparameter`] if a hyperparameter is non-positive or
+    /// non-finite.
+    pub fn isotropic(family: KernelFamily, signal_variance: f64, lengthscale: f64) -> Result<Self> {
+        Self::validated(family, signal_variance, Lengthscales::Isotropic(lengthscale))
+    }
+
+    fn validated(
+        family: KernelFamily,
+        signal_variance: f64,
+        lengthscales: Lengthscales,
+    ) -> Result<Self> {
+        if !(signal_variance.is_finite() && signal_variance > 0.0) {
+            return Err(GpError::InvalidHyperparameter {
+                name: "signal_variance",
+                value: signal_variance,
+            });
+        }
+        let check = |l: f64| l.is_finite() && l > 0.0;
+        match &lengthscales {
+            Lengthscales::Isotropic(l) => {
+                if !check(*l) {
+                    return Err(GpError::InvalidHyperparameter {
+                        name: "lengthscale",
+                        value: *l,
+                    });
+                }
+            }
+            Lengthscales::Ard(ls) => {
+                for &l in ls {
+                    if !check(l) {
+                        return Err(GpError::InvalidHyperparameter {
+                            name: "lengthscale",
+                            value: l,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Kernel {
+            family,
+            signal_variance,
+            lengthscales,
+        })
+    }
+
+    /// Kernel family.
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// Signal variance σ².
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+
+    /// Lengthscale for dimension `d`.
+    pub fn lengthscale(&self, d: usize) -> f64 {
+        match &self.lengthscales {
+            Lengthscales::Isotropic(l) => *l,
+            Lengthscales::Ard(ls) => ls[d.min(ls.len() - 1)],
+        }
+    }
+
+    /// Returns a copy of this kernel with a different isotropic lengthscale, preserving the
+    /// family and signal variance. Used by the hyperparameter search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidHyperparameter`] if the new value is invalid.
+    pub fn with_lengthscale(&self, lengthscale: f64) -> Result<Self> {
+        Self::validated(
+            self.family,
+            self.signal_variance,
+            Lengthscales::Isotropic(lengthscale),
+        )
+    }
+
+    /// Returns a copy of this kernel with a different signal variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidHyperparameter`] if the new value is invalid.
+    pub fn with_signal_variance(&self, signal_variance: f64) -> Result<Self> {
+        Self::validated(self.family, signal_variance, self.lengthscales.clone())
+    }
+
+    /// Scaled squared distance `Σ ((x_d - y_d) / ℓ_d)²`.
+    fn scaled_sq_dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "kernel inputs must share dimension");
+        match &self.lengthscales {
+            Lengthscales::Isotropic(l) => vector::squared_distance(x, y) / (l * l),
+            Lengthscales::Ard(ls) => x
+                .iter()
+                .zip(y)
+                .zip(ls)
+                .map(|((a, b), l)| {
+                    let d = (a - b) / l;
+                    d * d
+                })
+                .sum(),
+        }
+    }
+
+    /// Evaluates the covariance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have different dimensions.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let r2 = self.scaled_sq_dist(x, y);
+        match self.family {
+            KernelFamily::SquaredExponential => self.signal_variance * (-0.5 * r2).exp(),
+            KernelFamily::Matern52 => {
+                let r = r2.sqrt();
+                let sqrt5_r = 5.0f64.sqrt() * r;
+                self.signal_variance * (1.0 + sqrt5_r + 5.0 * r2 / 3.0) * (-sqrt5_r).exp()
+            }
+        }
+    }
+
+    /// Builds the Gram matrix `K[i][j] = k(xs[i], xs[j])`.
+    pub fn gram(&self, xs: &[Vec<f64>]) -> linalg::Matrix {
+        linalg::Matrix::from_fn(xs.len(), xs.len(), |i, j| self.eval(&xs[i], &xs[j]))
+    }
+
+    /// Builds the cross-covariance vector between a query point and the training inputs.
+    pub fn cross(&self, x: &[f64], xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|xi| self.eval(x, xi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_properties() {
+        let k = Kernel::rbf(2.0, 1.0);
+        assert_eq!(k.family(), KernelFamily::SquaredExponential);
+        assert!((k.eval(&[0.0], &[0.0]) - 2.0).abs() < 1e-12);
+        // Symmetry.
+        assert_eq!(k.eval(&[0.0], &[1.0]), k.eval(&[1.0], &[0.0]));
+        // Monotone decay with distance.
+        assert!(k.eval(&[0.0], &[0.5]) > k.eval(&[0.0], &[1.5]));
+        // Known value: exp(-0.5) at unit distance with unit lengthscale.
+        assert!((k.eval(&[0.0], &[1.0]) / 2.0 - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matern_properties() {
+        let k = Kernel::matern52(1.0, 2.0);
+        assert_eq!(k.family(), KernelFamily::Matern52);
+        assert!((k.eval(&[1.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(k.eval(&[0.0], &[1.0]) > k.eval(&[0.0], &[3.0]));
+        assert!(k.eval(&[0.0], &[10.0]) < 0.05);
+    }
+
+    #[test]
+    fn matern_is_rougher_than_rbf_at_long_range() {
+        // At several lengthscales of separation the Matérn kernel retains more covariance
+        // than the RBF (heavier tail).
+        let rbf = Kernel::rbf(1.0, 1.0);
+        let mat = Kernel::matern52(1.0, 1.0);
+        assert!(mat.eval(&[0.0], &[3.0]) > rbf.eval(&[0.0], &[3.0]));
+    }
+
+    #[test]
+    fn ard_lengthscales_weight_dimensions() {
+        let k = Kernel::ard(KernelFamily::SquaredExponential, 1.0, vec![0.1, 10.0]).unwrap();
+        // Distance along the short-lengthscale dimension kills covariance...
+        assert!(k.eval(&[0.0, 0.0], &[0.5, 0.0]) < 0.01);
+        // ...while the same distance along the long-lengthscale dimension barely matters.
+        assert!(k.eval(&[0.0, 0.0], &[0.0, 0.5]) > 0.99);
+        assert_eq!(k.lengthscale(0), 0.1);
+        assert_eq!(k.lengthscale(1), 10.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Kernel::isotropic(KernelFamily::SquaredExponential, -1.0, 1.0).is_err());
+        assert!(Kernel::isotropic(KernelFamily::SquaredExponential, 1.0, 0.0).is_err());
+        assert!(Kernel::isotropic(KernelFamily::Matern52, 1.0, f64::NAN).is_err());
+        assert!(Kernel::ard(KernelFamily::Matern52, 1.0, vec![]).is_err());
+        assert!(Kernel::ard(KernelFamily::Matern52, 1.0, vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn with_methods_replace_hyperparameters() {
+        let k = Kernel::rbf(1.0, 1.0);
+        let k2 = k.with_lengthscale(2.0).unwrap();
+        assert_eq!(k2.lengthscale(0), 2.0);
+        let k3 = k.with_signal_variance(4.0).unwrap();
+        assert_eq!(k3.signal_variance(), 4.0);
+        assert!(k.with_lengthscale(-1.0).is_err());
+        assert!(k.with_signal_variance(0.0).is_err());
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_signal_diagonal() {
+        let k = Kernel::rbf(1.5, 0.7);
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.5], vec![-0.5, 2.0]];
+        let g = k.gram(&xs);
+        assert!(g.is_symmetric(1e-12));
+        for i in 0..3 {
+            assert!((g[(i, i)] - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_covariance_matches_elementwise_eval() {
+        let k = Kernel::matern52(1.0, 1.0);
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let c = k.cross(&[0.5], &xs);
+        for (i, xi) in xs.iter().enumerate() {
+            assert_eq!(c[i], k.eval(&[0.5], xi));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn eval_rejects_dimension_mismatch() {
+        Kernel::rbf(1.0, 1.0).eval(&[0.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Random Fourier feature (RFF) approximation and posterior function sampling.
+//!
+//! PaRMIS needs to draw *entire functions* from each objective's GP posterior so that a cheap
+//! multi-objective solver (NSGA-II) can optimize the sampled functions and produce a sampled
+//! Pareto front O*_s (paper §IV-B, step 1, citing Rahimi & Recht 2008). The standard recipe:
+//!
+//! 1. Approximate the stationary kernel with `M` random features
+//!    `φ(x) = √(2σ²/M) · cos(Wx + b)` where the rows of `W` are drawn from the kernel's
+//!    spectral density and `b ~ U[0, 2π)`.
+//! 2. The GP becomes Bayesian linear regression over `φ`; its weight posterior is Gaussian
+//!    with mean `A⁻¹Φᵀy` and covariance `σ_n²A⁻¹` where `A = ΦᵀΦ + σ_n²I`.
+//! 3. A single weight draw `w` yields a deterministic, cheap-to-evaluate sample function
+//!    `f̃(x) = φ(x)ᵀw`.
+
+use crate::kernel::KernelFamily;
+use crate::{GaussianProcess, GpError, Result};
+use linalg::{vector, Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{ChiSquared, Distribution, StandardNormal};
+
+/// Factory for posterior function samples of a fitted [`GaussianProcess`].
+///
+/// # Examples
+///
+/// ```
+/// use gp::{GaussianProcess, RffSampler, kernel::Kernel};
+///
+/// # fn main() -> Result<(), gp::GpError> {
+/// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.4]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x[0].cos()).collect();
+/// let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 1e-4)?;
+/// let sampler = RffSampler::new(&gp, 200, 42)?;
+/// let f = sampler.sample(7)?;
+/// // The sampled function should roughly agree with the posterior mean near the data.
+/// let (mean, _) = gp.predict(&[2.0])?;
+/// assert!((f.eval(&[2.0]) - mean).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RffSampler {
+    /// Random feature frequencies, one row per feature.
+    frequencies: Matrix,
+    /// Random phase offsets, one per feature.
+    phases: Vec<f64>,
+    /// Feature scaling √(2σ²/M).
+    feature_scale: f64,
+    /// Posterior mean of the feature weights.
+    weight_mean: Vec<f64>,
+    /// Cholesky factor of the weight posterior covariance.
+    weight_cov_chol: Cholesky,
+    /// Constant added back to every prediction (training-target mean).
+    offset: f64,
+    /// Input dimensionality.
+    dim: usize,
+}
+
+/// A single deterministic function drawn from the GP posterior.
+#[derive(Debug, Clone)]
+pub struct PosteriorSample {
+    frequencies: Matrix,
+    phases: Vec<f64>,
+    feature_scale: f64,
+    weights: Vec<f64>,
+    offset: f64,
+    dim: usize,
+}
+
+impl RffSampler {
+    /// Builds a sampler for `gp` using `num_features` random Fourier features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidData`] if `num_features == 0` and propagates linear-algebra
+    /// failures while forming the weight posterior.
+    pub fn new(gp: &GaussianProcess, num_features: usize, seed: u64) -> Result<Self> {
+        if num_features == 0 {
+            return Err(GpError::InvalidData {
+                reason: "num_features must be positive".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = gp.dim();
+        let kernel = gp.kernel();
+        let m = num_features;
+
+        // Draw spectral frequencies for the kernel family, scaled by the ARD lengthscales.
+        let mut frequencies = Matrix::zeros(m, dim);
+        for i in 0..m {
+            // Matérn-5/2 spectral density is a multivariate Student-t with ν = 5 degrees of
+            // freedom: w = z / sqrt(u / ν) with z ~ N(0, 1/ℓ²), u ~ χ²(ν).
+            let t_scale = match kernel.family() {
+                KernelFamily::SquaredExponential => 1.0,
+                KernelFamily::Matern52 => {
+                    let chi: ChiSquared<f64> =
+                        ChiSquared::new(5.0).expect("valid degrees of freedom");
+                    let u = chi.sample(&mut rng);
+                    (5.0 / u).sqrt()
+                }
+            };
+            for d in 0..dim {
+                let z: f64 = StandardNormal.sample(&mut rng);
+                frequencies[(i, d)] = t_scale * z / kernel.lengthscale(d);
+            }
+        }
+        let phases: Vec<f64> = (0..m)
+            .map(|_| rng.gen_range(0.0..(2.0 * std::f64::consts::PI)))
+            .collect();
+        let feature_scale = (2.0 * kernel.signal_variance() / m as f64).sqrt();
+
+        // Feature matrix over the training inputs.
+        let xs = gp.training_inputs();
+        let n = xs.len();
+        let phi = Matrix::from_fn(n, m, |i, j| {
+            feature(&frequencies, &phases, feature_scale, j, &xs[i])
+        });
+
+        // Weight posterior: A = ΦᵀΦ + σ_n² I, mean = A⁻¹ Φᵀ y_c, cov = σ_n² A⁻¹.
+        let noise = gp.noise_variance().max(1e-8);
+        let phi_t = phi.transpose();
+        let mut a = phi_t.mat_mul(&phi)?;
+        a.add_diagonal(noise);
+        let chol_a = Cholesky::new_with_jitter(&a, 1e-10, 10)?;
+
+        let y_centred: Vec<f64> = gp
+            .training_targets()
+            .iter()
+            .map(|y| y - gp.target_mean())
+            .collect();
+        let phi_t_y = phi_t.mat_vec(&y_centred)?;
+        let weight_mean = chol_a.solve_vec(&phi_t_y)?;
+
+        // Covariance σ_n² A⁻¹; factor it for sampling.
+        let a_inv = chol_a.inverse()?;
+        let cov = a_inv.scale(noise);
+        let weight_cov_chol = Cholesky::new_with_jitter(&cov, 1e-12, 12)?;
+
+        Ok(RffSampler {
+            frequencies,
+            phases,
+            feature_scale,
+            weight_mean,
+            weight_cov_chol,
+            offset: gp.target_mean(),
+            dim,
+        })
+    }
+
+    /// Number of random features in use.
+    pub fn num_features(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Input dimensionality of sampled functions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draws one posterior function sample. Different seeds give independent samples;
+    /// the same seed reproduces the same function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (which cannot occur for a well-formed sampler).
+    pub fn sample(&self, seed: u64) -> Result<PosteriorSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = self.num_features();
+        let z: Vec<f64> = (0..m).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let correlated = self.weight_cov_chol.factor_mul_vec(&z)?;
+        let weights = vector::add(&self.weight_mean, &correlated);
+        Ok(PosteriorSample {
+            frequencies: self.frequencies.clone(),
+            phases: self.phases.clone(),
+            feature_scale: self.feature_scale,
+            weights,
+            offset: self.offset,
+            dim: self.dim,
+        })
+    }
+
+    /// Evaluates the posterior *mean* of the RFF approximation at `x` (useful for testing the
+    /// fidelity of the approximation against the exact GP).
+    pub fn approximate_mean(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let m = self.num_features();
+        let mut acc = 0.0;
+        for j in 0..m {
+            acc += feature(&self.frequencies, &self.phases, self.feature_scale, j, x)
+                * self.weight_mean[j];
+        }
+        acc + self.offset
+    }
+}
+
+impl PosteriorSample {
+    /// Evaluates the sampled function at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let m = self.weights.len();
+        let mut acc = 0.0;
+        for j in 0..m {
+            acc += feature(&self.frequencies, &self.phases, self.feature_scale, j, x)
+                * self.weights[j];
+        }
+        acc + self.offset
+    }
+
+    /// Input dimensionality of the sample.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Evaluates the `j`-th random feature at `x`.
+fn feature(frequencies: &Matrix, phases: &[f64], scale: f64, j: usize, x: &[f64]) -> f64 {
+    let row = frequencies.row(j);
+    scale * (vector::dot(row, x) + phases[j]).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+
+    fn fitted_gp() -> GaussianProcess {
+        let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 * 0.3]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() + 2.0).collect();
+        GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 1e-4).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_features() {
+        let gp = fitted_gp();
+        assert!(RffSampler::new(&gp, 0, 1).is_err());
+    }
+
+    #[test]
+    fn approximate_mean_tracks_exact_posterior_mean() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 400, 3).unwrap();
+        for q in [0.5, 1.7, 3.3] {
+            let (exact, _) = gp.predict(&[q]).unwrap();
+            let approx = sampler.approximate_mean(&[q]);
+            assert!(
+                (exact - approx).abs() < 0.25,
+                "at {q}: exact {exact} vs rff {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_near_data_and_spread_far_away() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 300, 11).unwrap();
+        let samples: Vec<_> = (0..12).map(|s| sampler.sample(s).unwrap()).collect();
+
+        // Near training data all samples should agree closely with the posterior mean.
+        let (mean_near, _) = gp.predict(&[1.5]).unwrap();
+        let spread_near = spread(&samples, &[1.5]);
+        let centre_near = centre(&samples, &[1.5]);
+        assert!((centre_near - mean_near).abs() < 0.3);
+        assert!(spread_near < 0.5);
+
+        // Far outside the data the sample spread should be noticeably larger.
+        let spread_far = spread(&samples, &[30.0]);
+        assert!(
+            spread_far > spread_near,
+            "far spread {spread_far} should exceed near spread {spread_near}"
+        );
+    }
+
+    fn spread(samples: &[PosteriorSample], x: &[f64]) -> f64 {
+        let vals: Vec<f64> = samples.iter().map(|s| s.eval(x)).collect();
+        vector::max(&vals) - vector::min(&vals)
+    }
+
+    fn centre(samples: &[PosteriorSample], x: &[f64]) -> f64 {
+        let vals: Vec<f64> = samples.iter().map(|s| s.eval(x)).collect();
+        vector::mean(&vals)
+    }
+
+    #[test]
+    fn same_seed_reproduces_sample() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 100, 5).unwrap();
+        let a = sampler.sample(99).unwrap();
+        let b = sampler.sample(99).unwrap();
+        for q in [0.0, 1.0, 2.0] {
+            assert_eq!(a.eval(&[q]), b.eval(&[q]));
+        }
+        let c = sampler.sample(100).unwrap();
+        assert_ne!(a.eval(&[1.0]), c.eval(&[1.0]));
+    }
+
+    #[test]
+    fn matern_kernel_sampling_works() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x[0]).collect();
+        let gp = GaussianProcess::fit(xs, ys, Kernel::matern52(1.0, 1.5), 1e-4).unwrap();
+        let sampler = RffSampler::new(&gp, 300, 17).unwrap();
+        let f = sampler.sample(0).unwrap();
+        let (mean, _) = gp.predict(&[2.0]).unwrap();
+        assert!((f.eval(&[2.0]) - mean).abs() < 0.6);
+        assert_eq!(f.dim(), 1);
+        assert_eq!(sampler.dim(), 1);
+        assert_eq!(sampler.num_features(), 300);
+    }
+
+    #[test]
+    fn multi_dimensional_sampling() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let ys = vec![0.0, 1.0, 1.0, 2.0, 1.0];
+        let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 1e-4).unwrap();
+        let sampler = RffSampler::new(&gp, 200, 23).unwrap();
+        let f = sampler.sample(1).unwrap();
+        let v = f.eval(&[0.5, 0.5]);
+        assert!(v.is_finite());
+        assert!((v - 1.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn eval_rejects_wrong_dimension() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 50, 1).unwrap();
+        let f = sampler.sample(0).unwrap();
+        f.eval(&[1.0, 2.0]);
+    }
+}

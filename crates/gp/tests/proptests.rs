@@ -1,0 +1,89 @@
+//! Property-based tests for the Gaussian-process substrate.
+
+use gp::kernel::{Kernel, KernelFamily};
+use gp::GaussianProcess;
+use proptest::prelude::*;
+
+fn xs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    // Distinct-ish 1-D inputs in [0, 10).
+    prop::collection::btree_set(0u32..1000, 3..12)
+        .prop_map(|set| set.into_iter().map(|v| v as f64 * 0.01).collect())
+}
+
+fn hyper_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.1f64..3.0, 0.2f64..4.0, 1e-6f64..1e-2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kernel_is_symmetric_and_bounded(
+        (ls, sv, _) in hyper_strategy(),
+        a in prop::collection::vec(-5.0f64..5.0, 3),
+        b in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        for family in [KernelFamily::SquaredExponential, KernelFamily::Matern52] {
+            let k = Kernel::isotropic(family, sv, ls).unwrap();
+            let kab = k.eval(&a, &b);
+            let kba = k.eval(&b, &a);
+            prop_assert!((kab - kba).abs() < 1e-12);
+            prop_assert!(kab <= sv + 1e-12);
+            prop_assert!(kab >= 0.0);
+            prop_assert!((k.eval(&a, &a) - sv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_positive_semidefinite(
+        xs in xs_strategy(),
+        (ls, sv, _) in hyper_strategy(),
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let k = Kernel::rbf(sv, ls);
+        let mut gram = k.gram(&pts);
+        // Adding a small jitter must make the Gram matrix positive definite (it is PSD).
+        gram.add_diagonal(1e-8);
+        prop_assert!(linalg::Cholesky::new_with_jitter(&gram, 1e-8, 10).is_ok());
+    }
+
+    #[test]
+    fn posterior_variance_is_nonnegative_and_bounded_by_prior(
+        xs in xs_strategy(),
+        (ls, sv, noise) in hyper_strategy(),
+        query in 0.0f64..10.0,
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).sin()).collect();
+        let gp = GaussianProcess::fit(pts, ys, Kernel::rbf(sv, ls), noise).unwrap();
+        let (_, var) = gp.predict(&[query]).unwrap();
+        prop_assert!(var >= 0.0);
+        prop_assert!(var <= sv + 1e-6, "posterior variance {} exceeds prior {}", var, sv);
+    }
+
+    #[test]
+    fn prediction_at_training_point_is_close_with_small_noise(
+        xs in xs_strategy(),
+        (ls, sv, _) in hyper_strategy(),
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.5).cos()).collect();
+        let gp = GaussianProcess::fit(pts.clone(), ys.clone(), Kernel::rbf(sv, ls), 1e-8).unwrap();
+        // Interpolation property: residual at training points is tiny relative to signal.
+        for (x, y) in pts.iter().zip(&ys) {
+            let (mean, _) = gp.predict(x).unwrap();
+            prop_assert!((mean - y).abs() < 0.05, "residual {} too large", (mean - y).abs());
+        }
+    }
+
+    #[test]
+    fn log_marginal_likelihood_is_finite(
+        xs in xs_strategy(),
+        (ls, sv, noise) in hyper_strategy(),
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.3 + 1.0).collect();
+        let gp = GaussianProcess::fit(pts, ys, Kernel::matern52(sv, ls), noise).unwrap();
+        prop_assert!(gp.log_marginal_likelihood().is_finite());
+    }
+}

@@ -1,0 +1,323 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite matrix `A = L Lᵀ`.
+///
+/// The factorization is the workhorse of Gaussian-process regression: it provides linear
+/// solves against the kernel matrix, the log-determinant needed by the marginal likelihood,
+/// and correlated Gaussian sampling (`L z` for standard-normal `z`).
+///
+/// # Examples
+///
+/// ```
+/// use linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// // Reconstruct A = L Lᵀ
+/// let l = chol.factor();
+/// let rebuilt = l.mat_mul(&l.transpose())?;
+/// assert!(rebuilt.max_abs_diff(&a)? < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a`, retrying with a growing diagonal jitter if the matrix is numerically
+    /// indefinite. This is the standard defence for nearly-singular GP kernel matrices.
+    ///
+    /// Starts at `initial_jitter` and multiplies by 10 for up to `max_attempts` attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`LinalgError::NotPositiveDefinite`] if every attempt fails, or
+    /// [`LinalgError::NotSquare`] / [`LinalgError::Empty`] for invalid input.
+    pub fn new_with_jitter(a: &Matrix, initial_jitter: f64, max_attempts: usize) -> Result<Self> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_attempts {
+            let mut jittered = a.clone();
+            jittered.add_diagonal(jitter);
+            match Cholesky::new(&jittered) {
+                Ok(c) => return Ok(c),
+                Err(e @ LinalgError::NotPositiveDefinite { .. }) => {
+                    last_err = e;
+                    jitter *= 10.0;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension `n` of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `y.len() != n`.
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", y.len()),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves the full system `A x = b` where `A = L Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("matrix with {n} rows"),
+                found: format!("matrix with {} rows", b.rows()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Log-determinant of `A`, computed as `2 Σ log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Computes the inverse of `A` explicitly. Prefer the solve methods when possible; the
+    /// explicit inverse is only used by tests and diagnostic code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (which cannot occur for a well-formed factor).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Multiplies the factor by a vector: returns `L v`, the standard way to turn iid
+    /// standard-normal draws into draws from `N(0, A)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != n`.
+    pub fn factor_mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        self.l.mat_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[6.0, 2.0, 1.0],
+            &[2.0, 5.0, 2.0],
+            &[1.0, 2.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factorization_reconstructs_input() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let rebuilt = l.mat_mul(&l.transpose()).unwrap();
+        assert!(rebuilt.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct_substitution() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 3.0];
+        let x = chol.solve_vec(&b).unwrap();
+        let ax = a.mat_vec(&x).unwrap();
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_gives_inverse() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let inv = chol.inverse().unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn log_determinant_matches_known_value() {
+        // det of diag(2, 3, 4) is 24.
+        let a = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[0.0, 0.0, 4.0]]).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.log_determinant() - 24.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd_and_non_square() {
+        let not_pd = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&not_pd),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let not_square = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&not_square),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_recovers_semi_definite_matrix() {
+        // Rank-deficient matrix (outer product), PSD but not PD.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+        let chol = Cholesky::new_with_jitter(&a, 1e-10, 12).unwrap();
+        assert_eq!(chol.dim(), 2);
+        // The jittered solve should still roughly satisfy A x ≈ b for b in the column space.
+        let x = chol.solve_vec(&[2.0, 2.0]).unwrap();
+        let ax = a.mat_vec(&x).unwrap();
+        assert!((ax[0] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn jitter_passes_through_other_errors() {
+        let not_square = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new_with_jitter(&not_square, 1e-9, 5),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        assert!(chol.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(chol.solve_lower(&[1.0]).is_err());
+        assert!(chol.solve_upper(&[1.0]).is_err());
+        assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn factor_mul_vec_matches_manual_product() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let v = vec![1.0, 2.0, 3.0];
+        let lv = chol.factor_mul_vec(&v).unwrap();
+        let manual = chol.factor().mat_vec(&v).unwrap();
+        assert_eq!(lv, manual);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all fallible operations in the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// The fields record the shapes that were expected and found, formatted as
+    /// `rows x cols` strings so the error message stays readable for vectors too.
+    DimensionMismatch {
+        /// Human-readable description of the shape that the operation required.
+        expected: String,
+        /// Human-readable description of the shape that was provided.
+        found: String,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed because the matrix is not positive definite
+    /// (or is numerically indefinite even after jitter).
+    NotPositiveDefinite {
+        /// Index of the pivot where the factorization broke down.
+        pivot: usize,
+    },
+    /// An empty matrix or vector was supplied where data is required.
+    Empty,
+    /// Row data supplied to a constructor was ragged (rows of different lengths).
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the first row whose length differs.
+        row: usize,
+        /// Length of that row.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix or vector"),
+            LinalgError::RaggedRows { first, row, len } => write!(
+                f,
+                "ragged row data: row 0 has length {first} but row {row} has length {len}"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            expected: "3x3".into(),
+            found: "2x3".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3x3"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.starts_with("dimension mismatch"));
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2x5"));
+
+        let e = LinalgError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+
+        let e = LinalgError::RaggedRows {
+            first: 3,
+            row: 2,
+            len: 1,
+        };
+        assert!(e.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

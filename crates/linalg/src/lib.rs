@@ -1,0 +1,42 @@
+//! Small dense linear-algebra kernels used by the PaRMIS reproduction.
+//!
+//! The Gaussian-process substrate (`gp` crate) needs dense symmetric matrices, Cholesky
+//! factorization, triangular solves and a handful of vector helpers. Rather than pulling a
+//! heavyweight linear-algebra dependency, this crate implements exactly what is required with
+//! a small, well-tested surface:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual arithmetic.
+//! * [`Cholesky`] — lower-triangular factorization of symmetric positive-definite matrices,
+//!   with solves, log-determinant and sampling support.
+//! * [`vector`] — free functions over `&[f64]` slices (dot products, norms, axpy, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), linalg::LinalgError> {
+//! // Solve A x = b for a small SPD system.
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve_vec(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! assert!((1.0 * x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

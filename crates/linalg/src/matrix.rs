@@ -1,0 +1,503 @@
+//! Row-major dense matrix with the operations needed by Gaussian-process regression.
+
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense, row-major `f64` matrix.
+///
+/// The type is intentionally small: it supports construction, element access, the arithmetic
+/// needed for kernel matrices (add, scale, matrix-vector and matrix-matrix products,
+/// transpose) and a few structural helpers. Factorizations live in [`crate::Cholesky`].
+///
+/// # Examples
+///
+/// ```
+/// use linalg::Matrix;
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let v = a.mat_vec(&[1.0, 1.0])?;
+/// assert_eq!(v, vec![3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let z = linalg::Matrix::zeros(2, 3);
+    /// assert_eq!(z.shape(), (2, 3));
+    /// assert_eq!(z[(1, 2)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let i = linalg::Matrix::identity(3);
+    /// assert_eq!(i[(0, 0)], 1.0);
+    /// assert_eq!(i[(0, 1)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols` and
+    /// [`LinalgError::Empty`] if either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{} elements", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty row set and [`LinalgError::RaggedRows`]
+    /// if the rows do not all share the same length.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::RaggedRows {
+                    first: cols,
+                    row: i,
+                    len: r.len(),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    ///
+    /// This is the main entry point for building kernel (Gram) matrices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = linalg::Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+    /// assert_eq!(m[(1, 1)], 2.0);
+    /// ```
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns a view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Element-wise sum of two matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * scalar).collect(),
+        }
+    }
+
+    /// Adds `value` to every diagonal entry in place (jitter / nugget helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, value: f64) {
+        assert!(self.is_square(), "add_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            let idx = i * self.cols + i;
+            self.data[idx] += value;
+        }
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols`.
+    pub fn mat_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("vector of length {}", v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            out[i] = crate::vector::dot(row, v);
+        }
+        Ok(out)
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols != other.rows`.
+    pub fn mat_mul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("left cols == right rows ({})", self.cols),
+                found: format!("right has {} rows", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns the maximum absolute difference between two matrices of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Returns `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.shape(), (3, 2));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(0, 2, vec![]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::RaggedRows { row: 1, .. }));
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::identity(2);
+        let s = a.add(&b).unwrap();
+        assert_eq!(s[(0, 0)], 2.0);
+        assert_eq!(s[(0, 1)], 2.0);
+        let d = s.sub(&b).unwrap();
+        assert_eq!(d, a);
+        let sc = a.scale(2.0);
+        assert_eq!(sc[(1, 1)], 8.0);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn mat_vec_and_mat_mul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.mat_vec(&[1.0, 0.0]).unwrap(), vec![1.0, 3.0]);
+        assert!(a.mat_vec(&[1.0]).is_err());
+
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let c = a.mat_mul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+        assert!(a.mat_mul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn mat_mul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let i = Matrix::identity(4);
+        assert_eq!(a.mat_mul(&i).unwrap(), a);
+        assert_eq!(i.mat_mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn add_diagonal_and_symmetry() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(a.is_symmetric(0.0));
+        a.add_diagonal(0.5);
+        assert_eq!(a[(0, 0)], 1.5);
+        assert_eq!(a[(1, 1)], 1.5);
+        assert_eq!(a[(0, 1)], 2.0);
+
+        let ns = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap();
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        let b = Matrix::zeros(2, 2);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 4.0);
+        assert!(a.max_abs_diff(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_index_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn display_contains_all_entries() {
+        let m = Matrix::from_rows(&[&[1.0, 2.5]]).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("2.5000"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! These helpers are deliberately panic-on-mismatch: callers inside this workspace always
+//! control both operands, and a silent wrong-length dot product would be a far worse bug than
+//! a loud panic. Each function documents its panic condition.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(linalg::vector::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Returns `a` scaled by `alpha` as a new vector.
+pub fn scale(alpha: f64, a: &[f64]) -> Vec<f64> {
+    a.iter().map(|x| alpha * x).collect()
+}
+
+/// Arithmetic mean of a slice; returns 0.0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Sample variance (divides by `n`); returns 0.0 for slices shorter than 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Standard deviation derived from [`variance`].
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Maximum value of a slice; returns negative infinity for an empty slice.
+pub fn max(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum value of a slice; returns positive infinity for an empty slice.
+pub fn min(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Index of the maximum element, or `None` for an empty slice.
+///
+/// Ties resolve to the first maximal index; NaN entries are never selected unless all
+/// entries are NaN, in which case index 0 is returned.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in a.iter().enumerate().skip(1) {
+        if *v > a[best] || a[best].is_nan() {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element, or `None` for an empty slice.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in a.iter().enumerate().skip(1) {
+        if *v < a[best] || a[best].is_nan() {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Clamps every element of `a` into `[lo, hi]`, returning a new vector.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn clamp(a: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    assert!(lo <= hi, "clamp requires lo <= hi");
+    a.iter().map(|x| x.clamp(lo, hi)).collect()
+}
+
+/// Linearly interpolates between `a` and `b` with weight `t` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_distance() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_add_sub_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        assert_eq!(scale(0.5, &[2.0, 4.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn statistics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_and_arg() {
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(min(&[1.0, 5.0, 3.0]), 1.0);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+        // Ties prefer the first index.
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        // NaN entries are skipped over.
+        assert_eq!(argmax(&[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn clamp_and_lerp() {
+        assert_eq!(clamp(&[-1.0, 0.5, 2.0], 0.0, 1.0), vec![0.0, 0.5, 1.0]);
+        assert_eq!(lerp(&[0.0, 10.0], &[10.0, 20.0], 0.5), vec![5.0, 15.0]);
+        assert_eq!(lerp(&[0.0], &[10.0], 0.0), vec![0.0]);
+        assert_eq!(lerp(&[0.0], &[10.0], 1.0), vec![10.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clamp_invalid_bounds_panics() {
+        clamp(&[1.0], 2.0, 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Pareto-dominance relations for minimization problems.
+//!
+//! Following the paper's definition (§II): a point `a` Pareto-dominates `b` when
+//! `a_i <= b_i` for all objectives `i` and `a_j < b_j` for at least one `j`.
+
+/// Outcome of comparing two objective vectors under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dominance {
+    /// The first vector dominates the second.
+    Dominates,
+    /// The second vector dominates the first.
+    DominatedBy,
+    /// Neither vector dominates the other (they are incomparable or equal).
+    Indifferent,
+}
+
+/// Returns `true` if `a` Pareto-dominates `b` (minimization).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// assert!(moo::dominates(&[1.0, 2.0], &[2.0, 3.0]));
+/// assert!(!moo::dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal points do not dominate
+/// assert!(!moo::dominates(&[1.0, 4.0], &[2.0, 3.0])); // trade-off: incomparable
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert!(!a.is_empty(), "objective vectors must be non-empty");
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Compares two objective vectors and returns their [`Dominance`] relation.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or are empty.
+pub fn compare(a: &[f64], b: &[f64]) -> Dominance {
+    if dominates(a, b) {
+        Dominance::Dominates
+    } else if dominates(b, a) {
+        Dominance::DominatedBy
+    } else {
+        Dominance::Indifferent
+    }
+}
+
+/// Returns the indices of the non-dominated points in `points`.
+///
+/// Duplicated points are all retained (none of them dominates the others). The result is
+/// sorted in ascending index order.
+///
+/// # Panics
+///
+/// Panics if the points do not all share the same dimension.
+///
+/// # Examples
+///
+/// ```
+/// let pts = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+/// assert_eq!(moo::non_dominated_indices(&pts), vec![0, 1]);
+/// ```
+pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut result = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result
+}
+
+/// Filters `points` down to its non-dominated subset, preserving order.
+pub fn non_dominated(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    non_dominated_indices(points)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// Fast non-dominated sorting (Deb et al., NSGA-II): partitions `points` into fronts.
+///
+/// Front 0 contains the non-dominated points, front 1 the points only dominated by front 0,
+/// and so on. Returns the front index of every point.
+///
+/// # Panics
+///
+/// Panics if the points do not all share the same dimension.
+pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Vec<usize> {
+    let n = points.len();
+    let mut domination_count = vec![0usize; n];
+    let mut dominated_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rank = vec![0usize; n];
+    let mut current_front: Vec<usize> = Vec::new();
+
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&points[i], &points[j]) {
+                dominated_sets[i].push(j);
+            } else if dominates(&points[j], &points[i]) {
+                domination_count[i] += 1;
+            }
+        }
+        if domination_count[i] == 0 {
+            rank[i] = 0;
+            current_front.push(i);
+        }
+    }
+
+    let mut front_idx = 0;
+    while !current_front.is_empty() {
+        let mut next_front = Vec::new();
+        for &i in &current_front {
+            for &j in &dominated_sets[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    rank[j] = front_idx + 1;
+                    next_front.push(j);
+                }
+            }
+        }
+        front_idx += 1;
+        current_front = next_front;
+    }
+    rank
+}
+
+/// Crowding distance of every point **within a single front** (Deb et al.).
+///
+/// Boundary points of every objective get infinite distance; interior points get the sum of
+/// normalized neighbour gaps. Larger values indicate less crowded points.
+///
+/// # Panics
+///
+/// Panics if the points do not all share the same dimension.
+pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = points[0].len();
+    let mut distance = vec![0.0; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    for obj in 0..k {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            points[a][obj]
+                .partial_cmp(&points[b][obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let min_v = points[order[0]][obj];
+        let max_v = points[order[n - 1]][obj];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let span = max_v - min_v;
+        if span <= f64::EPSILON {
+            continue;
+        }
+        for w in 1..(n - 1) {
+            let prev = points[order[w - 1]][obj];
+            let next = points[order[w + 1]][obj];
+            distance[order[w]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_basic_cases() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn compare_is_antisymmetric() {
+        assert_eq!(compare(&[1.0, 1.0], &[2.0, 2.0]), Dominance::Dominates);
+        assert_eq!(compare(&[2.0, 2.0], &[1.0, 1.0]), Dominance::DominatedBy);
+        assert_eq!(compare(&[1.0, 3.0], &[3.0, 1.0]), Dominance::Indifferent);
+        assert_eq!(compare(&[1.0, 1.0], &[1.0, 1.0]), Dominance::Indifferent);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dominates_rejects_length_mismatch() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn non_dominated_filters_interior_points() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 4.0], // dominated by (2, 3)
+            vec![4.0, 1.0],
+            vec![2.0, 3.0], // duplicate of index 1: kept
+        ];
+        let idx = non_dominated_indices(&pts);
+        assert_eq!(idx, vec![0, 1, 3, 4]);
+        assert_eq!(non_dominated(&pts).len(), 4);
+    }
+
+    #[test]
+    fn non_dominated_single_point() {
+        let pts = vec![vec![1.0, 2.0, 3.0]];
+        assert_eq!(non_dominated_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn fast_sort_ranks_layered_fronts() {
+        let pts = vec![
+            vec![1.0, 1.0], // front 0 (dominates everything)
+            vec![2.0, 2.0], // front 1
+            vec![3.0, 3.0], // front 2
+            vec![1.5, 2.5], // front 1 (dominated only by front 0)
+        ];
+        let ranks = fast_non_dominated_sort(&pts);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[1], 1);
+        assert_eq!(ranks[2], 2);
+        assert_eq!(ranks[3], 1);
+    }
+
+    #[test]
+    fn fast_sort_front0_matches_non_dominated() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 4.0],
+            vec![4.0, 1.0],
+        ];
+        let ranks = fast_non_dominated_sort(&pts);
+        let front0: Vec<usize> = ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(front0, non_dominated_indices(&pts));
+    }
+
+    #[test]
+    fn crowding_distance_boundaries_are_infinite() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![4.0, 1.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_distance_small_fronts_are_infinite() {
+        assert!(crowding_distance(&[vec![1.0, 2.0]]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[vec![1.0, 2.0], vec![2.0, 1.0]])
+            .iter()
+            .all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowding_distance_identical_objective_column() {
+        // Degenerate span in one objective must not produce NaN.
+        let pts = vec![vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]];
+        let d = crowding_distance(&pts);
+        assert!(d.iter().all(|v| !v.is_nan()));
+    }
+}

@@ -1,0 +1,442 @@
+//! NSGA-II (Deb et al., 2002) for continuous box-constrained multi-objective problems.
+//!
+//! PaRMIS uses NSGA-II to solve the *cheap* multi-objective problem over functions sampled
+//! from the GP posteriors (paper §IV-B step 1); the RL/IL baselines and ablations reuse it as
+//! a generic Pareto solver. The implementation is the textbook algorithm: fast non-dominated
+//! sorting, crowding distance, binary tournament selection, simulated binary crossover (SBX)
+//! and polynomial mutation.
+
+use crate::dominance::{crowding_distance, fast_non_dominated_sort, non_dominated_indices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an NSGA-II run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size (kept constant across generations). Must be even and >= 4.
+    pub population_size: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability of applying SBX crossover to a mating pair.
+    pub crossover_probability: f64,
+    /// SBX distribution index (larger values produce children closer to the parents).
+    pub crossover_eta: f64,
+    /// Per-gene probability of polynomial mutation. `None` selects `1 / dimension`.
+    pub mutation_probability: Option<f64>,
+    /// Polynomial-mutation distribution index.
+    pub mutation_eta: f64,
+    /// RNG seed so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population_size: 80,
+            generations: 60,
+            crossover_probability: 0.9,
+            crossover_eta: 15.0,
+            mutation_probability: None,
+            mutation_eta: 20.0,
+            seed: 0x5eed_5eed,
+        }
+    }
+}
+
+/// A solved population: decision vectors and their objective values, plus the Pareto subset.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Decision-space points of the final population.
+    pub decisions: Vec<Vec<f64>>,
+    /// Objective vectors corresponding to [`Self::decisions`].
+    pub objectives: Vec<Vec<f64>>,
+}
+
+impl Population {
+    /// Returns the indices of the non-dominated members.
+    pub fn pareto_indices(&self) -> Vec<usize> {
+        non_dominated_indices(&self.objectives)
+    }
+
+    /// Returns the Pareto-optimal `(decision, objectives)` pairs of the population.
+    pub fn pareto_set(&self) -> Vec<(Vec<f64>, Vec<f64>)> {
+        self.pareto_indices()
+            .into_iter()
+            .map(|i| (self.decisions[i].clone(), self.objectives[i].clone()))
+            .collect()
+    }
+
+    /// Returns only the Pareto-optimal objective vectors.
+    pub fn pareto_front(&self) -> Vec<Vec<f64>> {
+        self.pareto_indices()
+            .into_iter()
+            .map(|i| self.objectives[i].clone())
+            .collect()
+    }
+}
+
+/// NSGA-II solver over a box-constrained continuous decision space.
+///
+/// # Examples
+///
+/// ```
+/// use moo::nsga2::{Nsga2, Nsga2Config};
+///
+/// // Minimal bi-objective problem: f1 = x², f2 = (x - 2)² over x ∈ [-4, 4].
+/// let config = Nsga2Config { population_size: 40, generations: 30, ..Default::default() };
+/// let solver = Nsga2::new(vec![-4.0], vec![4.0], config).unwrap();
+/// let pop = solver.run(|x| vec![x[0] * x[0], (x[0] - 2.0) * (x[0] - 2.0)]);
+/// // The Pareto set of this problem is x ∈ [0, 2].
+/// for (x, _) in pop.pareto_set() {
+///     assert!(x[0] > -0.5 && x[0] < 2.5);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nsga2 {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    config: Nsga2Config,
+}
+
+impl Nsga2 {
+    /// Creates a solver for the box `[lower, upper]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error string if the bounds are empty, of mismatched length,
+    /// inverted, or if the configuration is invalid (odd/small population, zero generations,
+    /// probabilities outside `[0, 1]`).
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>, config: Nsga2Config) -> Result<Self, String> {
+        if lower.is_empty() {
+            return Err("decision space must have at least one dimension".into());
+        }
+        if lower.len() != upper.len() {
+            return Err(format!(
+                "bounds length mismatch: {} vs {}",
+                lower.len(),
+                upper.len()
+            ));
+        }
+        if lower.iter().zip(&upper).any(|(l, u)| l >= u) {
+            return Err("every lower bound must be strictly below its upper bound".into());
+        }
+        if config.population_size < 4 || config.population_size % 2 != 0 {
+            return Err("population_size must be an even number >= 4".into());
+        }
+        if config.generations == 0 {
+            return Err("generations must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&config.crossover_probability) {
+            return Err("crossover_probability must lie in [0, 1]".into());
+        }
+        if let Some(p) = config.mutation_probability {
+            if !(0.0..=1.0).contains(&p) {
+                return Err("mutation_probability must lie in [0, 1]".into());
+            }
+        }
+        Ok(Nsga2 {
+            lower,
+            upper,
+            config,
+        })
+    }
+
+    /// Dimension of the decision space.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Runs the evolutionary loop, evaluating objective vectors with `evaluate`.
+    ///
+    /// The objective function must return the same number of objectives for every point; this
+    /// is asserted on the first two evaluations.
+    pub fn run<F: FnMut(&[f64]) -> Vec<f64>>(&self, mut evaluate: F) -> Population {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let dim = self.dim();
+        let pop_size = self.config.population_size;
+        let mutation_p = self
+            .config
+            .mutation_probability
+            .unwrap_or(1.0 / dim as f64);
+
+        let mut decisions: Vec<Vec<f64>> = (0..pop_size)
+            .map(|_| {
+                (0..dim)
+                    .map(|d| rng.gen_range(self.lower[d]..self.upper[d]))
+                    .collect()
+            })
+            .collect();
+        let mut objectives: Vec<Vec<f64>> = decisions.iter().map(|x| evaluate(x)).collect();
+        let n_obj = objectives[0].len();
+        assert!(n_obj > 0, "objective function must return at least one value");
+        assert!(
+            objectives.iter().all(|o| o.len() == n_obj),
+            "objective function returned inconsistent dimensions"
+        );
+
+        for _gen in 0..self.config.generations {
+            // --- selection + variation -> offspring of the same size
+            let ranks = fast_non_dominated_sort(&objectives);
+            let crowding = per_front_crowding(&objectives, &ranks);
+
+            let mut offspring: Vec<Vec<f64>> = Vec::with_capacity(pop_size);
+            while offspring.len() < pop_size {
+                let p1 = tournament(&mut rng, &ranks, &crowding);
+                let p2 = tournament(&mut rng, &ranks, &crowding);
+                let (mut c1, mut c2) = self.crossover(&mut rng, &decisions[p1], &decisions[p2]);
+                self.mutate(&mut rng, &mut c1, mutation_p);
+                self.mutate(&mut rng, &mut c2, mutation_p);
+                offspring.push(c1);
+                if offspring.len() < pop_size {
+                    offspring.push(c2);
+                }
+            }
+            let offspring_obj: Vec<Vec<f64>> = offspring.iter().map(|x| evaluate(x)).collect();
+
+            // --- environmental selection over parents + offspring
+            let mut combined_dec = decisions;
+            combined_dec.extend(offspring);
+            let mut combined_obj = objectives;
+            combined_obj.extend(offspring_obj);
+
+            let ranks = fast_non_dominated_sort(&combined_obj);
+            let crowding = per_front_crowding(&combined_obj, &ranks);
+            let mut order: Vec<usize> = (0..combined_dec.len()).collect();
+            order.sort_by(|&a, &b| {
+                ranks[a].cmp(&ranks[b]).then(
+                    crowding[b]
+                        .partial_cmp(&crowding[a])
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+            order.truncate(pop_size);
+
+            decisions = order.iter().map(|&i| combined_dec[i].clone()).collect();
+            objectives = order.iter().map(|&i| combined_obj[i].clone()).collect();
+        }
+
+        Population {
+            decisions,
+            objectives,
+        }
+    }
+
+    /// Simulated binary crossover (SBX).
+    fn crossover(
+        &self,
+        rng: &mut StdRng,
+        p1: &[f64],
+        p2: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut c1 = p1.to_vec();
+        let mut c2 = p2.to_vec();
+        if rng.gen::<f64>() > self.config.crossover_probability {
+            return (c1, c2);
+        }
+        let eta = self.config.crossover_eta;
+        for d in 0..p1.len() {
+            if rng.gen::<f64>() > 0.5 {
+                continue;
+            }
+            let (x1, x2) = (p1[d].min(p2[d]), p1[d].max(p2[d]));
+            if (x2 - x1).abs() < 1e-14 {
+                continue;
+            }
+            let u: f64 = rng.gen();
+            let beta = if u <= 0.5 {
+                (2.0 * u).powf(1.0 / (eta + 1.0))
+            } else {
+                (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (eta + 1.0))
+            };
+            let v1 = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+            let v2 = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+            c1[d] = v1.clamp(self.lower[d], self.upper[d]);
+            c2[d] = v2.clamp(self.lower[d], self.upper[d]);
+        }
+        (c1, c2)
+    }
+
+    /// Polynomial mutation.
+    fn mutate(&self, rng: &mut StdRng, x: &mut [f64], probability: f64) {
+        let eta = self.config.mutation_eta;
+        for d in 0..x.len() {
+            if rng.gen::<f64>() > probability {
+                continue;
+            }
+            let (lo, hi) = (self.lower[d], self.upper[d]);
+            let span = hi - lo;
+            let u: f64 = rng.gen();
+            let delta = if u < 0.5 {
+                (2.0 * u).powf(1.0 / (eta + 1.0)) - 1.0
+            } else {
+                1.0 - (2.0 * (1.0 - u)).powf(1.0 / (eta + 1.0))
+            };
+            x[d] = (x[d] + delta * span).clamp(lo, hi);
+        }
+    }
+}
+
+/// Crowding distance computed per front over the whole population.
+fn per_front_crowding(objectives: &[Vec<f64>], ranks: &[usize]) -> Vec<f64> {
+    let mut crowding = vec![0.0; objectives.len()];
+    let max_rank = ranks.iter().copied().max().unwrap_or(0);
+    for front in 0..=max_rank {
+        let members: Vec<usize> = ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == front)
+            .map(|(i, _)| i)
+            .collect();
+        let pts: Vec<Vec<f64>> = members.iter().map(|&i| objectives[i].clone()).collect();
+        let d = crowding_distance(&pts);
+        for (idx, &member) in members.iter().enumerate() {
+            crowding[member] = d[idx];
+        }
+    }
+    crowding
+}
+
+/// Binary tournament on (rank, crowding distance).
+fn tournament(rng: &mut StdRng, ranks: &[usize], crowding: &[f64]) -> usize {
+    let n = ranks.len();
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    if ranks[a] < ranks[b] {
+        a
+    } else if ranks[b] < ranks[a] {
+        b
+    } else if crowding[a] >= crowding[b] {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervolume::hypervolume;
+
+    fn small_config(seed: u64) -> Nsga2Config {
+        Nsga2Config {
+            population_size: 40,
+            generations: 40,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// ZDT1-like convex bi-objective benchmark over [0,1]^d.
+    fn zdt1(x: &[f64]) -> Vec<f64> {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        vec![f1, f2]
+    }
+
+    #[test]
+    fn validates_configuration() {
+        assert!(Nsga2::new(vec![], vec![], Nsga2Config::default()).is_err());
+        assert!(Nsga2::new(vec![0.0], vec![1.0, 2.0], Nsga2Config::default()).is_err());
+        assert!(Nsga2::new(vec![1.0], vec![0.0], Nsga2Config::default()).is_err());
+        let bad_pop = Nsga2Config {
+            population_size: 5,
+            ..Default::default()
+        };
+        assert!(Nsga2::new(vec![0.0], vec![1.0], bad_pop).is_err());
+        let bad_gen = Nsga2Config {
+            generations: 0,
+            ..Default::default()
+        };
+        assert!(Nsga2::new(vec![0.0], vec![1.0], bad_gen).is_err());
+        let bad_cx = Nsga2Config {
+            crossover_probability: 1.5,
+            ..Default::default()
+        };
+        assert!(Nsga2::new(vec![0.0], vec![1.0], bad_cx).is_err());
+        let bad_mut = Nsga2Config {
+            mutation_probability: Some(-0.1),
+            ..Default::default()
+        };
+        assert!(Nsga2::new(vec![0.0], vec![1.0], bad_mut).is_err());
+    }
+
+    #[test]
+    fn schaffer_problem_converges_to_known_front() {
+        // Schaffer N.1: f1 = x², f2 = (x-2)²; Pareto set is x ∈ [0, 2].
+        let solver = Nsga2::new(vec![-10.0], vec![10.0], small_config(7)).unwrap();
+        let pop = solver.run(|x| vec![x[0] * x[0], (x[0] - 2.0) * (x[0] - 2.0)]);
+        let pareto = pop.pareto_set();
+        assert!(!pareto.is_empty());
+        let inside = pareto
+            .iter()
+            .filter(|(x, _)| x[0] >= -0.2 && x[0] <= 2.2)
+            .count();
+        assert!(
+            inside as f64 / pareto.len() as f64 > 0.9,
+            "most pareto points must lie in [0, 2], got {inside}/{}",
+            pareto.len()
+        );
+    }
+
+    #[test]
+    fn zdt1_front_approaches_theoretical_hypervolume() {
+        let dim = 6;
+        let solver = Nsga2::new(vec![0.0; dim], vec![1.0; dim], small_config(13)).unwrap();
+        let pop = solver.run(zdt1);
+        let front = pop.pareto_front();
+        let hv = hypervolume(front, &[1.1, 1.1]);
+        // The true front f2 = 1 - sqrt(f1) has HV ≈ 0.756 w.r.t. (1.1, 1.1); a short run on a
+        // 6-D ZDT1 should reach a good fraction of it.
+        assert!(hv > 0.5, "hypervolume too small: {hv}");
+    }
+
+    #[test]
+    fn population_respects_bounds() {
+        let solver = Nsga2::new(vec![-1.0, 2.0], vec![1.0, 3.0], small_config(3)).unwrap();
+        let pop = solver.run(|x| vec![x[0].abs(), (x[1] - 2.5).abs()]);
+        for d in &pop.decisions {
+            assert!(d[0] >= -1.0 && d[0] <= 1.0);
+            assert!(d[1] >= 2.0 && d[1] <= 3.0);
+        }
+        assert_eq!(pop.decisions.len(), 40);
+        assert_eq!(pop.objectives.len(), 40);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_same_seed() {
+        let mk = || {
+            let solver = Nsga2::new(vec![-5.0], vec![5.0], small_config(99)).unwrap();
+            solver.run(|x| vec![x[0] * x[0], (x[0] - 1.0).powi(2)])
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.objectives, b.objectives);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let solver = Nsga2::new(vec![-5.0], vec![5.0], small_config(seed)).unwrap();
+            solver.run(|x| vec![x[0] * x[0], (x[0] - 1.0).powi(2)])
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_ne!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn pareto_front_is_internally_non_dominated() {
+        let solver = Nsga2::new(vec![0.0; 3], vec![1.0; 3], small_config(21)).unwrap();
+        let pop = solver.run(zdt1);
+        let front = pop.pareto_front();
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!crate::dominance::dominates(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Scalarization schemes used by the RL/IL baselines.
+//!
+//! The paper's baselines collapse multiple objectives into a single reward with a linear
+//! combination `R = Σ λ_i R(O_i)` and sweep the scalarization parameters to trace out a
+//! Pareto front. Linear scalarization famously cannot reach non-convex regions of the front
+//! (Das & Dennis, 1997), which is one of the weaknesses PaRMIS avoids; the augmented
+//! Tchebycheff scalarization is provided as well for completeness and for ablations.
+
+/// A non-negative weight vector over `k` objectives, normalized to sum to one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightVector {
+    weights: Vec<f64>,
+}
+
+impl WeightVector {
+    /// Creates a weight vector, normalizing the entries to sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite entry, or sums to zero.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "weight vector must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        WeightVector {
+            weights: weights.into_iter().map(|w| w / total).collect(),
+        }
+    }
+
+    /// Returns the normalized weights.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of objectives covered by the weight vector.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if the weight vector is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Generates `count` evenly spaced weight vectors for two objectives:
+    /// `(0, 1), …, (1, 0)`. This is the sweep the RL/IL baselines run to approximate a front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    pub fn sweep_2d(count: usize) -> Vec<WeightVector> {
+        assert!(count >= 2, "a 2-D sweep needs at least two weight vectors");
+        (0..count)
+            .map(|i| {
+                let w = i as f64 / (count - 1) as f64;
+                // Avoid exactly-zero weights so every objective keeps a little pressure;
+                // mirrors how practitioners avoid degenerate reward functions.
+                let w = w.clamp(0.01, 0.99);
+                WeightVector::new(vec![w, 1.0 - w])
+            })
+            .collect()
+    }
+
+    /// Generates a simplex-lattice sweep for `k` objectives with `divisions` per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `divisions == 0`.
+    pub fn sweep(k: usize, divisions: usize) -> Vec<WeightVector> {
+        assert!(k >= 2, "need at least two objectives");
+        assert!(divisions > 0, "divisions must be positive");
+        let mut out = Vec::new();
+        let mut current = vec![0usize; k];
+        fill_lattice(k, divisions, 0, divisions, &mut current, &mut out);
+        out
+    }
+}
+
+fn fill_lattice(
+    k: usize,
+    divisions: usize,
+    idx: usize,
+    remaining: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<WeightVector>,
+) {
+    if idx == k - 1 {
+        current[idx] = remaining;
+        let weights: Vec<f64> = current
+            .iter()
+            .map(|&c| (c as f64 / divisions as f64).max(0.005))
+            .collect();
+        out.push(WeightVector::new(weights));
+        return;
+    }
+    for c in 0..=remaining {
+        current[idx] = c;
+        fill_lattice(k, divisions, idx + 1, remaining - c, current, out);
+    }
+}
+
+/// Scalarization scheme turning an objective vector into a single score to minimize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalarization {
+    /// Weighted sum `Σ w_i · o_i`.
+    Linear(WeightVector),
+    /// Augmented Tchebycheff: `max_i w_i (o_i - z_i) + rho Σ (o_i - z_i)` with ideal point `z`.
+    Tchebycheff {
+        /// Objective weights.
+        weights: WeightVector,
+        /// Ideal (utopian) point subtracted from the objectives.
+        ideal: Vec<f64>,
+        /// Augmentation coefficient, typically a small positive value such as 1e-3.
+        rho: f64,
+    },
+}
+
+impl Scalarization {
+    /// Evaluates the scalarized score of an objective vector (lower is better).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective dimension does not match the scalarization's weight dimension.
+    pub fn score(&self, objectives: &[f64]) -> f64 {
+        match self {
+            Scalarization::Linear(w) => {
+                assert_eq!(objectives.len(), w.len(), "objective dimension mismatch");
+                objectives
+                    .iter()
+                    .zip(w.as_slice())
+                    .map(|(o, w)| o * w)
+                    .sum()
+            }
+            Scalarization::Tchebycheff { weights, ideal, rho } => {
+                assert_eq!(objectives.len(), weights.len(), "objective dimension mismatch");
+                assert_eq!(objectives.len(), ideal.len(), "ideal point dimension mismatch");
+                let diffs: Vec<f64> = objectives
+                    .iter()
+                    .zip(ideal)
+                    .map(|(o, z)| o - z)
+                    .collect();
+                let max_term = diffs
+                    .iter()
+                    .zip(weights.as_slice())
+                    .map(|(d, w)| d * w)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                max_term + rho * diffs.iter().sum::<f64>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_normalized() {
+        let w = WeightVector::new(vec![2.0, 2.0]);
+        assert_eq!(w.as_slice(), &[0.5, 0.5]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weights_rejected() {
+        WeightVector::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_rejected() {
+        WeightVector::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sweep_2d_covers_extremes() {
+        let sweep = WeightVector::sweep_2d(5);
+        assert_eq!(sweep.len(), 5);
+        // First favours objective 2, last favours objective 1.
+        assert!(sweep[0].as_slice()[0] < sweep[0].as_slice()[1]);
+        assert!(sweep[4].as_slice()[0] > sweep[4].as_slice()[1]);
+        for w in &sweep {
+            let sum: f64 = w.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_lattice_has_expected_count() {
+        // k=3, divisions=4 -> C(4+2, 2) = 15 weight vectors.
+        let sweep = WeightVector::sweep(3, 4);
+        assert_eq!(sweep.len(), 15);
+        for w in &sweep {
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    #[test]
+    fn linear_scalarization_orders_points() {
+        let s = Scalarization::Linear(WeightVector::new(vec![0.5, 0.5]));
+        assert!(s.score(&[1.0, 1.0]) < s.score(&[2.0, 2.0]));
+        assert_eq!(s.score(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn tchebycheff_reaches_nonconvex_points() {
+        // Non-convex front: the middle point (1.2, 1.2) is never the linear-scalarization
+        // optimum among {(0,2), (1.2,1.2), (2,0)} for any weights, but Tchebycheff with equal
+        // weights selects it.
+        let points = [vec![0.0, 2.0], vec![1.2, 1.2], vec![2.0, 0.0]];
+        let linear = Scalarization::Linear(WeightVector::new(vec![0.5, 0.5]));
+        let best_linear = points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| linear.score(a.1).partial_cmp(&linear.score(b.1)).unwrap())
+            .unwrap()
+            .0;
+        assert_ne!(best_linear, 1, "linear scalarization should skip the knee");
+
+        let tche = Scalarization::Tchebycheff {
+            weights: WeightVector::new(vec![0.5, 0.5]),
+            ideal: vec![0.0, 0.0],
+            rho: 1e-3,
+        };
+        let best_tche = points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| tche.score(a.1).partial_cmp(&tche.score(b.1)).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best_tche, 1, "tchebycheff should select the knee point");
+    }
+
+    #[test]
+    #[should_panic]
+    fn score_rejects_dimension_mismatch() {
+        let s = Scalarization::Linear(WeightVector::new(vec![0.5, 0.5]));
+        s.score(&[1.0]);
+    }
+}

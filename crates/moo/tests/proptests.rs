@@ -1,0 +1,125 @@
+//! Property-based tests for the multi-objective optimization toolkit.
+
+use moo::dominance::{compare, dominates, fast_non_dominated_sort, non_dominated_indices, Dominance};
+use moo::front::ParetoFront;
+use moo::hypervolume::hypervolume;
+use proptest::prelude::*;
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, dim)
+}
+
+fn points_strategy(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(point_strategy(dim), 1..max_points)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_irreflexive(p in point_strategy(3)) {
+        prop_assert!(!dominates(&p, &p));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric(a in point_strategy(3), b in point_strategy(3)) {
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+    }
+
+    #[test]
+    fn compare_is_consistent_with_dominates(a in point_strategy(2), b in point_strategy(2)) {
+        match compare(&a, &b) {
+            Dominance::Dominates => prop_assert!(dominates(&a, &b)),
+            Dominance::DominatedBy => prop_assert!(dominates(&b, &a)),
+            Dominance::Indifferent => {
+                prop_assert!(!dominates(&a, &b));
+                prop_assert!(!dominates(&b, &a));
+            }
+        }
+    }
+
+    #[test]
+    fn non_dominated_matches_brute_force(points in points_strategy(3, 12)) {
+        let fast = non_dominated_indices(&points);
+        // Brute force: point i is non-dominated iff no j dominates it.
+        let brute: Vec<usize> = (0..points.len())
+            .filter(|&i| !points.iter().enumerate().any(|(j, q)| j != i && dominates(q, &points[i])))
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn front_zero_of_fast_sort_is_non_dominated_set(points in points_strategy(2, 14)) {
+        let ranks = fast_non_dominated_sort(&points);
+        let front0: Vec<usize> = ranks.iter().enumerate().filter(|(_, &r)| r == 0).map(|(i, _)| i).collect();
+        prop_assert_eq!(front0, non_dominated_indices(&points));
+    }
+
+    #[test]
+    fn pareto_front_members_are_mutually_non_dominated(points in points_strategy(2, 20)) {
+        let mut front = ParetoFront::new(2);
+        for (i, p) in points.iter().enumerate() {
+            front.insert(p.clone(), i);
+        }
+        let values = front.objective_values();
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(a, b), "front contains dominated pair");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_contains_every_non_dominated_input(points in points_strategy(2, 16)) {
+        let mut front = ParetoFront::new(2);
+        for (i, p) in points.iter().enumerate() {
+            front.insert(p.clone(), i);
+        }
+        // Every non-dominated, non-duplicate input must be present in the archive.
+        let values = front.objective_values();
+        for &i in &non_dominated_indices(&points) {
+            let p = &points[i];
+            prop_assert!(values.iter().any(|v| v == p));
+        }
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_insertion(
+        points in points_strategy(2, 10),
+        extra in point_strategy(2),
+    ) {
+        let reference = [12.0, 12.0];
+        let base = hypervolume(points.clone(), &reference);
+        let mut more = points;
+        more.push(extra);
+        let larger = hypervolume(more, &reference);
+        prop_assert!(larger + 1e-9 >= base, "hypervolume decreased: {} -> {}", base, larger);
+    }
+
+    #[test]
+    fn hypervolume_is_bounded_by_reference_box(points in points_strategy(2, 10)) {
+        let reference = [10.0, 10.0];
+        let hv = hypervolume(points, &reference);
+        prop_assert!(hv >= 0.0);
+        prop_assert!(hv <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_invariant_to_dominated_points(points in points_strategy(2, 10)) {
+        let reference = [11.0, 11.0];
+        let hv_all = hypervolume(points.clone(), &reference);
+        let nd: Vec<Vec<f64>> = non_dominated_indices(&points).into_iter().map(|i| points[i].clone()).collect();
+        let hv_nd = hypervolume(nd, &reference);
+        prop_assert!((hv_all - hv_nd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hv3d_equals_product_for_single_point(p in point_strategy(3)) {
+        let reference = [11.0, 11.0, 11.0];
+        let expected: f64 = p.iter().zip(&reference).map(|(v, r)| r - v).product();
+        let hv = hypervolume(vec![p], &reference);
+        prop_assert!((hv - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the PaRMIS framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by PaRMIS operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParmisError {
+    /// The framework configuration was invalid (zero iterations, empty objective set, …).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A policy evaluation failed (e.g. the simulator rejected a decision).
+    Evaluation {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// Fitting or sampling a statistical model failed.
+    Model(gp::GpError),
+    /// The underlying platform simulation failed.
+    Simulation(soc_sim::SocError),
+}
+
+impl fmt::Display for ParmisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParmisError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            ParmisError::Evaluation { reason } => write!(f, "policy evaluation failed: {reason}"),
+            ParmisError::Model(e) => write!(f, "statistical model failure: {e}"),
+            ParmisError::Simulation(e) => write!(f, "platform simulation failure: {e}"),
+        }
+    }
+}
+
+impl Error for ParmisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParmisError::Model(e) => Some(e),
+            ParmisError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gp::GpError> for ParmisError {
+    fn from(e: gp::GpError) -> Self {
+        ParmisError::Model(e)
+    }
+}
+
+impl From<soc_sim::SocError> for ParmisError {
+    fn from(e: soc_sim::SocError) -> Self {
+        ParmisError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = ParmisError::InvalidConfig {
+            reason: "zero iterations".into(),
+        };
+        assert!(e.to_string().contains("zero iterations"));
+
+        let e: ParmisError = gp::GpError::InvalidData {
+            reason: "empty".into(),
+        }
+        .into();
+        assert!(matches!(e, ParmisError::Model(_)));
+        assert!(Error::source(&e).is_some());
+
+        let e: ParmisError = soc_sim::SocError::EmptyApplication { name: "x".into() }.into();
+        assert!(matches!(e, ParmisError::Simulation(_)));
+        assert!(e.to_string().contains("platform simulation"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParmisError>();
+    }
+}

@@ -1,0 +1,330 @@
+//! Policy evaluation: turning a parameter vector θ into an objective vector by running the
+//! corresponding DRM policy on the platform (Algorithm 1, line 5).
+
+use crate::objective::{objective_vector, Objective};
+use crate::{ParmisError, Result};
+use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
+use soc_sim::apps::Benchmark;
+use soc_sim::platform::{Platform, RunSummary};
+use soc_sim::workload::Application;
+use soc_sim::DecisionSpace;
+
+/// Anything that can evaluate a candidate policy parameter vector θ and return the
+/// corresponding minimization objective vector.
+///
+/// PaRMIS itself only needs this trait; the two provided implementations evaluate policies on
+/// the SoC simulator for a single application ([`SocEvaluator`]) or for a whole application
+/// set ([`GlobalEvaluator`], used by the paper's "global Pareto-frontier policies" experiment,
+/// §V-D).
+pub trait PolicyEvaluator {
+    /// Dimensionality `d` of the policy parameter space.
+    fn parameter_dim(&self) -> usize;
+
+    /// Lower/upper bound applied to every parameter (the search box is `[-bound, bound]^d`).
+    fn parameter_bound(&self) -> f64 {
+        DrmPolicy::PARAMETER_BOUND
+    }
+
+    /// The design objectives being traded off, in output order.
+    fn objectives(&self) -> &[Objective];
+
+    /// Evaluates θ and returns the minimization objective vector (one entry per objective).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError`] if the evaluation cannot be carried out.
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>>;
+}
+
+/// Evaluates policies by running them on the simulated platform for one benchmark.
+#[derive(Debug, Clone)]
+pub struct SocEvaluator {
+    platform: Platform,
+    space: DecisionSpace,
+    architecture: PolicyArchitecture,
+    applications: Vec<Application>,
+    objectives: Vec<Objective>,
+    run_seed: u64,
+}
+
+impl SocEvaluator {
+    /// Creates an evaluator for one benchmark on the default Odroid-XU3-like platform with
+    /// the paper's default policy architecture.
+    pub fn for_benchmark(benchmark: Benchmark, objectives: Vec<Objective>) -> Self {
+        SocEvaluator::new(
+            Platform::odroid_xu3(),
+            PolicyArchitecture::paper_default(),
+            vec![benchmark.application()],
+            objectives,
+        )
+    }
+
+    /// Creates an evaluator from explicit components. `applications` may contain one
+    /// application (application-specific policies) or many (global policies; objectives are
+    /// averaged across applications).
+    pub fn new(
+        platform: Platform,
+        architecture: PolicyArchitecture,
+        applications: Vec<Application>,
+        objectives: Vec<Objective>,
+    ) -> Self {
+        let space = platform.spec().decision_space().clone();
+        SocEvaluator {
+            platform,
+            space,
+            architecture,
+            applications,
+            objectives,
+            run_seed: 17,
+        }
+    }
+
+    /// Overrides the measurement-noise seed used for every evaluation run.
+    pub fn with_run_seed(mut self, seed: u64) -> Self {
+        self.run_seed = seed;
+        self
+    }
+
+    /// The policy architecture used to decode θ.
+    pub fn architecture(&self) -> &PolicyArchitecture {
+        &self.architecture
+    }
+
+    /// The decision space of the underlying platform.
+    pub fn decision_space(&self) -> &DecisionSpace {
+        &self.space
+    }
+
+    /// The applications this evaluator runs.
+    pub fn applications(&self) -> &[Application] {
+        &self.applications
+    }
+
+    /// Materializes the DRM policy corresponding to a parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len()` does not match [`parameter_dim`](PolicyEvaluator::parameter_dim).
+    pub fn policy_for(&self, theta: &[f64]) -> DrmPolicy {
+        DrmPolicy::from_flat_parameters(&self.space, &self.architecture, theta)
+    }
+
+    /// Runs the policy for θ on every application and returns the per-application summaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn run_summaries(&self, theta: &[f64]) -> Result<Vec<RunSummary>> {
+        let mut policy = self.policy_for(theta);
+        self.applications
+            .iter()
+            .map(|app| {
+                self.platform
+                    .run_application(app, &mut policy, self.run_seed)
+                    .map_err(ParmisError::from)
+            })
+            .collect()
+    }
+}
+
+impl PolicyEvaluator for SocEvaluator {
+    fn parameter_dim(&self) -> usize {
+        DrmPolicy::parameter_count_for(&self.space, &self.architecture)
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        if theta.len() != self.parameter_dim() {
+            return Err(ParmisError::Evaluation {
+                reason: format!(
+                    "theta has dimension {} but the policy needs {}",
+                    theta.len(),
+                    self.parameter_dim()
+                ),
+            });
+        }
+        if self.applications.is_empty() {
+            return Err(ParmisError::Evaluation {
+                reason: "evaluator has no applications".into(),
+            });
+        }
+        let summaries = self.run_summaries(theta)?;
+        // Average each objective across applications (single application = identity).
+        let k = self.objectives.len();
+        let mut acc = vec![0.0; k];
+        for summary in &summaries {
+            let v = objective_vector(&self.objectives, summary);
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= summaries.len() as f64;
+        }
+        Ok(acc)
+    }
+}
+
+/// Evaluator over the full 12-application suite, producing "global" Pareto-frontier policies
+/// (paper §V-D). This is a thin convenience wrapper over [`SocEvaluator`] with all
+/// applications loaded.
+#[derive(Debug, Clone)]
+pub struct GlobalEvaluator {
+    inner: SocEvaluator,
+}
+
+impl GlobalEvaluator {
+    /// Creates a global evaluator over all 12 benchmarks.
+    pub fn all_benchmarks(objectives: Vec<Objective>) -> Self {
+        GlobalEvaluator {
+            inner: SocEvaluator::new(
+                Platform::odroid_xu3(),
+                PolicyArchitecture::paper_default(),
+                Benchmark::all_applications(),
+                objectives,
+            ),
+        }
+    }
+
+    /// Creates a global evaluator over an explicit benchmark subset.
+    pub fn for_benchmarks(benchmarks: &[Benchmark], objectives: Vec<Objective>) -> Self {
+        GlobalEvaluator {
+            inner: SocEvaluator::new(
+                Platform::odroid_xu3(),
+                PolicyArchitecture::paper_default(),
+                benchmarks.iter().map(|b| b.application()).collect(),
+                objectives,
+            ),
+        }
+    }
+
+    /// Access to the wrapped [`SocEvaluator`] (e.g. to materialize policies).
+    pub fn as_soc_evaluator(&self) -> &SocEvaluator {
+        &self.inner
+    }
+
+    /// Evaluates θ on a *single* benchmark, which is how the paper scores a global policy on
+    /// each application when comparing against application-specific policies (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn evaluate_on(&self, theta: &[f64], benchmark: Benchmark) -> Result<Vec<f64>> {
+        let single = SocEvaluator::new(
+            Platform::odroid_xu3(),
+            self.inner.architecture.clone(),
+            vec![benchmark.application()],
+            self.inner.objectives.clone(),
+        );
+        single.evaluate(theta)
+    }
+}
+
+impl PolicyEvaluator for GlobalEvaluator {
+    fn parameter_dim(&self) -> usize {
+        self.inner.parameter_dim()
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        self.inner.objectives()
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        self.inner.evaluate(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_dim_matches_policy_count() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Fft, Objective::TIME_ENERGY.to_vec());
+        let space = DecisionSpace::exynos5422();
+        assert_eq!(
+            eval.parameter_dim(),
+            DrmPolicy::parameter_count_for(&space, &PolicyArchitecture::paper_default())
+        );
+        assert_eq!(eval.parameter_bound(), DrmPolicy::PARAMETER_BOUND);
+        assert_eq!(eval.objectives().len(), 2);
+        assert_eq!(eval.applications().len(), 1);
+    }
+
+    #[test]
+    fn evaluation_rejects_wrong_dimension() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Fft, Objective::TIME_ENERGY.to_vec());
+        assert!(matches!(
+            eval.evaluate(&[0.0; 3]),
+            Err(ParmisError::Evaluation { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluation_returns_finite_minimization_objectives() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_PPW.to_vec());
+        let theta = vec![0.2; eval.parameter_dim()];
+        let v = eval.evaluate(&theta).unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(v[0] > 0.0, "execution time must be positive");
+        assert!(v[1] < 0.0, "negated PPW must be negative");
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn evaluations_are_deterministic_for_fixed_theta() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Sha, Objective::TIME_ENERGY.to_vec());
+        let theta = vec![-0.4; eval.parameter_dim()];
+        assert_eq!(eval.evaluate(&theta).unwrap(), eval.evaluate(&theta).unwrap());
+        // A different run seed changes the (noisy) measurement slightly.
+        let noisy = eval.clone().with_run_seed(99);
+        let a = eval.evaluate(&theta).unwrap();
+        let b = noisy.evaluate(&theta).unwrap();
+        assert_ne!(a, b);
+        assert!((a[0] - b[0]).abs() / a[0] < 0.1);
+    }
+
+    #[test]
+    fn different_thetas_produce_different_objectives() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Kmeans, Objective::TIME_ENERGY.to_vec());
+        let space = DecisionSpace::exynos5422();
+        let arch = PolicyArchitecture::paper_default();
+        let a_theta = DrmPolicy::random(&space, &arch, 1).to_flat_parameters();
+        let b_theta = DrmPolicy::random(&space, &arch, 2).to_flat_parameters();
+        let a = eval.evaluate(&a_theta).unwrap();
+        let b = eval.evaluate(&b_theta).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn global_evaluator_averages_across_benchmarks() {
+        let objectives = Objective::TIME_ENERGY.to_vec();
+        let global =
+            GlobalEvaluator::for_benchmarks(&[Benchmark::Sha, Benchmark::Dijkstra], objectives);
+        let dim = global.parameter_dim();
+        let theta = vec![0.1; dim];
+        let avg = global.evaluate(&theta).unwrap();
+        let on_sha = global.evaluate_on(&theta, Benchmark::Sha).unwrap();
+        let on_dijkstra = global.evaluate_on(&theta, Benchmark::Dijkstra).unwrap();
+        for i in 0..2 {
+            let expected = (on_sha[i] + on_dijkstra[i]) / 2.0;
+            assert!(
+                (avg[i] - expected).abs() / expected.abs() < 1e-9,
+                "global objective {i} should be the mean of the per-app objectives"
+            );
+        }
+        assert_eq!(global.as_soc_evaluator().applications().len(), 2);
+    }
+
+    #[test]
+    fn run_summaries_expose_per_application_details() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Aes, Objective::TIME_ENERGY.to_vec());
+        let theta = vec![0.0; eval.parameter_dim()];
+        let summaries = eval.run_summaries(&theta).unwrap();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].application, "aes");
+    }
+}

@@ -1,0 +1,610 @@
+//! The PaRMIS main loop (Algorithm 1 of the paper).
+
+use crate::acquisition::{AcquisitionOptimizer, AcquisitionOptimizerConfig};
+use crate::evaluation::PolicyEvaluator;
+use crate::objective::Objective;
+use crate::pareto_sampling::{ParetoFrontSampler, ParetoSamplingConfig};
+use crate::{ParmisError, Result};
+use gp::hyperopt::{fit_with_hyperopt, HyperoptConfig};
+use gp::kernel::KernelFamily;
+use gp::GaussianProcess;
+use moo::hypervolume::hypervolume;
+use moo::ParetoFront;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a PaRMIS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParmisConfig {
+    /// Total evaluation budget, including the initial random design. The paper runs up to 500
+    /// iterations and observes convergence within roughly 300 (§V-B, §V-C).
+    pub max_iterations: usize,
+    /// Number of random policies evaluated before model-guided selection starts.
+    pub initial_samples: usize,
+    /// Number of Monte-Carlo Pareto-front samples S in Eq. 9 (the paper uses S = 1).
+    pub num_pareto_samples: usize,
+    /// Configuration of the RFF + NSGA-II front-sampling step.
+    pub sampling: ParetoSamplingConfig,
+    /// Configuration of the acquisition maximizer.
+    pub acquisition: AcquisitionOptimizerConfig,
+    /// Kernel family of the per-objective GP models.
+    pub kernel_family: KernelFamily,
+    /// Re-run the marginal-likelihood hyperparameter search every this many iterations
+    /// (hyperparameters are reused in between to keep the per-iteration cost flat).
+    pub refit_hyperparameters_every: usize,
+    /// Stop early when no new Pareto-front point has been found for this many consecutive
+    /// iterations (0 disables early stopping).
+    pub convergence_window: usize,
+    /// RNG seed controlling the initial design, sampling and acquisition search.
+    pub seed: u64,
+}
+
+impl Default for ParmisConfig {
+    fn default() -> Self {
+        ParmisConfig {
+            max_iterations: 200,
+            initial_samples: 10,
+            num_pareto_samples: 1,
+            sampling: ParetoSamplingConfig::default(),
+            acquisition: AcquisitionOptimizerConfig::default(),
+            kernel_family: KernelFamily::Matern52,
+            refit_hyperparameters_every: 20,
+            convergence_window: 0,
+            seed: 0x9a92_0c1e,
+        }
+    }
+}
+
+/// One evaluated policy: the search keeps the full trace for convergence analysis (Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Zero-based evaluation index (initial design included).
+    pub iteration: usize,
+    /// Policy parameters that were evaluated.
+    pub theta: Vec<f64>,
+    /// Observed minimization objective vector.
+    pub objectives: Vec<f64>,
+    /// Acquisition value of the selected candidate (`None` during the initial design).
+    pub acquisition_value: Option<f64>,
+}
+
+/// Result of a PaRMIS run.
+#[derive(Debug, Clone)]
+pub struct ParmisOutcome {
+    /// The design objectives, in the order used by every objective vector.
+    pub objectives: Vec<Objective>,
+    /// Pareto-frontier policies: objective vectors with their parameter vectors as tags.
+    pub front: ParetoFront<Vec<f64>>,
+    /// Every evaluation performed, in order.
+    pub history: Vec<IterationRecord>,
+    /// Pareto-hypervolume trajectory: PHV of the archive after each evaluation, computed
+    /// against [`Self::reference_point`]. This is the curve of Fig. 2.
+    pub phv_history: Vec<f64>,
+    /// Reference point used for the PHV trajectory (worse than every observed point).
+    pub reference_point: Vec<f64>,
+    /// Iteration at which the convergence criterion fired, if early stopping was enabled.
+    pub converged_at: Option<usize>,
+}
+
+impl ParmisOutcome {
+    /// Final Pareto hypervolume (last entry of the trajectory, 0 for an empty run).
+    pub fn final_phv(&self) -> f64 {
+        self.phv_history.last().copied().unwrap_or(0.0)
+    }
+
+    /// Objective vectors of the final front converted to the natural reporting scale
+    /// (maximized objectives un-negated).
+    pub fn reporting_front(&self) -> Vec<Vec<f64>> {
+        self.front
+            .objective_values()
+            .iter()
+            .map(|v| crate::objective::reporting_vector(&self.objectives, v))
+            .collect()
+    }
+}
+
+/// The PaRMIS search driver.
+#[derive(Debug, Clone)]
+pub struct Parmis {
+    config: ParmisConfig,
+}
+
+impl Parmis {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: ParmisConfig) -> Self {
+        Parmis { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ParmisConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 against `evaluator`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::InvalidConfig`] for inconsistent configurations and propagates
+    /// evaluation/model failures.
+    pub fn run(&self, evaluator: &dyn PolicyEvaluator) -> Result<ParmisOutcome> {
+        self.run_with_progress(evaluator, |_, _| {})
+    }
+
+    /// Runs Algorithm 1, invoking `progress` after every evaluation (used by the figure
+    /// harness to print convergence traces).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_progress<F>(
+        &self,
+        evaluator: &dyn PolicyEvaluator,
+        mut progress: F,
+    ) -> Result<ParmisOutcome>
+    where
+        F: FnMut(usize, &IterationRecord),
+    {
+        self.validate(evaluator)?;
+        let cfg = &self.config;
+        let dim = evaluator.parameter_dim();
+        let bound = evaluator.parameter_bound();
+        let objectives = evaluator.objectives().to_vec();
+        let k = objectives.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut history: Vec<IterationRecord> = Vec::with_capacity(cfg.max_iterations);
+        let mut front: ParetoFront<Vec<f64>> = ParetoFront::new(k);
+        let mut stale_iterations = 0usize;
+        let mut converged_at = None;
+        let mut kernels: Option<Vec<gp::kernel::Kernel>> = None;
+        let mut noises: Vec<f64> = vec![1e-4; k];
+
+        // --- Initial design (Algorithm 1, line 1) -------------------------------------------
+        let initial = cfg.initial_samples.min(cfg.max_iterations).max(2);
+        for i in 0..initial {
+            let theta: Vec<f64> = (0..dim).map(|_| rng.gen_range(-bound..bound)).collect();
+            let objectives_value = evaluator.evaluate(&theta)?;
+            self.check_objective_vector(&objectives_value, k)?;
+            front.insert(objectives_value.clone(), theta.clone());
+            let record = IterationRecord {
+                iteration: i,
+                theta,
+                objectives: objectives_value,
+                acquisition_value: None,
+            };
+            progress(i, &record);
+            history.push(record);
+        }
+
+        // --- Model-guided iterations (Algorithm 1, lines 2-8) -------------------------------
+        for iteration in initial..cfg.max_iterations {
+            // Line 3: learn statistical models from the aggregate training data.
+            let xs: Vec<Vec<f64>> = history.iter().map(|r| r.theta.clone()).collect();
+            let (models, standardizers) = self.fit_models(
+                &xs,
+                &history,
+                k,
+                dim,
+                bound,
+                iteration,
+                &mut kernels,
+                &mut noises,
+            )?;
+
+            // Line 4 (part 1): sample Pareto fronts of the model.
+            let sampler = ParetoFrontSampler::new(
+                &models,
+                bound,
+                cfg.sampling.clone(),
+                cfg.seed ^ (iteration as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            )?;
+            let samples =
+                sampler.sample_many(cfg.num_pareto_samples, cfg.seed ^ (iteration as u64) << 8)?;
+
+            // Line 4 (part 2): maximize the information gain over candidate policies.
+            let incumbents: Vec<Vec<f64>> = front.tags().into_iter().cloned().collect();
+            let optimizer = AcquisitionOptimizer::new(dim, bound, cfg.acquisition.clone());
+            let (theta_next, acq_value) = optimizer.maximize(
+                &models,
+                &samples,
+                &incumbents,
+                cfg.seed ^ (iteration as u64).wrapping_mul(0xB5297A4D),
+            )?;
+
+            // Line 5: evaluate the selected policy on the platform.
+            let objectives_value = evaluator.evaluate(&theta_next)?;
+            self.check_objective_vector(&objectives_value, k)?;
+
+            // Line 6: aggregate training data; track whether the front improved.
+            let improved = front.insert(objectives_value.clone(), theta_next.clone());
+            let record = IterationRecord {
+                iteration,
+                theta: theta_next,
+                objectives: objectives_value,
+                acquisition_value: Some(acq_value),
+            };
+            progress(iteration, &record);
+            history.push(record);
+            drop(standardizers);
+
+            if improved {
+                stale_iterations = 0;
+            } else {
+                stale_iterations += 1;
+            }
+            if cfg.convergence_window > 0 && stale_iterations >= cfg.convergence_window {
+                converged_at = Some(iteration);
+                break;
+            }
+        }
+
+        // --- Post-processing: PHV trajectory against a common reference ---------------------
+        let reference_point = phv_reference(&history, k);
+        let phv_history = phv_trajectory(&history, &reference_point, k);
+
+        Ok(ParmisOutcome {
+            objectives,
+            front,
+            history,
+            phv_history,
+            reference_point,
+            converged_at,
+        })
+    }
+
+    fn validate(&self, evaluator: &dyn PolicyEvaluator) -> Result<()> {
+        let cfg = &self.config;
+        if cfg.max_iterations < 3 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "max_iterations must be at least 3".into(),
+            });
+        }
+        if cfg.num_pareto_samples == 0 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "num_pareto_samples must be positive".into(),
+            });
+        }
+        if evaluator.objectives().len() < 2 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "PaRMIS needs at least two objectives to trade off".into(),
+            });
+        }
+        if evaluator.parameter_dim() == 0 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "the policy parameter space must have positive dimension".into(),
+            });
+        }
+        if evaluator.parameter_bound() <= 0.0 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "the parameter bound must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_objective_vector(&self, v: &[f64], k: usize) -> Result<()> {
+        if v.len() != k || v.iter().any(|x| !x.is_finite()) {
+            return Err(ParmisError::Evaluation {
+                reason: format!("evaluator returned an invalid objective vector {v:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fits one GP per objective on standardized targets. Kernel hyperparameters are selected
+    /// by marginal likelihood every `refit_hyperparameters_every` iterations and reused in
+    /// between.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_models(
+        &self,
+        xs: &[Vec<f64>],
+        history: &[IterationRecord],
+        k: usize,
+        dim: usize,
+        bound: f64,
+        iteration: usize,
+        kernels: &mut Option<Vec<gp::kernel::Kernel>>,
+        noises: &mut Vec<f64>,
+    ) -> Result<(Vec<GaussianProcess>, Vec<(f64, f64)>)> {
+        let cfg = &self.config;
+        let mut models = Vec::with_capacity(k);
+        let mut standardizers = Vec::with_capacity(k);
+        let refit = kernels.is_none()
+            || (iteration.saturating_sub(cfg.initial_samples)) % cfg.refit_hyperparameters_every
+                == 0;
+        let mut new_kernels = Vec::with_capacity(k);
+
+        for j in 0..k {
+            let raw: Vec<f64> = history.iter().map(|r| r.objectives[j]).collect();
+            let mean = linalg::vector::mean(&raw);
+            let std = linalg::vector::std_dev(&raw).max(1e-9);
+            standardizers.push((mean, std));
+            let ys: Vec<f64> = raw.iter().map(|y| (y - mean) / std).collect();
+
+            if refit {
+                let config = HyperoptConfig {
+                    family: cfg.kernel_family,
+                    lengthscales: lengthscale_grid(dim, bound),
+                    signal_variances: vec![0.5, 1.0, 2.0],
+                    noise_variances: vec![1e-4, 1e-2],
+                    refinement_passes: 1,
+                };
+                let fitted = fit_with_hyperopt(xs.to_vec(), ys, &config)?;
+                new_kernels.push(fitted.model.kernel().clone());
+                noises[j] = fitted.model.noise_variance();
+                models.push(fitted.model);
+            } else {
+                let kernel = kernels.as_ref().expect("kernels cached")[j].clone();
+                let model = GaussianProcess::fit(xs.to_vec(), ys, kernel, noises[j])?;
+                models.push(model);
+            }
+        }
+        if refit {
+            *kernels = Some(new_kernels);
+        }
+        Ok((models, standardizers))
+    }
+}
+
+/// Lengthscale candidates scaled to the expected pairwise distance of uniform points in the
+/// box `[-bound, bound]^dim`.
+fn lengthscale_grid(dim: usize, bound: f64) -> Vec<f64> {
+    let typical_distance = bound * (2.0 * dim as f64 / 3.0).sqrt();
+    [0.25, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|f| f * typical_distance)
+        .collect()
+}
+
+/// Reference point: component-wise worst observed value plus a 5 % margin.
+fn phv_reference(history: &[IterationRecord], k: usize) -> Vec<f64> {
+    let mut worst = vec![f64::NEG_INFINITY; k];
+    for r in history {
+        for (w, v) in worst.iter_mut().zip(&r.objectives) {
+            *w = w.max(*v);
+        }
+    }
+    worst
+        .into_iter()
+        .map(|w| if w.abs() < f64::EPSILON { 0.05 } else { w + w.abs() * 0.05 })
+        .collect()
+}
+
+/// PHV of the archive formed by the first `i` evaluations, for every `i`.
+fn phv_trajectory(history: &[IterationRecord], reference: &[f64], k: usize) -> Vec<f64> {
+    let mut front: ParetoFront<()> = ParetoFront::new(k);
+    let mut out = Vec::with_capacity(history.len());
+    for r in history {
+        front.insert(r.objectives.clone(), ());
+        out.push(hypervolume(front.objective_values(), reference));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+
+    /// A cheap synthetic evaluator over a 3-D parameter space with a known trade-off, so the
+    /// full PaRMIS loop can be tested without the SoC simulator.
+    struct SyntheticEvaluator {
+        objectives: Vec<Objective>,
+    }
+
+    impl SyntheticEvaluator {
+        fn new() -> Self {
+            SyntheticEvaluator {
+                objectives: vec![Objective::ExecutionTime, Objective::Energy],
+            }
+        }
+    }
+
+    impl PolicyEvaluator for SyntheticEvaluator {
+        fn parameter_dim(&self) -> usize {
+            3
+        }
+
+        fn parameter_bound(&self) -> f64 {
+            2.0
+        }
+
+        fn objectives(&self) -> &[Objective] {
+            &self.objectives
+        }
+
+        fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+            // Schaffer-like: o1 = (t0)^2 + small terms, o2 = (t0 - 1)^2 + small terms.
+            let o1 = theta[0].powi(2) + 0.05 * theta[1].powi(2) + 0.05 * theta[2].powi(2) + 1.0;
+            let o2 =
+                (theta[0] - 1.0).powi(2) + 0.05 * theta[1].powi(2) + 0.05 * theta[2].powi(2) + 1.0;
+            Ok(vec![o1, o2])
+        }
+    }
+
+    fn quick_config(iterations: usize) -> ParmisConfig {
+        ParmisConfig {
+            max_iterations: iterations,
+            initial_samples: 6,
+            num_pareto_samples: 1,
+            sampling: ParetoSamplingConfig {
+                rff_features: 60,
+                nsga_population: 16,
+                nsga_generations: 8,
+            },
+            acquisition: AcquisitionOptimizerConfig {
+                random_candidates: 24,
+                local_candidates: 8,
+                local_perturbation: 0.2,
+            },
+            refit_hyperparameters_every: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn configuration_validation() {
+        let evaluator = SyntheticEvaluator::new();
+        let bad = ParmisConfig {
+            max_iterations: 1,
+            ..quick_config(10)
+        };
+        assert!(matches!(
+            Parmis::new(bad).run(&evaluator),
+            Err(ParmisError::InvalidConfig { .. })
+        ));
+        let bad = ParmisConfig {
+            num_pareto_samples: 0,
+            ..quick_config(10)
+        };
+        assert!(Parmis::new(bad).run(&evaluator).is_err());
+
+        struct OneObjective;
+        impl PolicyEvaluator for OneObjective {
+            fn parameter_dim(&self) -> usize {
+                2
+            }
+            fn objectives(&self) -> &[Objective] {
+                &[Objective::Energy]
+            }
+            fn evaluate(&self, _: &[f64]) -> Result<Vec<f64>> {
+                Ok(vec![1.0])
+            }
+        }
+        assert!(Parmis::new(quick_config(10)).run(&OneObjective).is_err());
+    }
+
+    #[test]
+    fn search_improves_over_the_initial_random_design() {
+        let evaluator = SyntheticEvaluator::new();
+        let outcome = Parmis::new(quick_config(24)).run(&evaluator).unwrap();
+        assert_eq!(outcome.history.len(), 24);
+        assert!(!outcome.front.is_empty());
+        // PHV is non-decreasing and improved after the initial design.
+        let initial_phv = outcome.phv_history[5];
+        let final_phv = outcome.final_phv();
+        assert!(final_phv >= initial_phv);
+        assert!(
+            final_phv > initial_phv * 1.001 || final_phv > 0.0,
+            "search should improve PHV ({initial_phv} -> {final_phv})"
+        );
+        for pair in outcome.phv_history.windows(2) {
+            assert!(pair[1] + 1e-12 >= pair[0], "PHV trajectory must be monotone");
+        }
+    }
+
+    #[test]
+    fn model_guided_iterations_record_acquisition_values() {
+        let evaluator = SyntheticEvaluator::new();
+        let outcome = Parmis::new(quick_config(16)).run(&evaluator).unwrap();
+        for (i, r) in outcome.history.iter().enumerate() {
+            assert_eq!(r.iteration, i);
+            assert_eq!(r.objectives.len(), 2);
+            if i < 6 {
+                assert!(r.acquisition_value.is_none());
+            } else {
+                assert!(r.acquisition_value.is_some());
+                assert!(r.acquisition_value.unwrap().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn front_points_are_close_to_the_true_pareto_set() {
+        // True Pareto set of the synthetic problem: theta0 in [0, 1], theta1 = theta2 = 0.
+        let evaluator = SyntheticEvaluator::new();
+        let outcome = Parmis::new(quick_config(40)).run(&evaluator).unwrap();
+        let mut near_optimal = 0;
+        for entry in outcome.front.iter() {
+            let t = &entry.tag;
+            if t[0] > -0.4 && t[0] < 1.4 && t[1].abs() < 1.2 && t[2].abs() < 1.2 {
+                near_optimal += 1;
+            }
+        }
+        assert!(
+            near_optimal as f64 / outcome.front.len() as f64 > 0.5,
+            "most front policies should be near the true Pareto set ({near_optimal}/{})",
+            outcome.front.len()
+        );
+    }
+
+    #[test]
+    fn early_stopping_fires_when_the_front_stalls() {
+        let evaluator = SyntheticEvaluator::new();
+        let config = ParmisConfig {
+            convergence_window: 3,
+            ..quick_config(60)
+        };
+        let outcome = Parmis::new(config).run(&evaluator).unwrap();
+        if let Some(at) = outcome.converged_at {
+            assert!(outcome.history.len() <= at + 1);
+            assert!(outcome.history.len() < 60);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_identical_seeds() {
+        let evaluator = SyntheticEvaluator::new();
+        let a = Parmis::new(quick_config(14)).run(&evaluator).unwrap();
+        let b = Parmis::new(quick_config(14)).run(&evaluator).unwrap();
+        assert_eq!(a.history.len(), b.history.len());
+        for (ra, rb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ra.theta, rb.theta);
+            assert_eq!(ra.objectives, rb.objectives);
+        }
+        let mut config = quick_config(14);
+        config.seed = 999;
+        let c = Parmis::new(config).run(&evaluator).unwrap();
+        assert_ne!(a.history[7].theta, c.history[7].theta);
+    }
+
+    #[test]
+    fn progress_callback_sees_every_iteration() {
+        let evaluator = SyntheticEvaluator::new();
+        let mut seen = Vec::new();
+        Parmis::new(quick_config(12))
+            .run_with_progress(&evaluator, |i, r| {
+                seen.push((i, r.objectives.len()));
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 12);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[11].0, 11);
+    }
+
+    #[test]
+    fn reporting_front_unnegates_maximized_objectives() {
+        struct PpwEvaluator {
+            objectives: Vec<Objective>,
+        }
+        impl PolicyEvaluator for PpwEvaluator {
+            fn parameter_dim(&self) -> usize {
+                2
+            }
+            fn parameter_bound(&self) -> f64 {
+                1.0
+            }
+            fn objectives(&self) -> &[Objective] {
+                &self.objectives
+            }
+            fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+                Ok(vec![theta[0].abs() + 1.0, -(2.0 - theta[0].abs())])
+            }
+        }
+        let evaluator = PpwEvaluator {
+            objectives: vec![Objective::ExecutionTime, Objective::PerformancePerWatt],
+        };
+        let outcome = Parmis::new(quick_config(10)).run(&evaluator).unwrap();
+        for v in outcome.reporting_front() {
+            assert!(v[1] > 0.0, "reported PPW must be positive, got {}", v[1]);
+        }
+    }
+
+    #[test]
+    fn lengthscale_grid_scales_with_dimension() {
+        let small = lengthscale_grid(3, 3.0);
+        let large = lengthscale_grid(300, 3.0);
+        assert!(large[0] > small[0] * 5.0);
+        assert_eq!(small.len(), 4);
+    }
+}

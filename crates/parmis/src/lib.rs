@@ -1,0 +1,59 @@
+//! PaRMIS: Learning Pareto-Frontier Resource Management Policies via Information-Theoretic
+//! Search.
+//!
+//! This crate is the paper's primary contribution. A DRM policy is a parametric function
+//! Π_θ (the four-headed MLP of the `policy` crate); PaRMIS searches the parameter space
+//! θ ∈ ℝ^d for the set of policies whose objective vectors form the optimal Pareto front,
+//! using an output-space information-gain acquisition (Algorithm 1 of the paper):
+//!
+//! 1. Fit one Gaussian process per design objective on the policy evaluations collected so
+//!    far ([`framework`], using the `gp` crate).
+//! 2. Sample Pareto fronts of the *model*: draw one function per objective from its GP
+//!    posterior with random Fourier features and solve the cheap multi-objective problem over
+//!    the samples with NSGA-II ([`pareto_sampling`]).
+//! 3. Score candidate policies with the closed-form truncated-Gaussian information-gain
+//!    expression, Eq. 9 of the paper ([`acquisition`]), and pick the maximizer
+//!    ([`acquisition::AcquisitionOptimizer`]).
+//! 4. Evaluate the selected policy on the platform ([`evaluation`]), append the observation
+//!    and repeat.
+//!
+//! The result is a set of Pareto-frontier DRM policies; at run time the system picks the one
+//! matching the user's desired trade-off ([`moo::ParetoFront::select_by`]).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use parmis::evaluation::SocEvaluator;
+//! use parmis::framework::{Parmis, ParmisConfig};
+//! use parmis::objective::Objective;
+//! use soc_sim::apps::Benchmark;
+//!
+//! # fn main() -> Result<(), parmis::ParmisError> {
+//! let evaluator = SocEvaluator::for_benchmark(
+//!     Benchmark::Qsort,
+//!     vec![Objective::ExecutionTime, Objective::Energy],
+//! );
+//! let config = ParmisConfig { max_iterations: 60, ..ParmisConfig::default() };
+//! let outcome = Parmis::new(config).run(&evaluator)?;
+//! println!("{} Pareto-frontier policies", outcome.front.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acquisition;
+mod error;
+pub mod evaluation;
+pub mod framework;
+pub mod objective;
+pub mod pareto_sampling;
+
+pub use error::ParmisError;
+pub use evaluation::{GlobalEvaluator, PolicyEvaluator, SocEvaluator};
+pub use framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome};
+pub use objective::Objective;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ParmisError>;

@@ -1,0 +1,107 @@
+//! Feature pipeline from hardware counters to policy inputs.
+//!
+//! All learned controllers (PaRMIS, RL, IL) consume the same normalized nine-dimensional
+//! feature vector derived from [`soc_sim::CounterSnapshot`] (Table I of the paper). Keeping
+//! the pipeline in one place guarantees the "same MLP function with different parameters"
+//! property the paper relies on when comparing implementation overheads (§V-F).
+
+use soc_sim::counters::{CounterSnapshot, FEATURE_COUNT};
+
+/// Number of inputs every policy network receives.
+pub const POLICY_INPUT_DIM: usize = FEATURE_COUNT;
+
+/// Converts a counter snapshot into the normalized feature vector fed to policy networks.
+///
+/// # Examples
+///
+/// ```
+/// use policy::features::{policy_features, POLICY_INPUT_DIM};
+/// use soc_sim::CounterSnapshot;
+///
+/// let f = policy_features(&CounterSnapshot::zeroed());
+/// assert_eq!(f.len(), POLICY_INPUT_DIM);
+/// assert!(f.iter().all(|&v| v == 0.0));
+/// ```
+pub fn policy_features(counters: &CounterSnapshot) -> Vec<f64> {
+    counters.to_normalized_features().to_vec()
+}
+
+/// Derived (per-instruction) statistics occasionally useful for diagnostics and for the RL
+/// baseline's compact state discretization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedRates {
+    /// Cycles per instruction observed in the epoch (0 when no instructions retired).
+    pub cpi: f64,
+    /// L2 misses per kilo-instruction.
+    pub mpki: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_mpki: f64,
+    /// Memory accesses per instruction.
+    pub memory_intensity: f64,
+}
+
+impl DerivedRates {
+    /// Computes the derived rates from a counter snapshot.
+    pub fn from_counters(counters: &CounterSnapshot) -> Self {
+        let instr = counters.instructions_retired;
+        if instr <= 0.0 {
+            return DerivedRates {
+                cpi: 0.0,
+                mpki: 0.0,
+                branch_mpki: 0.0,
+                memory_intensity: 0.0,
+            };
+        }
+        DerivedRates {
+            cpi: counters.cpu_cycles / instr,
+            mpki: counters.l2_cache_misses / instr * 1000.0,
+            branch_mpki: counters.branch_mispredictions / instr * 1000.0,
+            memory_intensity: counters.data_memory_accesses / instr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> CounterSnapshot {
+        CounterSnapshot {
+            instructions_retired: 100e6,
+            cpu_cycles: 250e6,
+            branch_mispredictions: 0.5e6,
+            l2_cache_misses: 1.2e6,
+            data_memory_accesses: 30e6,
+            noncache_external_requests: 1.0e6,
+            little_cluster_utilization_sum: 2.0,
+            big_cluster_utilization_per_core: 0.7,
+            total_chip_power_w: 3.5,
+        }
+    }
+
+    #[test]
+    fn policy_features_have_fixed_dimension_and_are_finite() {
+        let f = policy_features(&snapshot());
+        assert_eq!(f.len(), POLICY_INPUT_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!(f.iter().all(|&v| (0.0..=2.5).contains(&v)));
+    }
+
+    #[test]
+    fn derived_rates_match_hand_computation() {
+        let r = DerivedRates::from_counters(&snapshot());
+        assert!((r.cpi - 2.5).abs() < 1e-12);
+        assert!((r.mpki - 12.0).abs() < 1e-12);
+        assert!((r.branch_mpki - 5.0).abs() < 1e-12);
+        assert!((r.memory_intensity - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_rates_handle_empty_epoch() {
+        let r = DerivedRates::from_counters(&CounterSnapshot::zeroed());
+        assert_eq!(r.cpi, 0.0);
+        assert_eq!(r.mpki, 0.0);
+        assert_eq!(r.branch_mpki, 0.0);
+        assert_eq!(r.memory_intensity, 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! DRM policy representations.
+//!
+//! The paper represents a dynamic-resource-management policy as four small multi-layer
+//! perceptrons — one per control knob (active Big cores, active Little cores, Big frequency,
+//! Little frequency) — each taking the nine Table-I hardware-counter features as input and
+//! emitting a softmax over that knob's choices (§V-A "Policy representation"). PaRMIS, RL and
+//! IL all share this representation; PaRMIS additionally needs the whole policy to be
+//! expressible as a flat parameter vector θ ∈ ℝ^d because its Gaussian-process models live on
+//! that space.
+//!
+//! * [`mlp`] — a plain feed-forward MLP with ReLU hidden layers and a softmax output,
+//!   supporting flat-parameter round-tripping and gradient-free perturbation.
+//! * [`drm_policy`] — [`drm_policy::DrmPolicy`], the four-headed policy that
+//!   implements [`soc_sim::DrmController`] so the simulator can run it directly.
+//! * [`features`] — the feature pipeline from [`soc_sim::CounterSnapshot`] to network inputs.
+//! * [`training`] — a minimal SGD + cross-entropy trainer used by the imitation-learning
+//!   baseline to fit policies to oracle decisions.
+//!
+//! # Examples
+//!
+//! ```
+//! use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
+//! use soc_sim::{DecisionSpace, Platform};
+//! use soc_sim::apps::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = DecisionSpace::exynos5422();
+//! let arch = PolicyArchitecture::paper_default();
+//! // A randomly initialized policy is already a valid controller.
+//! let mut policy = DrmPolicy::random(&space, &arch, 7);
+//! let platform = Platform::odroid_xu3();
+//! let summary = platform.run_application(&Benchmark::Fft.application(), &mut policy, 0)?;
+//! assert!(summary.energy_j > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drm_policy;
+pub mod features;
+pub mod mlp;
+pub mod training;
+
+pub use drm_policy::{DrmPolicy, PolicyArchitecture};
+pub use mlp::Mlp;

@@ -1,0 +1,422 @@
+//! A small feed-forward multi-layer perceptron with ReLU hidden activations and a softmax
+//! output layer, matching the policy representation of the paper (§V-A): "two hidden layers
+//! with the ReLU activation and an output layer with the softmax activation".
+//!
+//! The network is deliberately minimal: dense layers, forward pass, flat-parameter
+//! round-tripping (needed by PaRMIS, which searches the parameter space directly) and the
+//! gradient computation needed by the imitation-learning trainer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A dense feed-forward network: `input -> hidden (ReLU) ... -> output (softmax)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Sizes of every layer, input first, output last.
+    layer_sizes: Vec<usize>,
+    /// Weight matrices stored row-major; `weights[l]` has shape `(sizes[l+1], sizes[l])`.
+    weights: Vec<Vec<f64>>,
+    /// Bias vectors; `biases[l]` has length `sizes[l+1]`.
+    biases: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes and all parameters zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes are supplied or any size is zero.
+    pub fn zeros(layer_sizes: &[usize]) -> Self {
+        assert!(
+            layer_sizes.len() >= 2,
+            "an MLP needs at least an input and an output layer"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in layer_sizes.windows(2) {
+            weights.push(vec![0.0; w[0] * w[1]]);
+            biases.push(vec![0.0; w[1]]);
+        }
+        Mlp {
+            layer_sizes: layer_sizes.to_vec(),
+            weights,
+            biases,
+        }
+    }
+
+    /// Creates a network with He-style random initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`zeros`](Self::zeros).
+    pub fn random(layer_sizes: &[usize], seed: u64) -> Self {
+        let mut mlp = Mlp::zeros(layer_sizes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (l, w) in mlp.weights.iter_mut().enumerate() {
+            let fan_in = layer_sizes[l] as f64;
+            let std = (2.0 / fan_in).sqrt();
+            let dist = Normal::new(0.0, std).expect("valid normal");
+            for v in w.iter_mut() {
+                *v = dist.sample(&mut rng);
+            }
+        }
+        mlp
+    }
+
+    /// Layer sizes, input first.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.layer_sizes
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layer_sizes[0]
+    }
+
+    /// Output dimensionality (number of softmax classes).
+    pub fn output_dim(&self) -> usize {
+        *self.layer_sizes.last().expect("at least two layers")
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.iter().map(Vec::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Flattens all parameters into a single vector (weights then biases, layer by layer).
+    pub fn to_flat_parameters(&self) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.parameter_count());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            flat.extend_from_slice(w);
+            flat.extend_from_slice(b);
+        }
+        flat
+    }
+
+    /// Replaces all parameters from a flat vector produced by
+    /// [`to_flat_parameters`](Self::to_flat_parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` differs from [`parameter_count`](Self::parameter_count).
+    pub fn set_flat_parameters(&mut self, flat: &[f64]) {
+        assert_eq!(
+            flat.len(),
+            self.parameter_count(),
+            "flat parameter vector has the wrong length"
+        );
+        let mut offset = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            let w_len = w.len();
+            w.copy_from_slice(&flat[offset..offset + w_len]);
+            offset += w_len;
+            let b_len = b.len();
+            b.copy_from_slice(&flat[offset..offset + b_len]);
+            offset += b_len;
+        }
+    }
+
+    /// Builds a network of the given shape directly from a flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the architecture.
+    pub fn from_flat_parameters(layer_sizes: &[usize], flat: &[f64]) -> Self {
+        let mut mlp = Mlp::zeros(layer_sizes);
+        mlp.set_flat_parameters(flat);
+        mlp
+    }
+
+    /// Forward pass returning the softmax class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimensionality.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        softmax(&self.logits(input))
+    }
+
+    /// Forward pass returning the raw (pre-softmax) output logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimensionality.
+    pub fn logits(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_trace(input).logits
+    }
+
+    /// The index of the most probable class for `input`.
+    pub fn predict_class(&self, input: &[f64]) -> usize {
+        let probs = self.forward(input);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Forward pass that keeps the per-layer activations (needed for backpropagation).
+    fn forward_trace(&self, input: &[f64]) -> ForwardTrace {
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "input has wrong dimensionality"
+        );
+        let mut activations = vec![input.to_vec()];
+        let mut current = input.to_vec();
+        let last = self.weights.len() - 1;
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let rows = self.layer_sizes[l + 1];
+            let cols = self.layer_sizes[l];
+            let mut next = vec![0.0; rows];
+            for r in 0..rows {
+                let mut acc = b[r];
+                let row = &w[r * cols..(r + 1) * cols];
+                for (x, wv) in current.iter().zip(row) {
+                    acc += x * wv;
+                }
+                next[r] = acc;
+            }
+            if l != last {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+                activations.push(next.clone());
+            }
+            current = next;
+        }
+        ForwardTrace {
+            activations,
+            logits: current,
+        }
+    }
+
+    /// One step of stochastic gradient descent on the cross-entropy loss for a single
+    /// `(input, target_class)` example. Returns the loss before the update.
+    ///
+    /// Used by the imitation-learning baseline to mimic oracle decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_class >= output_dim()` or the input dimension is wrong.
+    pub fn sgd_step(&mut self, input: &[f64], target_class: usize, learning_rate: f64) -> f64 {
+        assert!(
+            target_class < self.output_dim(),
+            "target class {target_class} out of range"
+        );
+        let trace = self.forward_trace(input);
+        let probs = softmax(&trace.logits);
+        let loss = -(probs[target_class].max(1e-12)).ln();
+
+        // Output-layer error: softmax + cross-entropy gives (p - onehot).
+        let mut delta: Vec<f64> = probs;
+        delta[target_class] -= 1.0;
+
+        // Backpropagate layer by layer.
+        for l in (0..self.weights.len()).rev() {
+            let rows = self.layer_sizes[l + 1];
+            let cols = self.layer_sizes[l];
+            let activation = &trace.activations[l];
+            // Gradient w.r.t. the previous layer's activations (before applying ReLU mask).
+            let mut prev_delta = vec![0.0; cols];
+            {
+                let w = &self.weights[l];
+                for r in 0..rows {
+                    let row = &w[r * cols..(r + 1) * cols];
+                    for c in 0..cols {
+                        prev_delta[c] += row[c] * delta[r];
+                    }
+                }
+            }
+            // Parameter update.
+            {
+                let w = &mut self.weights[l];
+                let b = &mut self.biases[l];
+                for r in 0..rows {
+                    let row = &mut w[r * cols..(r + 1) * cols];
+                    for c in 0..cols {
+                        row[c] -= learning_rate * delta[r] * activation[c];
+                    }
+                    b[r] -= learning_rate * delta[r];
+                }
+            }
+            if l > 0 {
+                // Apply the ReLU derivative of the hidden activation.
+                for (d, a) in prev_delta.iter_mut().zip(&trace.activations[l]) {
+                    if *a <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                delta = prev_delta;
+            }
+        }
+        loss
+    }
+}
+
+struct ForwardTrace {
+    /// Post-activation values of the input and every hidden layer.
+    activations: Vec<Vec<f64>>,
+    /// Raw output logits.
+    logits: Vec<f64>,
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return vec![1.0 / logits.len() as f64; logits.len()];
+    }
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        // 9 inputs, two hidden layers of 8, 5 outputs:
+        // (9*8 + 8) + (8*8 + 8) + (8*5 + 5) = 80 + 72 + 45 = 197.
+        let mlp = Mlp::zeros(&[9, 8, 8, 5]);
+        assert_eq!(mlp.parameter_count(), 197);
+        assert_eq!(mlp.input_dim(), 9);
+        assert_eq!(mlp.output_dim(), 5);
+        assert_eq!(mlp.layer_sizes(), &[9, 8, 8, 5]);
+    }
+
+    #[test]
+    fn flat_parameter_roundtrip() {
+        let mlp = Mlp::random(&[4, 6, 3], 11);
+        let flat = mlp.to_flat_parameters();
+        assert_eq!(flat.len(), mlp.parameter_count());
+        let rebuilt = Mlp::from_flat_parameters(&[4, 6, 3], &flat);
+        assert_eq!(rebuilt, mlp);
+        // Perturbing one parameter changes the output.
+        let mut perturbed = flat.clone();
+        perturbed[0] += 5.0;
+        let other = Mlp::from_flat_parameters(&[4, 6, 3], &perturbed);
+        assert_ne!(other.forward(&[1.0, 0.5, -0.5, 2.0]), mlp.forward(&[1.0, 0.5, -0.5, 2.0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_flat_parameters_rejects_wrong_length() {
+        let mut mlp = Mlp::zeros(&[2, 2]);
+        mlp.set_flat_parameters(&[1.0]);
+    }
+
+    #[test]
+    fn softmax_output_is_a_distribution() {
+        let mlp = Mlp::random(&[9, 8, 8, 4], 3);
+        let input: Vec<f64> = (0..9).map(|i| i as f64 * 0.1).collect();
+        let probs = mlp.forward(&input);
+        assert_eq!(probs.len(), 4);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| p >= 0.0 && p <= 1.0));
+        assert!(mlp.predict_class(&input) < 4);
+    }
+
+    #[test]
+    fn zero_network_is_uniform() {
+        let mlp = Mlp::zeros(&[3, 4, 5]);
+        let probs = mlp.forward(&[1.0, -2.0, 0.5]);
+        for p in probs {
+            assert!((p - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_networks_differ_across_seeds_but_not_within() {
+        let a = Mlp::random(&[5, 6, 2], 1);
+        let b = Mlp::random(&[5, 6, 2], 1);
+        let c = Mlp::random(&[5, 6, 2], 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1000.0, -1000.0, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!(p[1] < 1e-9);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sgd_learns_a_simple_mapping() {
+        // Two clusters in 2-D: class 0 when x0 > x1, class 1 otherwise.
+        let mut mlp = Mlp::random(&[2, 8, 2], 42);
+        let examples: Vec<(Vec<f64>, usize)> = vec![
+            (vec![1.0, 0.0], 0),
+            (vec![0.8, 0.2], 0),
+            (vec![0.9, -0.5], 0),
+            (vec![0.2, 0.9], 1),
+            (vec![0.0, 1.0], 1),
+            (vec![-0.3, 0.4], 1),
+        ];
+        let mut last_avg = f64::INFINITY;
+        for epoch in 0..300 {
+            let mut total = 0.0;
+            for (x, y) in &examples {
+                total += mlp.sgd_step(x, *y, 0.1);
+            }
+            let avg = total / examples.len() as f64;
+            if epoch == 0 {
+                last_avg = avg;
+            }
+        }
+        // Loss decreased substantially and classification is perfect.
+        let final_loss: f64 = examples
+            .iter()
+            .map(|(x, y)| {
+                let p = mlp.forward(x);
+                -(p[*y].max(1e-12)).ln()
+            })
+            .sum::<f64>()
+            / examples.len() as f64;
+        assert!(final_loss < last_avg * 0.5, "loss {final_loss} vs initial {last_avg}");
+        for (x, y) in &examples {
+            assert_eq!(mlp.predict_class(x), *y);
+        }
+    }
+
+    #[test]
+    fn sgd_step_returns_positive_loss_and_respects_bounds() {
+        let mut mlp = Mlp::random(&[3, 4, 3], 9);
+        let loss = mlp.sgd_step(&[0.1, 0.2, 0.3], 2, 0.01);
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sgd_step_rejects_bad_class() {
+        let mut mlp = Mlp::random(&[3, 4, 3], 9);
+        mlp.sgd_step(&[0.1, 0.2, 0.3], 7, 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_rejects_wrong_input_size() {
+        let mlp = Mlp::zeros(&[3, 2]);
+        mlp.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_layer_size_rejected() {
+        Mlp::zeros(&[3, 0, 2]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Supervised training of DRM policies from labelled decisions.
+//!
+//! The imitation-learning baseline (paper §V-B) creates an Oracle policy and then trains the
+//! shared MLP representation to mimic it. This module provides that trainer: a plain SGD
+//! cross-entropy fit of the four heads on a dataset of (counter snapshot, oracle knob
+//! indices) pairs.
+
+use crate::drm_policy::{DrmPolicy, Knob};
+use crate::features::policy_features;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use soc_sim::counters::CounterSnapshot;
+
+/// One labelled example: the observed counters and the target action index for every knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledDecision {
+    /// Hardware counters observed before the decision.
+    pub counters: CounterSnapshot,
+    /// Oracle action index per knob (Big cores, Little cores, Big freq, Little freq).
+    pub knob_indices: [usize; 4],
+}
+
+/// Configuration of the supervised trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            epochs: 60,
+            learning_rate: 0.05,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// Mean cross-entropy loss (summed over the four heads) after each epoch.
+    pub loss_history: Vec<f64>,
+    /// Fraction of examples whose four knob predictions all match the labels, measured after
+    /// training on the training set itself.
+    pub final_accuracy: f64,
+}
+
+/// Trains `policy` in place to imitate the labelled decisions.
+///
+/// Returns a [`TrainingReport`]; an empty dataset yields an empty history and zero accuracy.
+///
+/// # Examples
+///
+/// ```
+/// use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
+/// use policy::training::{train_policy, LabelledDecision, TrainingConfig};
+/// use soc_sim::{CounterSnapshot, DecisionSpace};
+///
+/// let space = DecisionSpace::exynos5422();
+/// let mut policy = DrmPolicy::random(&space, &PolicyArchitecture::paper_default(), 1);
+/// let data = vec![LabelledDecision {
+///     counters: CounterSnapshot::zeroed(),
+///     knob_indices: [4, 3, 18, 12],
+/// }];
+/// let report = train_policy(&mut policy, &data, &TrainingConfig::default());
+/// assert_eq!(report.loss_history.len(), TrainingConfig::default().epochs);
+/// assert!(report.final_accuracy > 0.99);
+/// ```
+pub fn train_policy(
+    policy: &mut DrmPolicy,
+    dataset: &[LabelledDecision],
+    config: &TrainingConfig,
+) -> TrainingReport {
+    if dataset.is_empty() {
+        return TrainingReport {
+            loss_history: Vec::new(),
+            final_accuracy: 0.0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    let mut loss_history = Vec::with_capacity(config.epochs);
+
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for &idx in &order {
+            let example = &dataset[idx];
+            let features = policy_features(&example.counters);
+            for (head_idx, knob) in Knob::ALL.iter().enumerate() {
+                let target = example.knob_indices[head_idx];
+                let head = policy.head_mut(*knob);
+                let target = target.min(head.output_dim() - 1);
+                epoch_loss += head.sgd_step(&features, target, config.learning_rate);
+            }
+        }
+        loss_history.push(epoch_loss / dataset.len() as f64);
+    }
+
+    let final_accuracy = accuracy(policy, dataset);
+    TrainingReport {
+        loss_history,
+        final_accuracy,
+    }
+}
+
+/// Fraction of examples for which every knob prediction matches its label.
+pub fn accuracy(policy: &DrmPolicy, dataset: &[LabelledDecision]) -> f64 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let head_dims: Vec<usize> = Knob::ALL
+        .iter()
+        .map(|&k| policy.head(k).output_dim())
+        .collect();
+    let correct = dataset
+        .iter()
+        .filter(|ex| {
+            let features = policy_features(&ex.counters);
+            let predicted = policy.decide_indices(&features);
+            predicted
+                .iter()
+                .zip(&ex.knob_indices)
+                .zip(&head_dims)
+                // Labels are clamped to the head's range, exactly as training clamps them.
+                .all(|((p, t), dim)| *p == (*t).min(dim - 1))
+        })
+        .count();
+    correct as f64 / dataset.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drm_policy::PolicyArchitecture;
+    use soc_sim::DecisionSpace;
+
+    fn counters_with_power(power: f64, util: f64) -> CounterSnapshot {
+        CounterSnapshot {
+            instructions_retired: 5e7,
+            cpu_cycles: 1e8,
+            branch_mispredictions: 1e5,
+            l2_cache_misses: 3e5,
+            data_memory_accesses: 1e7,
+            noncache_external_requests: 2e5,
+            little_cluster_utilization_sum: util * 4.0,
+            big_cluster_utilization_per_core: util,
+            total_chip_power_w: power,
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_a_noop() {
+        let space = DecisionSpace::exynos5422();
+        let mut policy = DrmPolicy::random(&space, &PolicyArchitecture::paper_default(), 1);
+        let before = policy.to_flat_parameters();
+        let report = train_policy(&mut policy, &[], &TrainingConfig::default());
+        assert!(report.loss_history.is_empty());
+        assert_eq!(report.final_accuracy, 0.0);
+        assert_eq!(policy.to_flat_parameters(), before);
+    }
+
+    #[test]
+    fn training_fits_a_state_dependent_oracle() {
+        // Oracle: low power -> fast configuration, high power -> frugal configuration.
+        let space = DecisionSpace::exynos5422();
+        let mut policy = DrmPolicy::random(&space, &PolicyArchitecture::paper_default(), 3);
+        let mut dataset = Vec::new();
+        for i in 0..12 {
+            let low_power = counters_with_power(0.5 + i as f64 * 0.02, 0.9);
+            dataset.push(LabelledDecision {
+                counters: low_power,
+                knob_indices: [4, 3, 18, 12],
+            });
+            let high_power = counters_with_power(6.0 + i as f64 * 0.05, 0.3);
+            dataset.push(LabelledDecision {
+                counters: high_power,
+                knob_indices: [0, 0, 2, 3],
+            });
+        }
+        let config = TrainingConfig {
+            epochs: 200,
+            learning_rate: 0.08,
+            seed: 5,
+        };
+        let report = train_policy(&mut policy, &dataset, &config);
+        assert_eq!(report.loss_history.len(), 200);
+        assert!(
+            report.loss_history.last().unwrap() < &report.loss_history[0],
+            "loss should decrease"
+        );
+        assert!(
+            report.final_accuracy > 0.9,
+            "policy should fit the oracle, accuracy {}",
+            report.final_accuracy
+        );
+    }
+
+    #[test]
+    fn labels_beyond_head_range_are_clamped_not_panicking() {
+        let space = DecisionSpace::exynos5422();
+        let mut policy = DrmPolicy::random(&space, &PolicyArchitecture::paper_default(), 9);
+        let dataset = vec![LabelledDecision {
+            counters: CounterSnapshot::zeroed(),
+            knob_indices: [40, 40, 40, 40],
+        }];
+        let report = train_policy(
+            &mut policy,
+            &dataset,
+            &TrainingConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.loss_history.len(), 30);
+    }
+
+    #[test]
+    fn accuracy_of_untrained_policy_is_low_on_random_labels() {
+        let space = DecisionSpace::exynos5422();
+        let policy = DrmPolicy::random(&space, &PolicyArchitecture::paper_default(), 17);
+        let dataset: Vec<LabelledDecision> = (0..10)
+            .map(|i| LabelledDecision {
+                counters: counters_with_power(i as f64 * 0.7, 0.5),
+                knob_indices: [(i * 3) % 5, (i * 7) % 4, (i * 11) % 19, (i * 5) % 13],
+            })
+            .collect();
+        let acc = accuracy(&policy, &dataset);
+        assert!(acc <= 0.5, "random labels should not be matched well, got {acc}");
+    }
+}

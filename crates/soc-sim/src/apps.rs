@@ -1,0 +1,391 @@
+//! The 12 benchmark applications used in the paper's evaluation.
+//!
+//! The paper runs MiBench (Basicmath, Dijkstra, FFT, Qsort, SHA, Blowfish, StringSearch) and
+//! CortexSuite (AES, Kmeans, Spectral, MotionEst, PCA) programs with "large" inputs. Since
+//! neither the binaries nor the profiling traces are available here, each benchmark is
+//! described by a small number of phases whose characteristics (parallel fraction, memory
+//! intensity, cache behaviour, branchiness, ILP) follow each program's published
+//! characterization: crypto kernels are compute-bound and serial-ish, Dijkstra is
+//! pointer-chasing and memory-latency bound, Kmeans/PCA/Spectral are data-parallel with heavy
+//! memory traffic, and so on. What matters for reproducing the paper is that the benchmarks
+//! span distinct regions of the (compute ↔ memory, serial ↔ parallel) plane, so that the best
+//! DRM configuration differs per application and per phase.
+
+use crate::workload::{Application, ApplicationBuilder, PhaseSpec};
+
+/// Identifier for one of the 12 evaluated benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// MiBench basicmath: scalar math kernels, compute-bound, mostly serial.
+    Basicmath,
+    /// MiBench dijkstra: shortest paths over an adjacency matrix, latency-bound.
+    Dijkstra,
+    /// MiBench FFT: radix-2 FFT, mixed compute/memory, moderately parallel.
+    Fft,
+    /// MiBench qsort: branchy comparison sort with irregular accesses.
+    Qsort,
+    /// MiBench SHA: secure hash, integer compute-bound, serial.
+    Sha,
+    /// MiBench blowfish: block cipher, compute-bound with table lookups.
+    Blowfish,
+    /// MiBench stringsearch: Boyer-Moore search, branchy streaming reads.
+    StringSearch,
+    /// CortexSuite-style AES encryption of a large buffer.
+    Aes,
+    /// CortexSuite k-means clustering: data-parallel, memory-heavy.
+    Kmeans,
+    /// CortexSuite spectral clustering: dense linear algebra, parallel.
+    Spectral,
+    /// Motion estimation (video): block matching, high ILP, data-parallel.
+    MotionEst,
+    /// Principal component analysis: large matrix products, memory-bound, parallel.
+    Pca,
+}
+
+impl Benchmark {
+    /// All 12 benchmarks in the order the paper's figures list them.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Basicmath,
+        Benchmark::Dijkstra,
+        Benchmark::Fft,
+        Benchmark::Qsort,
+        Benchmark::Sha,
+        Benchmark::Blowfish,
+        Benchmark::StringSearch,
+        Benchmark::Aes,
+        Benchmark::Kmeans,
+        Benchmark::Spectral,
+        Benchmark::MotionEst,
+        Benchmark::Pca,
+    ];
+
+    /// Lower-case benchmark name as used in reports and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Basicmath => "basicmath",
+            Benchmark::Dijkstra => "dijkstra",
+            Benchmark::Fft => "fft",
+            Benchmark::Qsort => "qsort",
+            Benchmark::Sha => "sha",
+            Benchmark::Blowfish => "blowfish",
+            Benchmark::StringSearch => "stringsearch",
+            Benchmark::Aes => "aes",
+            Benchmark::Kmeans => "kmeans",
+            Benchmark::Spectral => "spectral",
+            Benchmark::MotionEst => "motionest",
+            Benchmark::Pca => "pca",
+        }
+    }
+
+    /// Looks a benchmark up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Builds the synthetic [`Application`] for this benchmark.
+    pub fn application(&self) -> Application {
+        let app = match self {
+            Benchmark::Basicmath => basicmath(),
+            Benchmark::Dijkstra => dijkstra(),
+            Benchmark::Fft => fft(),
+            Benchmark::Qsort => qsort(),
+            Benchmark::Sha => sha(),
+            Benchmark::Blowfish => blowfish(),
+            Benchmark::StringSearch => stringsearch(),
+            Benchmark::Aes => aes(),
+            Benchmark::Kmeans => kmeans(),
+            Benchmark::Spectral => spectral(),
+            Benchmark::MotionEst => motionest(),
+            Benchmark::Pca => pca(),
+        };
+        app.expect("built-in benchmark definitions are valid")
+    }
+
+    /// Convenience: the applications of all 12 benchmarks.
+    pub fn all_applications() -> Vec<Application> {
+        Benchmark::ALL.iter().map(|b| b.application()).collect()
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Helper to build a phase with less repetition.
+#[allow(clippy::too_many_arguments)]
+fn phase(
+    name: &str,
+    instructions_m: f64,
+    parallel: f64,
+    mem_refs: f64,
+    l2_miss: f64,
+    branches: f64,
+    branch_miss: f64,
+    ilp: f64,
+) -> PhaseSpec {
+    PhaseSpec {
+        name: name.into(),
+        instructions: instructions_m * 1e6,
+        parallel_fraction: parallel,
+        memory_refs_per_instr: mem_refs,
+        l2_miss_rate: l2_miss,
+        branch_fraction: branches,
+        branch_miss_rate: branch_miss,
+        ilp_scale: ilp,
+    }
+}
+
+fn basicmath() -> crate::Result<Application> {
+    ApplicationBuilder::new("basicmath")
+        .phase(phase("cubic-solver", 90.0, 0.15, 0.12, 0.004, 0.10, 0.02, 0.95), 3)
+        .phase(phase("rad2deg", 70.0, 0.30, 0.18, 0.008, 0.08, 0.02, 0.90), 2)
+        .phase(phase("isqrt", 60.0, 0.10, 0.10, 0.003, 0.14, 0.04, 0.85), 2)
+        .cycles(8)
+        .jitter(0.08)
+        .seed(101)
+        .build()
+}
+
+fn dijkstra() -> crate::Result<Application> {
+    ApplicationBuilder::new("dijkstra")
+        .phase(phase("graph-load", 50.0, 0.10, 0.40, 0.06, 0.10, 0.05, 0.60), 1)
+        .phase(phase("relaxation", 80.0, 0.20, 0.38, 0.07, 0.16, 0.09, 0.55), 5)
+        .phase(phase("queue-update", 45.0, 0.10, 0.30, 0.05, 0.20, 0.11, 0.60), 2)
+        .cycles(7)
+        .jitter(0.10)
+        .seed(102)
+        .build()
+}
+
+fn fft() -> crate::Result<Application> {
+    ApplicationBuilder::new("fft")
+        .phase(phase("bit-reverse", 40.0, 0.50, 0.30, 0.06, 0.08, 0.03, 0.75), 1)
+        .phase(phase("butterfly", 110.0, 0.70, 0.24, 0.05, 0.06, 0.02, 0.90), 4)
+        .phase(phase("twiddle", 60.0, 0.60, 0.16, 0.02, 0.07, 0.02, 0.92), 2)
+        .cycles(8)
+        .jitter(0.07)
+        .seed(103)
+        .build()
+}
+
+fn qsort() -> crate::Result<Application> {
+    ApplicationBuilder::new("qsort")
+        .phase(phase("partition", 85.0, 0.45, 0.30, 0.05, 0.22, 0.12, 0.70), 4)
+        .phase(phase("insertion-tail", 40.0, 0.15, 0.24, 0.03, 0.25, 0.10, 0.72), 2)
+        .phase(phase("copy-back", 35.0, 0.60, 0.42, 0.08, 0.05, 0.02, 0.65), 1)
+        .cycles(8)
+        .jitter(0.10)
+        .seed(104)
+        .build()
+}
+
+fn sha() -> crate::Result<Application> {
+    ApplicationBuilder::new("sha")
+        .phase(phase("message-schedule", 70.0, 0.10, 0.14, 0.010, 0.05, 0.01, 0.95), 2)
+        .phase(phase("compression", 120.0, 0.08, 0.08, 0.004, 0.04, 0.01, 1.00), 5)
+        .cycles(8)
+        .jitter(0.05)
+        .seed(105)
+        .build()
+}
+
+fn blowfish() -> crate::Result<Application> {
+    ApplicationBuilder::new("blowfish")
+        .phase(phase("key-schedule", 55.0, 0.05, 0.18, 0.015, 0.06, 0.02, 0.90), 1)
+        .phase(phase("feistel-rounds", 100.0, 0.35, 0.20, 0.012, 0.05, 0.01, 0.95), 5)
+        .cycles(9)
+        .jitter(0.06)
+        .seed(106)
+        .build()
+}
+
+fn stringsearch() -> crate::Result<Application> {
+    ApplicationBuilder::new("stringsearch")
+        .phase(phase("preprocess", 30.0, 0.10, 0.22, 0.02, 0.18, 0.08, 0.80), 1)
+        .phase(phase("scan", 75.0, 0.40, 0.34, 0.06, 0.24, 0.10, 0.70), 5)
+        .cycles(9)
+        .jitter(0.09)
+        .seed(107)
+        .build()
+}
+
+fn aes() -> crate::Result<Application> {
+    ApplicationBuilder::new("aes")
+        .phase(phase("key-expansion", 40.0, 0.05, 0.16, 0.010, 0.06, 0.02, 0.92), 1)
+        .phase(phase("encrypt-blocks", 120.0, 0.55, 0.22, 0.020, 0.04, 0.01, 0.95), 5)
+        .phase(phase("output-whitening", 45.0, 0.45, 0.28, 0.030, 0.05, 0.02, 0.88), 1)
+        .cycles(8)
+        .jitter(0.06)
+        .seed(108)
+        .build()
+}
+
+fn kmeans() -> crate::Result<Application> {
+    ApplicationBuilder::new("kmeans")
+        .phase(phase("assign", 130.0, 0.85, 0.36, 0.09, 0.08, 0.03, 0.80), 4)
+        .phase(phase("update-centroids", 60.0, 0.70, 0.30, 0.07, 0.06, 0.02, 0.78), 2)
+        .phase(phase("convergence-check", 25.0, 0.20, 0.20, 0.03, 0.12, 0.04, 0.85), 1)
+        .cycles(8)
+        .jitter(0.08)
+        .seed(109)
+        .build()
+}
+
+fn spectral() -> crate::Result<Application> {
+    ApplicationBuilder::new("spectral")
+        .phase(phase("affinity-matrix", 110.0, 0.80, 0.32, 0.08, 0.05, 0.02, 0.82), 3)
+        .phase(phase("eigen-iteration", 130.0, 0.75, 0.26, 0.06, 0.06, 0.02, 0.88), 4)
+        .phase(phase("cluster-assign", 50.0, 0.60, 0.30, 0.05, 0.10, 0.04, 0.80), 1)
+        .cycles(7)
+        .jitter(0.07)
+        .seed(110)
+        .build()
+}
+
+fn motionest() -> crate::Result<Application> {
+    ApplicationBuilder::new("motionest")
+        .phase(phase("block-match", 140.0, 0.90, 0.28, 0.04, 0.07, 0.02, 0.92), 5)
+        .phase(phase("vector-refine", 60.0, 0.65, 0.22, 0.03, 0.10, 0.04, 0.88), 2)
+        .cycles(8)
+        .jitter(0.08)
+        .seed(111)
+        .build()
+}
+
+fn pca() -> crate::Result<Application> {
+    ApplicationBuilder::new("pca")
+        .phase(phase("covariance", 150.0, 0.85, 0.40, 0.12, 0.04, 0.01, 0.75), 4)
+        .phase(phase("eigen-decomp", 90.0, 0.55, 0.30, 0.08, 0.08, 0.03, 0.80), 3)
+        .phase(phase("projection", 70.0, 0.80, 0.38, 0.10, 0.04, 0.01, 0.78), 2)
+        .cycles(6)
+        .jitter(0.09)
+        .seed(112)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DrmDecision;
+    use crate::counters::CounterSnapshot;
+    use crate::platform::{DrmController, Platform};
+
+    struct Fixed(DrmDecision);
+    impl DrmController for Fixed {
+        fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+            self.0
+        }
+    }
+
+    #[test]
+    fn twelve_benchmarks_with_unique_names() {
+        assert_eq!(Benchmark::ALL.len(), 12);
+        let names: std::collections::HashSet<&str> =
+            Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 12);
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(Benchmark::from_name("does-not-exist"), None);
+    }
+
+    #[test]
+    fn all_applications_build_and_are_nontrivial() {
+        for app in Benchmark::all_applications() {
+            assert!(app.epoch_count() >= 20, "{} too short", app.name);
+            assert!(app.epoch_count() <= 120, "{} too long", app.name);
+            assert!(app.total_instructions() > 1e9, "{} too little work", app.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_span_distinct_workload_characteristics() {
+        let mean = |app: &crate::workload::Application, f: fn(&PhaseSpec) -> f64| {
+            app.epochs.iter().map(f).sum::<f64>() / app.epoch_count() as f64
+        };
+        let dijkstra = Benchmark::Dijkstra.application();
+        let sha = Benchmark::Sha.application();
+        let kmeans = Benchmark::Kmeans.application();
+
+        // Dijkstra is far more memory-bound than SHA.
+        let mem = |p: &PhaseSpec| p.memory_refs_per_instr * p.l2_miss_rate;
+        assert!(mean(&dijkstra, mem) > 5.0 * mean(&sha, mem));
+        // Kmeans is far more parallel than SHA.
+        let par = |p: &PhaseSpec| p.parallel_fraction;
+        assert!(mean(&kmeans, par) > 2.0 * mean(&sha, par));
+    }
+
+    #[test]
+    fn execution_times_fall_in_the_papers_range() {
+        // The paper reports per-application execution times of roughly 1-20 s depending on
+        // configuration; check the two extreme configurations bracket a plausible range.
+        let platform = Platform::odroid_xu3();
+        let space = platform.spec().decision_space().clone();
+        for b in [Benchmark::Qsort, Benchmark::Pca, Benchmark::Dijkstra] {
+            let app = b.application();
+            let fast = platform
+                .run_application(&app, &mut Fixed(space.performance_decision()), 0)
+                .unwrap();
+            let slow = platform
+                .run_application(&app, &mut Fixed(space.powersave_decision()), 0)
+                .unwrap();
+            assert!(
+                fast.execution_time_s > 0.3 && fast.execution_time_s < 20.0,
+                "{}: fast run {} s out of range",
+                b,
+                fast.execution_time_s
+            );
+            assert!(
+                slow.execution_time_s > fast.execution_time_s,
+                "{}: powersave must be slower",
+                b
+            );
+            assert!(
+                slow.execution_time_s < 150.0,
+                "{}: slow run {} s unreasonably long",
+                b,
+                slow.execution_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn different_benchmarks_prefer_different_configurations() {
+        // A memory-bound benchmark (dijkstra) should gain much less from the performance
+        // configuration relative to a mid-frequency one than a compute-bound benchmark (sha).
+        let platform = Platform::odroid_xu3();
+        let mid = DrmDecision {
+            big_cores: 4,
+            little_cores: 1,
+            big_freq_mhz: 1000,
+            little_freq_mhz: 200,
+        };
+        let max = DrmDecision {
+            big_cores: 4,
+            little_cores: 1,
+            big_freq_mhz: 2000,
+            little_freq_mhz: 200,
+        };
+        let speedup = |b: Benchmark| {
+            let app = b.application();
+            let t_mid = platform
+                .run_application(&app, &mut Fixed(mid), 0)
+                .unwrap()
+                .execution_time_s;
+            let t_max = platform
+                .run_application(&app, &mut Fixed(max), 0)
+                .unwrap()
+                .execution_time_s;
+            t_mid / t_max
+        };
+        let sha_speedup = speedup(Benchmark::Sha);
+        let dijkstra_speedup = speedup(Benchmark::Dijkstra);
+        assert!(
+            sha_speedup > dijkstra_speedup + 0.1,
+            "sha speedup {sha_speedup} should clearly exceed dijkstra speedup {dijkstra_speedup}"
+        );
+    }
+}

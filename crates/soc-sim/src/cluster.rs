@@ -1,0 +1,236 @@
+//! Core-cluster models: operating performance points (OPPs), voltages and per-cluster
+//! micro-architectural parameters for the two Exynos-5422-like clusters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the two heterogeneous clusters a core belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterKind {
+    /// Out-of-order Cortex-A15-like "Big" cluster: high IPC, high power.
+    Big,
+    /// In-order Cortex-A7-like "Little" cluster: lower IPC, far lower power.
+    Little,
+}
+
+impl ClusterKind {
+    /// Both cluster kinds, Big first (matching the paper's decision-tuple order).
+    pub const ALL: [ClusterKind; 2] = [ClusterKind::Big, ClusterKind::Little];
+}
+
+impl std::fmt::Display for ClusterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterKind::Big => write!(f, "big"),
+            ClusterKind::Little => write!(f, "little"),
+        }
+    }
+}
+
+/// A single operating performance point: a frequency and the voltage the cluster's rail must
+/// supply to sustain it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock in MHz.
+    pub frequency_mhz: u32,
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+}
+
+/// Static description of one cluster: its OPP table and the micro-architectural constants the
+/// performance and power models need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterParams {
+    /// Which cluster this describes.
+    pub kind: ClusterKind,
+    /// Number of physical cores in the cluster.
+    pub core_count: u8,
+    /// Ordered OPP table (ascending frequency).
+    pub opps: Vec<OperatingPoint>,
+    /// Peak sustainable instructions per cycle for compute-bound code.
+    pub peak_ipc: f64,
+    /// Effective switched capacitance per core in nF (scales dynamic power `C·V²·f`).
+    pub capacitance_nf: f64,
+    /// Leakage coefficient in W/V² per active core (static power ≈ `k·V²`).
+    pub leakage_w_per_v2: f64,
+    /// Additional pipeline-stall penalty (in cycles) applied per L2 miss on top of the DRAM
+    /// latency; models the in-order A7's inability to hide misses.
+    pub miss_stall_overhead_cycles: f64,
+    /// Branch-misprediction penalty in cycles.
+    pub branch_miss_penalty_cycles: f64,
+}
+
+impl ClusterParams {
+    /// Parameters of the A15-like Big cluster of the Exynos 5422: 4 cores, 200 MHz – 2 GHz in
+    /// 100 MHz steps (19 OPPs), out-of-order with peak IPC ≈ 1.6.
+    pub fn exynos5422_big() -> Self {
+        ClusterParams {
+            kind: ClusterKind::Big,
+            core_count: 4,
+            opps: build_opps(200, 2000, 100, 0.90, 1.3625),
+            peak_ipc: 1.6,
+            capacitance_nf: 0.42,
+            leakage_w_per_v2: 0.09,
+            miss_stall_overhead_cycles: 6.0,
+            branch_miss_penalty_cycles: 15.0,
+        }
+    }
+
+    /// Parameters of the A7-like Little cluster of the Exynos 5422: 4 cores, 200 MHz – 1.4 GHz
+    /// in 100 MHz steps (13 OPPs), in-order with peak IPC ≈ 0.9.
+    pub fn exynos5422_little() -> Self {
+        ClusterParams {
+            kind: ClusterKind::Little,
+            core_count: 4,
+            opps: build_opps(200, 1400, 100, 0.90, 1.25),
+            peak_ipc: 0.9,
+            capacitance_nf: 0.12,
+            leakage_w_per_v2: 0.02,
+            miss_stall_overhead_cycles: 14.0,
+            branch_miss_penalty_cycles: 8.0,
+        }
+    }
+
+    /// Number of OPPs (frequency levels) supported by the cluster.
+    pub fn frequency_levels(&self) -> usize {
+        self.opps.len()
+    }
+
+    /// Lowest supported frequency in MHz.
+    pub fn min_frequency_mhz(&self) -> u32 {
+        self.opps.first().map(|o| o.frequency_mhz).unwrap_or(0)
+    }
+
+    /// Highest supported frequency in MHz.
+    pub fn max_frequency_mhz(&self) -> u32 {
+        self.opps.last().map(|o| o.frequency_mhz).unwrap_or(0)
+    }
+
+    /// Returns the OPP for an exact frequency, or `None` if the frequency is not supported.
+    pub fn opp_for(&self, frequency_mhz: u32) -> Option<OperatingPoint> {
+        self.opps
+            .iter()
+            .copied()
+            .find(|o| o.frequency_mhz == frequency_mhz)
+    }
+
+    /// Returns the index of an exact frequency in the OPP table, or `None`.
+    pub fn level_of(&self, frequency_mhz: u32) -> Option<usize> {
+        self.opps
+            .iter()
+            .position(|o| o.frequency_mhz == frequency_mhz)
+    }
+
+    /// Returns the OPP at a given level index, clamping to the table bounds.
+    pub fn opp_at_level(&self, level: usize) -> OperatingPoint {
+        let idx = level.min(self.opps.len().saturating_sub(1));
+        self.opps[idx]
+    }
+
+    /// Returns the supported frequency closest to `frequency_mhz` (ties resolve downward).
+    pub fn nearest_frequency(&self, frequency_mhz: u32) -> u32 {
+        self.opps
+            .iter()
+            .min_by_key(|o| {
+                let diff = o.frequency_mhz.abs_diff(frequency_mhz);
+                // Prefer the lower frequency on ties by adding a tiny bias for higher ones.
+                (diff as u64) * 2 + u64::from(o.frequency_mhz > frequency_mhz)
+            })
+            .map(|o| o.frequency_mhz)
+            .expect("OPP tables are never empty")
+    }
+}
+
+/// Builds an OPP table from `min..=max` MHz in `step` MHz increments with a voltage curve that
+/// rises slightly super-linearly from `v_min` to `v_max`, approximating published Exynos 5422
+/// DVFS tables.
+fn build_opps(min_mhz: u32, max_mhz: u32, step_mhz: u32, v_min: f64, v_max: f64) -> Vec<OperatingPoint> {
+    let mut opps = Vec::new();
+    let mut f = min_mhz;
+    while f <= max_mhz {
+        let t = (f - min_mhz) as f64 / (max_mhz - min_mhz) as f64;
+        // Quadratic blend: voltage rises faster near the top of the frequency range.
+        let voltage = v_min + (v_max - v_min) * (0.45 * t + 0.55 * t * t);
+        opps.push(OperatingPoint {
+            frequency_mhz: f,
+            voltage_v: voltage,
+        });
+        f += step_mhz;
+    }
+    opps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exynos_big_cluster_matches_paper_decision_space() {
+        let big = ClusterParams::exynos5422_big();
+        assert_eq!(big.core_count, 4);
+        assert_eq!(big.frequency_levels(), 19);
+        assert_eq!(big.min_frequency_mhz(), 200);
+        assert_eq!(big.max_frequency_mhz(), 2000);
+    }
+
+    #[test]
+    fn exynos_little_cluster_matches_paper_decision_space() {
+        let little = ClusterParams::exynos5422_little();
+        assert_eq!(little.core_count, 4);
+        assert_eq!(little.frequency_levels(), 13);
+        assert_eq!(little.min_frequency_mhz(), 200);
+        assert_eq!(little.max_frequency_mhz(), 1400);
+    }
+
+    #[test]
+    fn voltage_increases_monotonically_with_frequency() {
+        for params in [ClusterParams::exynos5422_big(), ClusterParams::exynos5422_little()] {
+            for pair in params.opps.windows(2) {
+                assert!(pair[1].frequency_mhz > pair[0].frequency_mhz);
+                assert!(pair[1].voltage_v > pair[0].voltage_v);
+            }
+            assert!(params.opps.first().unwrap().voltage_v >= 0.89);
+            assert!(params.opps.last().unwrap().voltage_v <= 1.37);
+        }
+    }
+
+    #[test]
+    fn big_cores_are_faster_but_hungrier() {
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        assert!(big.peak_ipc > little.peak_ipc);
+        assert!(big.capacitance_nf > little.capacitance_nf);
+        assert!(big.leakage_w_per_v2 > little.leakage_w_per_v2);
+        // In-order Little pays a larger relative stall overhead.
+        assert!(little.miss_stall_overhead_cycles > big.miss_stall_overhead_cycles);
+    }
+
+    #[test]
+    fn opp_lookup_and_levels() {
+        let big = ClusterParams::exynos5422_big();
+        assert!(big.opp_for(1000).is_some());
+        assert!(big.opp_for(1050).is_none());
+        assert_eq!(big.level_of(200), Some(0));
+        assert_eq!(big.level_of(2000), Some(18));
+        assert_eq!(big.level_of(2100), None);
+        assert_eq!(big.opp_at_level(0).frequency_mhz, 200);
+        assert_eq!(big.opp_at_level(999).frequency_mhz, 2000);
+    }
+
+    #[test]
+    fn nearest_frequency_clamps_and_rounds() {
+        let little = ClusterParams::exynos5422_little();
+        assert_eq!(little.nearest_frequency(0), 200);
+        assert_eq!(little.nearest_frequency(1375), 1400);
+        assert_eq!(little.nearest_frequency(1449), 1400);
+        assert_eq!(little.nearest_frequency(5000), 1400);
+        assert_eq!(little.nearest_frequency(250), 200); // ties resolve downward
+        assert_eq!(little.nearest_frequency(260), 300);
+    }
+
+    #[test]
+    fn cluster_kind_display_and_all() {
+        assert_eq!(ClusterKind::Big.to_string(), "big");
+        assert_eq!(ClusterKind::Little.to_string(), "little");
+        assert_eq!(ClusterKind::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! DRM decisions and the enumerated decision space.
+//!
+//! A DRM decision is the four-tuple `(a_big, a_little, f_big, f_little)` of §II of the paper.
+//! For the Exynos 5422 the space has 5 × 4 × 19 × 13 = 4 940 candidate configurations: zero to
+//! four Big cores, one to four Little cores (one Little core must stay on for the OS), and the
+//! per-cluster frequency tables of [`crate::cluster`].
+
+use crate::cluster::ClusterParams;
+use crate::{Result, SocError};
+use serde::{Deserialize, Serialize};
+
+/// One dynamic-resource-management decision: how many cores of each type are active and at
+/// which frequency each cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DrmDecision {
+    /// Number of active Big cores (0–4 on the Exynos 5422).
+    pub big_cores: u8,
+    /// Number of active Little cores (1–4; at least one runs the OS).
+    pub little_cores: u8,
+    /// Big-cluster frequency in MHz.
+    pub big_freq_mhz: u32,
+    /// Little-cluster frequency in MHz.
+    pub little_freq_mhz: u32,
+}
+
+impl DrmDecision {
+    /// Total number of active cores.
+    pub fn active_cores(&self) -> u8 {
+        self.big_cores + self.little_cores
+    }
+}
+
+impl std::fmt::Display for DrmDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}B@{}MHz+{}L@{}MHz",
+            self.big_cores, self.big_freq_mhz, self.little_cores, self.little_freq_mhz
+        )
+    }
+}
+
+/// The per-knob cardinalities of a decision space, in the order
+/// (Big cores, Little cores, Big frequency, Little frequency).
+///
+/// Learned policies emit one categorical action per knob (paper §V-A "Policy representation"),
+/// so they need to know how many choices each knob has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnobCardinalities {
+    /// Number of choices for the count of active Big cores.
+    pub big_core_options: usize,
+    /// Number of choices for the count of active Little cores.
+    pub little_core_options: usize,
+    /// Number of Big-cluster frequency levels.
+    pub big_freq_options: usize,
+    /// Number of Little-cluster frequency levels.
+    pub little_freq_options: usize,
+}
+
+impl KnobCardinalities {
+    /// Total number of distinct DRM decisions.
+    pub fn total_decisions(&self) -> usize {
+        self.big_core_options
+            * self.little_core_options
+            * self.big_freq_options
+            * self.little_freq_options
+    }
+
+    /// Cardinalities as an array in knob order.
+    pub fn as_array(&self) -> [usize; 4] {
+        [
+            self.big_core_options,
+            self.little_core_options,
+            self.big_freq_options,
+            self.little_freq_options,
+        ]
+    }
+}
+
+/// Enumerable decision space for a given pair of clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionSpace {
+    big: ClusterParams,
+    little: ClusterParams,
+    min_little_cores: u8,
+}
+
+impl DecisionSpace {
+    /// Builds the decision space of the Exynos 5422 (4 940 configurations).
+    pub fn exynos5422() -> Self {
+        DecisionSpace {
+            big: ClusterParams::exynos5422_big(),
+            little: ClusterParams::exynos5422_little(),
+            min_little_cores: 1,
+        }
+    }
+
+    /// Builds a decision space from explicit cluster parameters.
+    ///
+    /// `min_little_cores` is the number of Little cores that must always stay online (1 on the
+    /// paper's platform, where the OS needs a core).
+    pub fn new(big: ClusterParams, little: ClusterParams, min_little_cores: u8) -> Self {
+        DecisionSpace {
+            big,
+            little,
+            min_little_cores,
+        }
+    }
+
+    /// Cluster parameters of the Big cluster.
+    pub fn big_cluster(&self) -> &ClusterParams {
+        &self.big
+    }
+
+    /// Cluster parameters of the Little cluster.
+    pub fn little_cluster(&self) -> &ClusterParams {
+        &self.little
+    }
+
+    /// Minimum number of Little cores that must stay active.
+    pub fn min_little_cores(&self) -> u8 {
+        self.min_little_cores
+    }
+
+    /// Knob cardinalities of this space.
+    pub fn knob_cardinalities(&self) -> KnobCardinalities {
+        KnobCardinalities {
+            big_core_options: self.big.core_count as usize + 1,
+            little_core_options: (self.little.core_count - self.min_little_cores) as usize + 1,
+            big_freq_options: self.big.frequency_levels(),
+            little_freq_options: self.little.frequency_levels(),
+        }
+    }
+
+    /// Total number of candidate decisions (4 940 for the Exynos 5422).
+    pub fn len(&self) -> usize {
+        self.knob_cardinalities().total_decisions()
+    }
+
+    /// Returns `true` if the space is empty (never the case for valid clusters).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates that a decision is inside the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidDecision`] describing the first violated constraint.
+    pub fn validate(&self, decision: &DrmDecision) -> Result<()> {
+        if decision.big_cores > self.big.core_count {
+            return Err(SocError::InvalidDecision {
+                reason: format!(
+                    "{} big cores requested but the cluster has {}",
+                    decision.big_cores, self.big.core_count
+                ),
+            });
+        }
+        if decision.little_cores < self.min_little_cores
+            || decision.little_cores > self.little.core_count
+        {
+            return Err(SocError::InvalidDecision {
+                reason: format!(
+                    "little cores must lie in [{}, {}], got {}",
+                    self.min_little_cores, self.little.core_count, decision.little_cores
+                ),
+            });
+        }
+        if self.big.opp_for(decision.big_freq_mhz).is_none() {
+            return Err(SocError::InvalidDecision {
+                reason: format!("{} MHz is not a big-cluster OPP", decision.big_freq_mhz),
+            });
+        }
+        if self.little.opp_for(decision.little_freq_mhz).is_none() {
+            return Err(SocError::InvalidDecision {
+                reason: format!(
+                    "{} MHz is not a little-cluster OPP",
+                    decision.little_freq_mhz
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds a decision from per-knob action indices, clamping each index to its knob's
+    /// cardinality. This is how learned policies (which emit one categorical action per knob)
+    /// convert their outputs into a platform configuration.
+    pub fn decision_from_knob_indices(&self, indices: [usize; 4]) -> DrmDecision {
+        let cards = self.knob_cardinalities();
+        let big_cores = indices[0].min(cards.big_core_options - 1) as u8;
+        let little_cores =
+            self.min_little_cores + indices[1].min(cards.little_core_options - 1) as u8;
+        let big_freq = self
+            .big
+            .opp_at_level(indices[2].min(cards.big_freq_options - 1))
+            .frequency_mhz;
+        let little_freq = self
+            .little
+            .opp_at_level(indices[3].min(cards.little_freq_options - 1))
+            .frequency_mhz;
+        DrmDecision {
+            big_cores,
+            little_cores,
+            big_freq_mhz: big_freq,
+            little_freq_mhz: little_freq,
+        }
+    }
+
+    /// Returns the knob indices corresponding to a decision (the inverse of
+    /// [`decision_from_knob_indices`](Self::decision_from_knob_indices) for valid decisions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidDecision`] if the decision is outside the space.
+    pub fn knob_indices_of(&self, decision: &DrmDecision) -> Result<[usize; 4]> {
+        self.validate(decision)?;
+        Ok([
+            decision.big_cores as usize,
+            (decision.little_cores - self.min_little_cores) as usize,
+            self.big
+                .level_of(decision.big_freq_mhz)
+                .expect("validated above"),
+            self.little
+                .level_of(decision.little_freq_mhz)
+                .expect("validated above"),
+        ])
+    }
+
+    /// Enumerates every decision in the space, ordered by (big cores, little cores, big freq,
+    /// little freq). Used by the imitation-learning oracle's exhaustive per-epoch search.
+    pub fn iter(&self) -> impl Iterator<Item = DrmDecision> + '_ {
+        let cards = self.knob_cardinalities();
+        (0..cards.big_core_options).flat_map(move |b| {
+            (0..cards.little_core_options).flat_map(move |l| {
+                (0..cards.big_freq_options).flat_map(move |bf| {
+                    (0..cards.little_freq_options)
+                        .map(move |lf| self.decision_from_knob_indices([b, l, bf, lf]))
+                })
+            })
+        })
+    }
+
+    /// The decision every governor starts from: all cores online at the lowest frequencies.
+    pub fn initial_decision(&self) -> DrmDecision {
+        DrmDecision {
+            big_cores: self.big.core_count,
+            little_cores: self.little.core_count,
+            big_freq_mhz: self.big.min_frequency_mhz(),
+            little_freq_mhz: self.little.min_frequency_mhz(),
+        }
+    }
+
+    /// The maximum-performance decision: all cores at their highest frequencies.
+    pub fn performance_decision(&self) -> DrmDecision {
+        DrmDecision {
+            big_cores: self.big.core_count,
+            little_cores: self.little.core_count,
+            big_freq_mhz: self.big.max_frequency_mhz(),
+            little_freq_mhz: self.little.max_frequency_mhz(),
+        }
+    }
+
+    /// The minimum-power decision: no Big cores, the minimum number of Little cores, lowest
+    /// frequencies.
+    pub fn powersave_decision(&self) -> DrmDecision {
+        DrmDecision {
+            big_cores: 0,
+            little_cores: self.min_little_cores,
+            big_freq_mhz: self.big.min_frequency_mhz(),
+            little_freq_mhz: self.little.min_frequency_mhz(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exynos_space_has_4940_decisions() {
+        let space = DecisionSpace::exynos5422();
+        let cards = space.knob_cardinalities();
+        assert_eq!(cards.big_core_options, 5);
+        assert_eq!(cards.little_core_options, 4);
+        assert_eq!(cards.big_freq_options, 19);
+        assert_eq!(cards.little_freq_options, 13);
+        assert_eq!(space.len(), 4940);
+        assert!(!space.is_empty());
+        assert_eq!(cards.as_array(), [5, 4, 19, 13]);
+    }
+
+    #[test]
+    fn enumeration_yields_exactly_the_space() {
+        let space = DecisionSpace::exynos5422();
+        let all: Vec<DrmDecision> = space.iter().collect();
+        assert_eq!(all.len(), 4940);
+        // All decisions are valid and unique.
+        let mut set = std::collections::HashSet::new();
+        for d in &all {
+            space.validate(d).unwrap();
+            assert!(set.insert(*d));
+        }
+    }
+
+    #[test]
+    fn validation_catches_each_kind_of_violation() {
+        let space = DecisionSpace::exynos5422();
+        let valid = DrmDecision {
+            big_cores: 2,
+            little_cores: 3,
+            big_freq_mhz: 1200,
+            little_freq_mhz: 800,
+        };
+        assert!(space.validate(&valid).is_ok());
+
+        let too_many_big = DrmDecision { big_cores: 5, ..valid };
+        assert!(space.validate(&too_many_big).is_err());
+        let zero_little = DrmDecision { little_cores: 0, ..valid };
+        assert!(space.validate(&zero_little).is_err());
+        let bad_big_freq = DrmDecision { big_freq_mhz: 1250, ..valid };
+        assert!(space.validate(&bad_big_freq).is_err());
+        let bad_little_freq = DrmDecision { little_freq_mhz: 1500, ..valid };
+        assert!(space.validate(&bad_little_freq).is_err());
+    }
+
+    #[test]
+    fn knob_indices_roundtrip() {
+        let space = DecisionSpace::exynos5422();
+        for (i, d) in space.iter().enumerate().step_by(371) {
+            let idx = space.knob_indices_of(&d).unwrap();
+            let back = space.decision_from_knob_indices(idx);
+            assert_eq!(back, d, "roundtrip failed at enumeration index {i}");
+        }
+    }
+
+    #[test]
+    fn knob_indices_clamp_out_of_range() {
+        let space = DecisionSpace::exynos5422();
+        let d = space.decision_from_knob_indices([99, 99, 99, 99]);
+        assert_eq!(d.big_cores, 4);
+        assert_eq!(d.little_cores, 4);
+        assert_eq!(d.big_freq_mhz, 2000);
+        assert_eq!(d.little_freq_mhz, 1400);
+        space.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn special_decisions_are_valid_and_extreme() {
+        let space = DecisionSpace::exynos5422();
+        let perf = space.performance_decision();
+        let save = space.powersave_decision();
+        let init = space.initial_decision();
+        for d in [&perf, &save, &init] {
+            space.validate(d).unwrap();
+        }
+        assert_eq!(perf.big_freq_mhz, 2000);
+        assert_eq!(save.big_cores, 0);
+        assert_eq!(save.little_cores, 1);
+        assert_eq!(init.active_cores(), 8);
+        assert!(perf.active_cores() > save.active_cores());
+    }
+
+    #[test]
+    fn decision_display_is_compact() {
+        let d = DrmDecision {
+            big_cores: 2,
+            little_cores: 1,
+            big_freq_mhz: 1800,
+            little_freq_mhz: 600,
+        };
+        assert_eq!(d.to_string(), "2B@1800MHz+1L@600MHz");
+    }
+}

@@ -1,0 +1,374 @@
+//! Re-implementations of the stock Linux cpufreq governors used as baselines in the paper
+//! (§V-B "Default governors"): ondemand, interactive, performance and powersave, plus a
+//! userspace governor that pins an arbitrary fixed configuration.
+//!
+//! The governors only manage frequency; like the kernel defaults they keep every core online.
+//! Each follows the decision rule the paper describes: step or jump the frequency when the
+//! observed cluster utilization crosses a static threshold.
+
+use crate::cluster::ClusterParams;
+use crate::config::DrmDecision;
+use crate::counters::CounterSnapshot;
+use crate::platform::{DrmController, SocSpec};
+
+/// `performance` governor: all cores at the maximum frequency, always.
+#[derive(Debug, Clone)]
+pub struct PerformanceGovernor {
+    spec: SocSpec,
+}
+
+impl PerformanceGovernor {
+    /// Creates the governor for a platform.
+    pub fn new(spec: SocSpec) -> Self {
+        PerformanceGovernor { spec }
+    }
+}
+
+impl DrmController for PerformanceGovernor {
+    fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+        self.spec.decision_space().performance_decision()
+    }
+
+    fn name(&self) -> &str {
+        "performance"
+    }
+}
+
+/// `powersave` governor: all cores at the minimum frequency, always.
+#[derive(Debug, Clone)]
+pub struct PowersaveGovernor {
+    spec: SocSpec,
+}
+
+impl PowersaveGovernor {
+    /// Creates the governor for a platform.
+    pub fn new(spec: SocSpec) -> Self {
+        PowersaveGovernor { spec }
+    }
+}
+
+impl DrmController for PowersaveGovernor {
+    fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+        let space = self.spec.decision_space();
+        DrmDecision {
+            big_cores: space.big_cluster().core_count,
+            little_cores: space.little_cluster().core_count,
+            big_freq_mhz: space.big_cluster().min_frequency_mhz(),
+            little_freq_mhz: space.little_cluster().min_frequency_mhz(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "powersave"
+    }
+}
+
+/// `userspace` governor: a fixed configuration chosen by the caller.
+#[derive(Debug, Clone)]
+pub struct UserspaceGovernor {
+    decision: DrmDecision,
+}
+
+impl UserspaceGovernor {
+    /// Pins the platform to `decision` for the whole run.
+    pub fn new(decision: DrmDecision) -> Self {
+        UserspaceGovernor { decision }
+    }
+
+    /// The pinned decision.
+    pub fn decision(&self) -> DrmDecision {
+        self.decision
+    }
+}
+
+impl DrmController for UserspaceGovernor {
+    fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+        self.decision
+    }
+
+    fn name(&self) -> &str {
+        "userspace"
+    }
+}
+
+/// `ondemand` governor: jumps to the maximum frequency when utilization exceeds the up
+/// threshold and walks back down in steps when it falls below the down threshold.
+#[derive(Debug, Clone)]
+pub struct OndemandGovernor {
+    spec: SocSpec,
+    up_threshold: f64,
+    down_threshold: f64,
+    down_step_levels: usize,
+}
+
+impl OndemandGovernor {
+    /// Creates the governor with the kernel-default 80 % up threshold.
+    pub fn new(spec: SocSpec) -> Self {
+        OndemandGovernor {
+            spec,
+            up_threshold: 0.80,
+            down_threshold: 0.30,
+            down_step_levels: 2,
+        }
+    }
+
+    /// Overrides the utilization thresholds (useful for ablations).
+    pub fn with_thresholds(mut self, up: f64, down: f64) -> Self {
+        self.up_threshold = up.clamp(0.0, 1.0);
+        self.down_threshold = down.clamp(0.0, up);
+        self
+    }
+
+    fn next_frequency(&self, cluster: &ClusterParams, current_mhz: u32, utilization: f64) -> u32 {
+        let level = cluster.level_of(current_mhz).unwrap_or(0);
+        if utilization > self.up_threshold {
+            cluster.max_frequency_mhz()
+        } else if utilization < self.down_threshold {
+            cluster
+                .opp_at_level(level.saturating_sub(self.down_step_levels))
+                .frequency_mhz
+        } else {
+            current_mhz
+        }
+    }
+}
+
+impl DrmController for OndemandGovernor {
+    fn decide(&mut self, counters: &CounterSnapshot, previous: &DrmDecision) -> DrmDecision {
+        let space = self.spec.decision_space();
+        let big = space.big_cluster();
+        let little = space.little_cluster();
+        let (big_load, little_load) = cluster_loads(counters, previous);
+        DrmDecision {
+            big_cores: big.core_count,
+            little_cores: little.core_count,
+            big_freq_mhz: self.next_frequency(big, previous.big_freq_mhz, big_load),
+            little_freq_mhz: self.next_frequency(little, previous.little_freq_mhz, little_load),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+}
+
+/// Estimates the load of the busiest core of each cluster, the quantity the kernel governors
+/// key their decisions on. The counters only expose average utilizations, so the busiest-core
+/// load is approximated by the cluster's total busy fraction capped at one: if any core is
+/// saturated (e.g. by the serial section) the estimate reaches 1.0.
+fn cluster_loads(counters: &CounterSnapshot, previous: &DrmDecision) -> (f64, f64) {
+    let big_load =
+        (counters.big_cluster_utilization_per_core * previous.big_cores as f64).min(1.0);
+    let little_load = counters.little_cluster_utilization_sum.min(1.0);
+    (big_load, little_load)
+}
+
+/// `interactive` governor: ramps one level at a time above the hispeed threshold and decays
+/// one level when utilization drops below the low threshold.
+#[derive(Debug, Clone)]
+pub struct InteractiveGovernor {
+    spec: SocSpec,
+    hispeed_threshold: f64,
+    low_threshold: f64,
+}
+
+impl InteractiveGovernor {
+    /// Creates the governor with typical Android tuning (85 % / 40 % thresholds).
+    pub fn new(spec: SocSpec) -> Self {
+        InteractiveGovernor {
+            spec,
+            hispeed_threshold: 0.85,
+            low_threshold: 0.40,
+        }
+    }
+
+    fn next_frequency(&self, cluster: &ClusterParams, current_mhz: u32, utilization: f64) -> u32 {
+        let level = cluster.level_of(current_mhz).unwrap_or(0);
+        if utilization > self.hispeed_threshold {
+            cluster.opp_at_level(level + 1).frequency_mhz
+        } else if utilization < self.low_threshold {
+            cluster.opp_at_level(level.saturating_sub(1)).frequency_mhz
+        } else {
+            current_mhz
+        }
+    }
+}
+
+impl DrmController for InteractiveGovernor {
+    fn decide(&mut self, counters: &CounterSnapshot, previous: &DrmDecision) -> DrmDecision {
+        let space = self.spec.decision_space();
+        let big = space.big_cluster();
+        let little = space.little_cluster();
+        let (big_load, little_load) = cluster_loads(counters, previous);
+        DrmDecision {
+            big_cores: big.core_count,
+            little_cores: little.core_count,
+            big_freq_mhz: self.next_frequency(big, previous.big_freq_mhz, big_load),
+            little_freq_mhz: self.next_frequency(little, previous.little_freq_mhz, little_load),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "interactive"
+    }
+}
+
+/// All four stock governors boxed and ready for comparison loops.
+pub fn default_governors(spec: &SocSpec) -> Vec<Box<dyn DrmController>> {
+    vec![
+        Box::new(OndemandGovernor::new(spec.clone())),
+        Box::new(InteractiveGovernor::new(spec.clone())),
+        Box::new(PerformanceGovernor::new(spec.clone())),
+        Box::new(PowersaveGovernor::new(spec.clone())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::Benchmark;
+    use crate::platform::Platform;
+
+    fn busy_counters(big_util: f64, little_util_sum: f64) -> CounterSnapshot {
+        CounterSnapshot {
+            big_cluster_utilization_per_core: big_util,
+            little_cluster_utilization_sum: little_util_sum,
+            ..CounterSnapshot::zeroed()
+        }
+    }
+
+    fn previous() -> DrmDecision {
+        DrmDecision {
+            big_cores: 4,
+            little_cores: 4,
+            big_freq_mhz: 1000,
+            little_freq_mhz: 800,
+        }
+    }
+
+    #[test]
+    fn performance_and_powersave_pin_the_extremes() {
+        let spec = SocSpec::exynos5422();
+        let mut perf = PerformanceGovernor::new(spec.clone());
+        let mut save = PowersaveGovernor::new(spec);
+        let p = perf.decide(&CounterSnapshot::zeroed(), &previous());
+        let s = save.decide(&CounterSnapshot::zeroed(), &previous());
+        assert_eq!(p.big_freq_mhz, 2000);
+        assert_eq!(p.little_freq_mhz, 1400);
+        assert_eq!(s.big_freq_mhz, 200);
+        assert_eq!(s.little_freq_mhz, 200);
+        assert_eq!(p.active_cores(), 8);
+        assert_eq!(s.active_cores(), 8);
+        assert_eq!(perf.name(), "performance");
+        assert_eq!(save.name(), "powersave");
+    }
+
+    #[test]
+    fn userspace_governor_pins_the_given_decision() {
+        let d = DrmDecision {
+            big_cores: 1,
+            little_cores: 2,
+            big_freq_mhz: 700,
+            little_freq_mhz: 500,
+        };
+        let mut g = UserspaceGovernor::new(d);
+        assert_eq!(g.decide(&busy_counters(1.0, 4.0), &previous()), d);
+        assert_eq!(g.decision(), d);
+        assert_eq!(g.name(), "userspace");
+    }
+
+    #[test]
+    fn ondemand_jumps_to_max_on_high_load_and_steps_down_on_idle() {
+        let spec = SocSpec::exynos5422();
+        let mut g = OndemandGovernor::new(spec);
+        let hot = g.decide(&busy_counters(0.95, 3.8), &previous());
+        assert_eq!(hot.big_freq_mhz, 2000);
+        assert_eq!(hot.little_freq_mhz, 1400);
+
+        let idle = g.decide(&busy_counters(0.05, 0.2), &previous());
+        assert_eq!(idle.big_freq_mhz, 800); // two 100 MHz levels below 1000
+        assert_eq!(idle.little_freq_mhz, 600);
+
+        let steady = g.decide(&busy_counters(0.15, 0.5), &previous());
+        assert_eq!(steady.big_freq_mhz, 1000);
+        assert_eq!(steady.little_freq_mhz, 800);
+        assert_eq!(g.name(), "ondemand");
+    }
+
+    #[test]
+    fn ondemand_custom_thresholds_are_respected() {
+        let spec = SocSpec::exynos5422();
+        let mut g = OndemandGovernor::new(spec).with_thresholds(0.5, 0.2);
+        let warm = g.decide(&busy_counters(0.6, 2.4), &previous());
+        assert_eq!(warm.big_freq_mhz, 2000);
+    }
+
+    #[test]
+    fn interactive_ramps_one_level_at_a_time() {
+        let spec = SocSpec::exynos5422();
+        let mut g = InteractiveGovernor::new(spec);
+        let hot = g.decide(&busy_counters(0.95, 3.9), &previous());
+        assert_eq!(hot.big_freq_mhz, 1100);
+        assert_eq!(hot.little_freq_mhz, 900);
+        let idle = g.decide(&busy_counters(0.05, 0.3), &previous());
+        assert_eq!(idle.big_freq_mhz, 900);
+        assert_eq!(idle.little_freq_mhz, 700);
+        assert_eq!(g.name(), "interactive");
+    }
+
+    #[test]
+    fn interactive_saturates_at_the_frequency_extremes() {
+        let spec = SocSpec::exynos5422();
+        let mut g = InteractiveGovernor::new(spec);
+        let at_max = DrmDecision {
+            big_freq_mhz: 2000,
+            little_freq_mhz: 1400,
+            ..previous()
+        };
+        let hot = g.decide(&busy_counters(1.0, 4.0), &at_max);
+        assert_eq!(hot.big_freq_mhz, 2000);
+        assert_eq!(hot.little_freq_mhz, 1400);
+        let at_min = DrmDecision {
+            big_freq_mhz: 200,
+            little_freq_mhz: 200,
+            ..previous()
+        };
+        let idle = g.decide(&busy_counters(0.0, 0.0), &at_min);
+        assert_eq!(idle.big_freq_mhz, 200);
+        assert_eq!(idle.little_freq_mhz, 200);
+    }
+
+    #[test]
+    fn governors_produce_expected_ordering_on_a_real_workload() {
+        let platform = Platform::odroid_xu3();
+        let app = Benchmark::Qsort.application();
+        let spec = platform.spec().clone();
+
+        let mut perf = PerformanceGovernor::new(spec.clone());
+        let mut save = PowersaveGovernor::new(spec.clone());
+        let mut ond = OndemandGovernor::new(spec.clone());
+        let mut inter = InteractiveGovernor::new(spec);
+
+        let r_perf = platform.run_application(&app, &mut perf, 0).unwrap();
+        let r_save = platform.run_application(&app, &mut save, 0).unwrap();
+        let r_ond = platform.run_application(&app, &mut ond, 0).unwrap();
+        let r_inter = platform.run_application(&app, &mut inter, 0).unwrap();
+
+        // performance is fastest, powersave slowest; the adaptive governors sit in between.
+        assert!(r_perf.execution_time_s < r_ond.execution_time_s);
+        assert!(r_perf.execution_time_s < r_inter.execution_time_s);
+        assert!(r_ond.execution_time_s < r_save.execution_time_s);
+        assert!(r_inter.execution_time_s < r_save.execution_time_s);
+        // powersave draws the least average power.
+        assert!(r_save.average_power_w < r_ond.average_power_w);
+        assert!(r_save.average_power_w < r_perf.average_power_w);
+    }
+
+    #[test]
+    fn default_governors_returns_all_four() {
+        let spec = SocSpec::exynos5422();
+        let governors = default_governors(&spec);
+        let names: Vec<&str> = governors.iter().map(|g| g.name()).collect();
+        assert_eq!(names, vec!["ondemand", "interactive", "performance", "powersave"]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Analytic big.LITTLE heterogeneous SoC simulator.
+//!
+//! The PaRMIS paper evaluates on a physical Odroid-XU3 board (Samsung Exynos 5422: four A15
+//! "Big" cores, four A7 "Little" cores, per-cluster DVFS, on-board power sensors) running 12
+//! MiBench/CortexSuite benchmarks. That hardware is not available to this reproduction, so
+//! this crate provides the closest synthetic equivalent: an analytic platform model that
+//! exposes exactly the observables the DRM-policy learning problem needs —
+//!
+//! * a **decision space** of (active Big cores, active Little cores, Big frequency, Little
+//!   frequency) tuples identical in size and structure to the paper's 4 940 configurations
+//!   ([`config`]),
+//! * a **performance model** capturing frequency scaling, memory-boundedness and parallel
+//!   scaling across heterogeneous clusters ([`perf`]),
+//! * a **power/energy model** with per-cluster dynamic (`C·V²·f`) and static components and
+//!   realistic Exynos-5422-like voltage/frequency operating points ([`power`], [`cluster`]),
+//! * the **hardware-counter features** of Table I regenerated every decision epoch
+//!   ([`counters`]),
+//! * twelve **synthetic applications** that mirror the phase behaviour of the paper's
+//!   benchmarks ([`apps`], [`workload`]),
+//! * the four stock **Linux governors** used as baselines ([`governor`]), and
+//! * a **platform runner** that executes an application under any [`DrmController`] and
+//!   reports execution time, energy and PPW ([`platform`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use soc_sim::apps::Benchmark;
+//! use soc_sim::governor::OndemandGovernor;
+//! use soc_sim::platform::Platform;
+//!
+//! # fn main() -> Result<(), soc_sim::SocError> {
+//! let platform = Platform::odroid_xu3();
+//! let app = Benchmark::Qsort.application();
+//! let mut governor = OndemandGovernor::new(platform.spec().clone());
+//! let summary = platform.run_application(&app, &mut governor, 0)?;
+//! assert!(summary.execution_time_s > 0.0);
+//! assert!(summary.energy_j > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod cluster;
+pub mod config;
+pub mod counters;
+mod error;
+pub mod governor;
+pub mod perf;
+pub mod platform;
+pub mod power;
+pub mod workload;
+
+pub use config::{DecisionSpace, DrmDecision};
+pub use counters::CounterSnapshot;
+pub use error::SocError;
+pub use platform::{DrmController, EpochResult, Platform, RunSummary, SocSpec, TransitionModel};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SocError>;

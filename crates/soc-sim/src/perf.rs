@@ -1,0 +1,372 @@
+//! Analytic performance model: how long one decision epoch takes under a DRM decision.
+//!
+//! The model captures the three effects that drive the energy/performance trade-off the paper
+//! exploits:
+//!
+//! 1. **Frequency scaling with memory-boundedness.** Each L2 miss stalls for a fixed DRAM
+//!    latency in *nanoseconds*, so its cost in *cycles* grows with frequency; memory-bound
+//!    phases therefore stop benefiting from higher clocks while still paying the `V²f` power
+//!    premium.
+//! 2. **Heterogeneous cores.** Big cores have higher peak IPC and better miss tolerance but
+//!    burn far more power; Little cores are slower but efficient.
+//! 3. **Amdahl parallel scaling.** Only the parallel fraction of an epoch uses multiple
+//!    cores, with a synchronization penalty that grows with the core count.
+
+use crate::cluster::{ClusterKind, ClusterParams};
+use crate::config::DrmDecision;
+use crate::workload::PhaseSpec;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the performance model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Average DRAM access latency in nanoseconds (LPDDR3 on the Odroid-XU3 ≈ 90 ns).
+    pub dram_latency_ns: f64,
+    /// Relative synchronization overhead added per extra active core in the parallel section.
+    pub parallel_sync_overhead: f64,
+    /// Fraction of L2 misses that also miss in the row buffer and pay an extra half latency.
+    pub row_miss_fraction: f64,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel {
+            dram_latency_ns: 90.0,
+            parallel_sync_overhead: 0.03,
+            row_miss_fraction: 0.3,
+        }
+    }
+}
+
+/// Timing outcome of one epoch under one decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochPerf {
+    /// Wall-clock duration of the epoch in seconds.
+    pub time_s: f64,
+    /// Instructions retired on the Big cluster.
+    pub big_instructions: f64,
+    /// Instructions retired on the Little cluster.
+    pub little_instructions: f64,
+    /// Busy core-seconds accumulated on the Big cluster.
+    pub big_busy_core_s: f64,
+    /// Busy core-seconds accumulated on the Little cluster.
+    pub little_busy_core_s: f64,
+    /// Average per-active-core utilization of the Big cluster in `[0, 1]`.
+    pub big_utilization: f64,
+    /// Average per-active-core utilization of the Little cluster in `[0, 1]`.
+    pub little_utilization: f64,
+}
+
+impl PerfModel {
+    /// Effective cycles-per-instruction of one core of `cluster` running `phase` at the OPP
+    /// frequency `freq_mhz`.
+    pub fn cycles_per_instruction(
+        &self,
+        cluster: &ClusterParams,
+        phase: &PhaseSpec,
+        freq_mhz: u32,
+    ) -> f64 {
+        let base_cpi = 1.0 / (cluster.peak_ipc * phase.ilp_scale);
+        let branch_cpi =
+            phase.branch_fraction * phase.branch_miss_rate * cluster.branch_miss_penalty_cycles;
+        let f_ghz = freq_mhz as f64 / 1000.0;
+        let dram_cycles =
+            self.dram_latency_ns * (1.0 + 0.5 * self.row_miss_fraction) * f_ghz;
+        let miss_cpi = phase.memory_refs_per_instr
+            * phase.l2_miss_rate
+            * (dram_cycles + cluster.miss_stall_overhead_cycles);
+        base_cpi + branch_cpi + miss_cpi
+    }
+
+    /// Sustained throughput (instructions per second) of a single core.
+    pub fn core_throughput(
+        &self,
+        cluster: &ClusterParams,
+        phase: &PhaseSpec,
+        freq_mhz: u32,
+    ) -> f64 {
+        let cpi = self.cycles_per_instruction(cluster, phase, freq_mhz);
+        freq_mhz as f64 * 1e6 / cpi
+    }
+
+    /// Simulates one epoch of `phase` under `decision`, returning its timing breakdown.
+    ///
+    /// The serial fraction of the epoch runs on the single fastest active core; the parallel
+    /// fraction is spread over every active core weighted by per-core throughput, discounted
+    /// by a synchronization efficiency factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision activates no cores at all (the decision space guarantees at
+    /// least one Little core, so this indicates an internal error).
+    pub fn run_epoch(
+        &self,
+        big: &ClusterParams,
+        little: &ClusterParams,
+        decision: &DrmDecision,
+        phase: &PhaseSpec,
+    ) -> EpochPerf {
+        let n_big = decision.big_cores as f64;
+        let n_little = decision.little_cores as f64;
+        let total_cores = n_big + n_little;
+        assert!(
+            total_cores > 0.0,
+            "a DRM decision must keep at least one core active"
+        );
+
+        let tp_big = if decision.big_cores > 0 {
+            self.core_throughput(big, phase, decision.big_freq_mhz)
+        } else {
+            0.0
+        };
+        let tp_little = if decision.little_cores > 0 {
+            self.core_throughput(little, phase, decision.little_freq_mhz)
+        } else {
+            0.0
+        };
+
+        // Serial section: fastest single active core.
+        let serial_instr = phase.instructions * (1.0 - phase.parallel_fraction);
+        let parallel_instr = phase.instructions * phase.parallel_fraction;
+        let (serial_tp, serial_cluster) = if tp_big >= tp_little && decision.big_cores > 0 {
+            (tp_big, ClusterKind::Big)
+        } else {
+            (tp_little, ClusterKind::Little)
+        };
+        let serial_time = if serial_instr > 0.0 {
+            serial_instr / serial_tp
+        } else {
+            0.0
+        };
+
+        // Parallel section: all active cores, with a sync-efficiency discount.
+        let sync_efficiency = 1.0 / (1.0 + self.parallel_sync_overhead * (total_cores - 1.0));
+        let aggregate_tp = (n_big * tp_big + n_little * tp_little) * sync_efficiency;
+        let parallel_time = if parallel_instr > 0.0 {
+            parallel_instr / aggregate_tp
+        } else {
+            0.0
+        };
+
+        let time_s = serial_time + parallel_time;
+
+        // Attribute instructions and busy time to the clusters.
+        let par_big_share = if aggregate_tp > 0.0 {
+            (n_big * tp_big * sync_efficiency) / aggregate_tp
+        } else {
+            0.0
+        };
+        let mut big_instructions = parallel_instr * par_big_share;
+        let mut little_instructions = parallel_instr * (1.0 - par_big_share);
+        let mut big_busy_core_s = parallel_time * n_big;
+        let mut little_busy_core_s = parallel_time * n_little;
+        match serial_cluster {
+            ClusterKind::Big => {
+                big_instructions += serial_instr;
+                big_busy_core_s += serial_time;
+            }
+            ClusterKind::Little => {
+                little_instructions += serial_instr;
+                little_busy_core_s += serial_time;
+            }
+        }
+
+        let big_utilization = if decision.big_cores > 0 && time_s > 0.0 {
+            (big_busy_core_s / (n_big * time_s)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let little_utilization = if decision.little_cores > 0 && time_s > 0.0 {
+            (little_busy_core_s / (n_little * time_s)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        EpochPerf {
+            time_s,
+            big_instructions,
+            little_instructions,
+            big_busy_core_s,
+            little_busy_core_s,
+            big_utilization,
+            little_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterParams;
+
+    fn compute_phase() -> PhaseSpec {
+        PhaseSpec {
+            name: "compute".into(),
+            instructions: 100e6,
+            parallel_fraction: 0.6,
+            memory_refs_per_instr: 0.15,
+            l2_miss_rate: 0.005,
+            branch_fraction: 0.1,
+            branch_miss_rate: 0.03,
+            ilp_scale: 0.9,
+        }
+    }
+
+    fn memory_phase() -> PhaseSpec {
+        PhaseSpec {
+            name: "memory".into(),
+            instructions: 100e6,
+            parallel_fraction: 0.6,
+            memory_refs_per_instr: 0.35,
+            l2_miss_rate: 0.12,
+            branch_fraction: 0.08,
+            branch_miss_rate: 0.02,
+            ilp_scale: 0.7,
+        }
+    }
+
+    fn decision(big: u8, little: u8, bf: u32, lf: u32) -> DrmDecision {
+        DrmDecision {
+            big_cores: big,
+            little_cores: little,
+            big_freq_mhz: bf,
+            little_freq_mhz: lf,
+        }
+    }
+
+    fn clusters() -> (ClusterParams, ClusterParams) {
+        (
+            ClusterParams::exynos5422_big(),
+            ClusterParams::exynos5422_little(),
+        )
+    }
+
+    #[test]
+    fn higher_frequency_is_never_slower() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        for phase in [compute_phase(), memory_phase()] {
+            let slow = model.run_epoch(&big, &little, &decision(4, 4, 800, 800), &phase);
+            let fast = model.run_epoch(&big, &little, &decision(4, 4, 2000, 1400), &phase);
+            assert!(fast.time_s < slow.time_s);
+        }
+    }
+
+    #[test]
+    fn compute_phase_scales_better_with_frequency_than_memory_phase() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let ratio = |phase: &PhaseSpec| {
+            let lo = model.run_epoch(&big, &little, &decision(4, 1, 600, 200), phase);
+            let hi = model.run_epoch(&big, &little, &decision(4, 1, 2000, 200), phase);
+            lo.time_s / hi.time_s
+        };
+        let compute_speedup = ratio(&compute_phase());
+        let memory_speedup = ratio(&memory_phase());
+        assert!(
+            compute_speedup > memory_speedup,
+            "compute speedup {compute_speedup} should exceed memory speedup {memory_speedup}"
+        );
+        // Memory-bound code saturates well below the 3.3x frequency ratio.
+        assert!(memory_speedup < 2.6);
+    }
+
+    #[test]
+    fn big_core_outruns_little_core() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let phase = compute_phase();
+        let tp_big = model.core_throughput(&big, &phase, 1000);
+        let tp_little = model.core_throughput(&little, &phase, 1000);
+        assert!(tp_big > 1.4 * tp_little);
+    }
+
+    #[test]
+    fn more_cores_help_parallel_phases() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let mut phase = compute_phase();
+        phase.parallel_fraction = 0.9;
+        let one = model.run_epoch(&big, &little, &decision(1, 1, 1400, 1000), &phase);
+        let four = model.run_epoch(&big, &little, &decision(4, 4, 1400, 1000), &phase);
+        assert!(four.time_s < one.time_s * 0.55);
+    }
+
+    #[test]
+    fn serial_phases_do_not_benefit_from_extra_cores() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let mut phase = compute_phase();
+        phase.parallel_fraction = 0.0;
+        let one = model.run_epoch(&big, &little, &decision(1, 1, 1400, 1000), &phase);
+        let four = model.run_epoch(&big, &little, &decision(4, 4, 1400, 1000), &phase);
+        assert!((four.time_s - one.time_s).abs() / one.time_s < 1e-9);
+    }
+
+    #[test]
+    fn instruction_attribution_is_conservative() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        for d in [
+            decision(0, 1, 200, 600),
+            decision(2, 3, 1200, 1000),
+            decision(4, 4, 2000, 1400),
+        ] {
+            let phase = memory_phase();
+            let perf = model.run_epoch(&big, &little, &d, &phase);
+            let total = perf.big_instructions + perf.little_instructions;
+            assert!(
+                (total - phase.instructions).abs() / phase.instructions < 1e-9,
+                "instructions must be conserved"
+            );
+            if d.big_cores == 0 {
+                assert_eq!(perf.big_instructions, 0.0);
+                assert_eq!(perf.big_utilization, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_positive_when_active() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let perf = model.run_epoch(&big, &little, &decision(2, 2, 1000, 800), &compute_phase());
+        assert!(perf.big_utilization > 0.0 && perf.big_utilization <= 1.0);
+        assert!(perf.little_utilization > 0.0 && perf.little_utilization <= 1.0);
+        // Busy core-seconds never exceed active cores x wall time.
+        assert!(perf.big_busy_core_s <= 2.0 * perf.time_s + 1e-12);
+        assert!(perf.little_busy_core_s <= 2.0 * perf.time_s + 1e-12);
+    }
+
+    #[test]
+    fn little_only_configuration_runs_everything_on_little() {
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let perf = model.run_epoch(&big, &little, &decision(0, 4, 200, 1400), &compute_phase());
+        assert_eq!(perf.big_instructions, 0.0);
+        assert!(perf.little_instructions > 0.0);
+        assert!(perf.time_s > 0.0);
+    }
+
+    #[test]
+    fn epoch_durations_are_in_a_plausible_range() {
+        // At the paper's scale an epoch is tens of milliseconds at high performance and up to
+        // around a second at the lowest-power configuration.
+        let (big, little) = clusters();
+        let model = PerfModel::default();
+        let fast = model.run_epoch(&big, &little, &decision(4, 4, 2000, 1400), &compute_phase());
+        let slow = model.run_epoch(&big, &little, &decision(0, 1, 200, 200), &compute_phase());
+        assert!(fast.time_s > 0.005 && fast.time_s < 0.1, "fast epoch {}", fast.time_s);
+        assert!(slow.time_s > 0.2 && slow.time_s < 3.0, "slow epoch {}", slow.time_s);
+    }
+
+    #[test]
+    fn cpi_increases_with_frequency_for_memory_bound_code() {
+        let (big, _) = clusters();
+        let model = PerfModel::default();
+        let phase = memory_phase();
+        let cpi_low = model.cycles_per_instruction(&big, &phase, 400);
+        let cpi_high = model.cycles_per_instruction(&big, &phase, 2000);
+        assert!(cpi_high > cpi_low);
+    }
+}

@@ -1,0 +1,713 @@
+//! The platform runner: executes applications under a DRM controller and reports the
+//! observables the paper's evaluation uses (execution time, energy, PPW, per-epoch counters).
+
+use crate::cluster::ClusterParams;
+use crate::config::{DecisionSpace, DrmDecision};
+use crate::counters::CounterSnapshot;
+use crate::perf::PerfModel;
+use crate::power::{PowerModel, ThermalModel};
+use crate::workload::Application;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Costs of switching between DRM decisions at an epoch boundary.
+///
+/// Changing a cluster's frequency requires re-locking the PLL and re-settling the voltage
+/// rail (hundreds of microseconds on the Exynos 5422); turning cores on or off goes through
+/// the Linux hotplug path and costs milliseconds. Controllers that thrash between
+/// configurations — notably per-epoch greedy oracles that ignore switching costs — pay for it
+/// here, exactly as they would on the real board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionModel {
+    /// Time cost of changing one cluster's frequency, in milliseconds.
+    pub freq_switch_ms: f64,
+    /// Time cost per core brought online or taken offline, in milliseconds.
+    pub hotplug_ms_per_core: f64,
+}
+
+impl Default for TransitionModel {
+    fn default() -> Self {
+        TransitionModel {
+            freq_switch_ms: 0.2,
+            hotplug_ms_per_core: 2.0,
+        }
+    }
+}
+
+impl TransitionModel {
+    /// Extra wall-clock seconds incurred when switching from `previous` to `next`.
+    pub fn switch_time_s(&self, previous: &DrmDecision, next: &DrmDecision) -> f64 {
+        let mut ms = 0.0;
+        if previous.big_freq_mhz != next.big_freq_mhz {
+            ms += self.freq_switch_ms;
+        }
+        if previous.little_freq_mhz != next.little_freq_mhz {
+            ms += self.freq_switch_ms;
+        }
+        let core_changes = previous.big_cores.abs_diff(next.big_cores)
+            + previous.little_cores.abs_diff(next.little_cores);
+        ms += self.hotplug_ms_per_core * core_changes as f64;
+        ms / 1e3
+    }
+}
+
+/// Full static description of a simulated SoC: decision space plus model constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocSpec {
+    decision_space: DecisionSpace,
+    perf_model: PerfModel,
+    power_model: PowerModel,
+    transition_model: TransitionModel,
+    thermal_model: ThermalModel,
+    /// Relative standard deviation of the multiplicative measurement noise applied to epoch
+    /// time and power (mimics sensor and run-to-run variation on the real board).
+    measurement_noise: f64,
+}
+
+impl SocSpec {
+    /// The Exynos-5422-like platform used throughout the reproduction.
+    pub fn exynos5422() -> Self {
+        SocSpec {
+            decision_space: DecisionSpace::exynos5422(),
+            perf_model: PerfModel::default(),
+            power_model: PowerModel::default(),
+            transition_model: TransitionModel::default(),
+            thermal_model: ThermalModel::default(),
+            measurement_noise: 0.01,
+        }
+    }
+
+    /// Builds a spec from explicit components.
+    pub fn new(
+        decision_space: DecisionSpace,
+        perf_model: PerfModel,
+        power_model: PowerModel,
+        measurement_noise: f64,
+    ) -> Self {
+        SocSpec {
+            decision_space,
+            perf_model,
+            power_model,
+            transition_model: TransitionModel::default(),
+            thermal_model: ThermalModel::default(),
+            measurement_noise: measurement_noise.clamp(0.0, 0.2),
+        }
+    }
+
+    /// Replaces the decision-transition cost model.
+    pub fn with_transition_model(mut self, transition_model: TransitionModel) -> Self {
+        self.transition_model = transition_model;
+        self
+    }
+
+    /// The decision-transition cost model.
+    pub fn transition_model(&self) -> &TransitionModel {
+        &self.transition_model
+    }
+
+    /// Replaces the package thermal model.
+    pub fn with_thermal_model(mut self, thermal_model: ThermalModel) -> Self {
+        self.thermal_model = thermal_model;
+        self
+    }
+
+    /// The package thermal model.
+    pub fn thermal_model(&self) -> &ThermalModel {
+        &self.thermal_model
+    }
+
+    /// The platform's decision space.
+    pub fn decision_space(&self) -> &DecisionSpace {
+        &self.decision_space
+    }
+
+    /// The performance-model constants.
+    pub fn perf_model(&self) -> &PerfModel {
+        &self.perf_model
+    }
+
+    /// The power-model constants.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Big-cluster parameters (shorthand).
+    pub fn big_cluster(&self) -> &ClusterParams {
+        self.decision_space.big_cluster()
+    }
+
+    /// Little-cluster parameters (shorthand).
+    pub fn little_cluster(&self) -> &ClusterParams {
+        self.decision_space.little_cluster()
+    }
+}
+
+/// A dynamic resource manager: observes the previous epoch's counters and selects the
+/// configuration for the next epoch.
+///
+/// Implemented by the stock governors ([`crate::governor`]), by the learned MLP policies in
+/// the `policy` crate and by the RL/IL baselines.
+pub trait DrmController {
+    /// Chooses the configuration for the next epoch.
+    ///
+    /// `counters` are the hardware counters of the epoch that just finished (zeroed for the
+    /// very first decision) and `previous` is the configuration that epoch ran with.
+    fn decide(&mut self, counters: &CounterSnapshot, previous: &DrmDecision) -> DrmDecision;
+
+    /// Called once before an application starts so stateful controllers can reset.
+    fn reset(&mut self) {}
+
+    /// Short name used in reports.
+    fn name(&self) -> &str {
+        "controller"
+    }
+}
+
+impl<T: DrmController + ?Sized> DrmController for Box<T> {
+    fn decide(&mut self, counters: &CounterSnapshot, previous: &DrmDecision) -> DrmDecision {
+        (**self).decide(counters, previous)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Result of one decision epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochResult {
+    /// Configuration the epoch ran with.
+    pub decision: DrmDecision,
+    /// Wall-clock duration in seconds (after measurement noise).
+    pub time_s: f64,
+    /// Energy in joules (after measurement noise).
+    pub energy_j: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Hardware counters observed for this epoch.
+    pub counters: CounterSnapshot,
+}
+
+/// Aggregated outcome of running one application under one controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Application name.
+    pub application: String,
+    /// Controller name.
+    pub controller: String,
+    /// Total execution time in seconds.
+    pub execution_time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Average power in watts.
+    pub average_power_w: f64,
+    /// Performance-per-watt: giga-instructions per second per watt (equivalently GI/J).
+    pub ppw: f64,
+    /// Per-epoch details, in execution order.
+    pub epochs: Vec<EpochResult>,
+}
+
+impl RunSummary {
+    /// The objective vector (execution time, energy) used by most of the paper's experiments,
+    /// both to be minimized.
+    pub fn time_energy_objectives(&self) -> Vec<f64> {
+        vec![self.execution_time_s, self.energy_j]
+    }
+
+    /// The objective vector (execution time, −PPW): PPW is maximized in the paper, so it is
+    /// negated to fit the minimization convention.
+    pub fn time_ppw_objectives(&self) -> Vec<f64> {
+        vec![self.execution_time_s, -self.ppw]
+    }
+}
+
+/// The simulated platform: runs applications epoch by epoch under a [`DrmController`].
+#[derive(Debug, Clone)]
+pub struct Platform {
+    spec: SocSpec,
+}
+
+impl Platform {
+    /// Creates the Exynos-5422-like platform used in all experiments.
+    pub fn odroid_xu3() -> Self {
+        Platform {
+            spec: SocSpec::exynos5422(),
+        }
+    }
+
+    /// Creates a platform from an explicit spec.
+    pub fn new(spec: SocSpec) -> Self {
+        Platform { spec }
+    }
+
+    /// The platform's static description.
+    pub fn spec(&self) -> &SocSpec {
+        &self.spec
+    }
+
+    /// Runs a single epoch under `decision`, returning its result (without measurement
+    /// noise; the application runner adds noise so that repeated evaluations differ slightly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SocError::InvalidDecision`] if the decision is outside the platform's
+    /// decision space.
+    pub fn run_epoch(
+        &self,
+        decision: &DrmDecision,
+        phase: &crate::workload::PhaseSpec,
+    ) -> Result<EpochResult> {
+        self.spec.decision_space().validate(decision)?;
+        let big = self.spec.big_cluster();
+        let little = self.spec.little_cluster();
+        let perf = self.spec.perf_model().run_epoch(big, little, decision, phase);
+        let power = self
+            .spec
+            .power_model()
+            .epoch_power(big, little, decision, phase, &perf);
+        let counters = CounterSnapshot::from_epoch(big, little, decision, phase, &perf, &power);
+        let power_w = power.total_w();
+        Ok(EpochResult {
+            decision: *decision,
+            time_s: perf.time_s,
+            energy_j: power_w * perf.time_s,
+            power_w,
+            counters,
+        })
+    }
+
+    /// Runs `app` end to end under `controller`.
+    ///
+    /// `seed` controls the deterministic measurement noise; two runs with the same seed,
+    /// application and controller produce identical summaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SocError::InvalidDecision`] if the controller emits a configuration
+    /// outside the decision space (learned policies built from knob indices cannot trigger
+    /// this, but hand-written controllers can).
+    pub fn run_application(
+        &self,
+        app: &Application,
+        controller: &mut dyn DrmController,
+        seed: u64,
+    ) -> Result<RunSummary> {
+        controller.reset();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let noise = self.spec.measurement_noise;
+        let noise_dist = if noise > 0.0 {
+            Some(LogNormal::new(0.0, noise).expect("valid lognormal"))
+        } else {
+            None
+        };
+
+        let mut previous = self.spec.decision_space().initial_decision();
+        let mut counters = CounterSnapshot::zeroed();
+        let mut epochs = Vec::with_capacity(app.epoch_count());
+        let mut total_time = 0.0;
+        let mut total_energy = 0.0;
+        let mut total_instructions = 0.0;
+        let thermal = *self.spec.thermal_model();
+        let mut temperature_c = thermal.ambient_c;
+
+        for phase in &app.epochs {
+            let requested = controller.decide(&counters, &previous);
+            // Thermal throttling: while the package is above the trip point the Big cluster
+            // cannot exceed the throttle ceiling, regardless of what the controller asked for.
+            let mut decision = requested;
+            if thermal.is_throttling(temperature_c)
+                && decision.big_freq_mhz > thermal.throttle_big_freq_mhz
+            {
+                decision.big_freq_mhz = self
+                    .spec
+                    .big_cluster()
+                    .nearest_frequency(thermal.throttle_big_freq_mhz);
+            }
+            let mut result = self.run_epoch(&decision, phase)?;
+            // Temperature-dependent leakage inflates the measured power.
+            let leakage_scale = thermal.leakage_multiplier(temperature_c);
+            result.power_w *= leakage_scale;
+            result.counters.total_chip_power_w = result.power_w;
+            result.energy_j = result.time_s * result.power_w;
+            // Pay the DVFS / hotplug switching cost for changing the configuration; the extra
+            // time is spent at the new configuration's power level.
+            let switch_s = self.spec.transition_model().switch_time_s(&previous, &decision);
+            if switch_s > 0.0 {
+                result.time_s += switch_s;
+                result.energy_j = result.time_s * result.power_w;
+            }
+            if let Some(dist) = &noise_dist {
+                let time_factor: f64 = dist.sample(&mut rng);
+                let power_factor: f64 = dist.sample(&mut rng);
+                result.time_s *= time_factor;
+                result.power_w *= power_factor;
+                result.energy_j = result.time_s * result.power_w;
+                result.counters.total_chip_power_w = result.power_w;
+            }
+            total_time += result.time_s;
+            total_energy += result.energy_j;
+            total_instructions += phase.instructions;
+            temperature_c = thermal.step(temperature_c, result.power_w, result.time_s);
+            counters = result.counters;
+            previous = decision;
+            epochs.push(result);
+        }
+
+        let average_power_w = if total_time > 0.0 {
+            total_energy / total_time
+        } else {
+            0.0
+        };
+        // PPW = throughput per watt = (instr / s) / W = instr / J; report in giga-instructions
+        // per joule so the magnitudes resemble the paper's 0.4–1.2 range.
+        let ppw = if total_energy > 0.0 {
+            total_instructions / 1e9 / total_energy
+        } else {
+            0.0
+        };
+
+        Ok(RunSummary {
+            application: app.name.clone(),
+            controller: controller.name().to_string(),
+            execution_time_s: total_time,
+            energy_j: total_energy,
+            average_power_w,
+            ppw,
+            epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ApplicationBuilder, PhaseSpec};
+
+    struct FixedController(DrmDecision);
+
+    impl DrmController for FixedController {
+        fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+            self.0
+        }
+
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    fn test_phase() -> PhaseSpec {
+        PhaseSpec {
+            name: "p".into(),
+            instructions: 60e6,
+            parallel_fraction: 0.5,
+            memory_refs_per_instr: 0.25,
+            l2_miss_rate: 0.04,
+            branch_fraction: 0.1,
+            branch_miss_rate: 0.05,
+            ilp_scale: 0.85,
+        }
+    }
+
+    fn test_app(epochs: usize) -> Application {
+        ApplicationBuilder::new("test-app")
+            .phase(test_phase(), epochs)
+            .jitter(0.05)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn epoch_run_validates_decisions() {
+        let platform = Platform::odroid_xu3();
+        let bad = DrmDecision {
+            big_cores: 9,
+            little_cores: 1,
+            big_freq_mhz: 1000,
+            little_freq_mhz: 1000,
+        };
+        assert!(platform.run_epoch(&bad, &test_phase()).is_err());
+    }
+
+    #[test]
+    fn run_summary_accumulates_epochs() {
+        let platform = Platform::odroid_xu3();
+        let app = test_app(10);
+        let decision = DrmDecision {
+            big_cores: 2,
+            little_cores: 2,
+            big_freq_mhz: 1400,
+            little_freq_mhz: 1000,
+        };
+        let summary = platform
+            .run_application(&app, &mut FixedController(decision), 3)
+            .unwrap();
+        assert_eq!(summary.epochs.len(), 10);
+        assert_eq!(summary.application, "test-app");
+        assert_eq!(summary.controller, "fixed");
+        let sum_time: f64 = summary.epochs.iter().map(|e| e.time_s).sum();
+        let sum_energy: f64 = summary.epochs.iter().map(|e| e.energy_j).sum();
+        assert!((sum_time - summary.execution_time_s).abs() < 1e-9);
+        assert!((sum_energy - summary.energy_j).abs() < 1e-9);
+        assert!(summary.ppw > 0.0);
+        assert!(summary.average_power_w > 0.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_identical_seeds() {
+        let platform = Platform::odroid_xu3();
+        let app = test_app(8);
+        let decision = DrmDecision {
+            big_cores: 1,
+            little_cores: 3,
+            big_freq_mhz: 800,
+            little_freq_mhz: 600,
+        };
+        let a = platform
+            .run_application(&app, &mut FixedController(decision), 42)
+            .unwrap();
+        let b = platform
+            .run_application(&app, &mut FixedController(decision), 42)
+            .unwrap();
+        assert_eq!(a, b);
+        let c = platform
+            .run_application(&app, &mut FixedController(decision), 43)
+            .unwrap();
+        assert_ne!(a.execution_time_s, c.execution_time_s);
+        // Noise is small: within a couple of percent.
+        assert!((a.execution_time_s - c.execution_time_s).abs() / a.execution_time_s < 0.05);
+    }
+
+    #[test]
+    fn performance_config_dominates_powersave_in_time_but_not_energy() {
+        let platform = Platform::odroid_xu3();
+        let app = test_app(12);
+        let space = platform.spec().decision_space().clone();
+        let perf = platform
+            .run_application(&app, &mut FixedController(space.performance_decision()), 1)
+            .unwrap();
+        let save = platform
+            .run_application(&app, &mut FixedController(space.powersave_decision()), 1)
+            .unwrap();
+        assert!(perf.execution_time_s < save.execution_time_s);
+        assert!(perf.average_power_w > save.average_power_w);
+        // Energy trade-off: the fast configuration burns more joules than the frugal one on
+        // this balanced workload.
+        assert!(perf.energy_j > save.energy_j);
+    }
+
+    #[test]
+    fn objective_vectors_follow_minimization_convention() {
+        let platform = Platform::odroid_xu3();
+        let app = test_app(4);
+        let d = DrmDecision {
+            big_cores: 2,
+            little_cores: 1,
+            big_freq_mhz: 1000,
+            little_freq_mhz: 600,
+        };
+        let s = platform
+            .run_application(&app, &mut FixedController(d), 0)
+            .unwrap();
+        let te = s.time_energy_objectives();
+        assert_eq!(te, vec![s.execution_time_s, s.energy_j]);
+        let tp = s.time_ppw_objectives();
+        assert_eq!(tp[0], s.execution_time_s);
+        assert!(tp[1] < 0.0, "PPW objective must be negated for minimization");
+    }
+
+    #[test]
+    fn boxed_controllers_are_usable() {
+        let platform = Platform::odroid_xu3();
+        let app = test_app(3);
+        let d = DrmDecision {
+            big_cores: 0,
+            little_cores: 2,
+            big_freq_mhz: 200,
+            little_freq_mhz: 800,
+        };
+        let mut boxed: Box<dyn DrmController> = Box::new(FixedController(d));
+        let summary = platform.run_application(&app, &mut boxed, 5).unwrap();
+        assert_eq!(summary.controller, "fixed");
+        assert_eq!(summary.epochs[0].decision, d);
+    }
+
+    #[test]
+    fn sustained_maximum_performance_triggers_thermal_throttling() {
+        // Running flat out heats the package past the trip point; later epochs must then run
+        // at the throttled Big frequency even though the controller keeps requesting 2 GHz.
+        // A long, power-hungry benchmark (PCA) gives the package time to heat up.
+        let platform = Platform::odroid_xu3();
+        let app = crate::apps::Benchmark::Pca.application();
+        let space = platform.spec().decision_space().clone();
+        let summary = platform
+            .run_application(&app, &mut FixedController(space.performance_decision()), 0)
+            .unwrap();
+        let throttle_cap = platform.spec().thermal_model().throttle_big_freq_mhz;
+        let first = summary.epochs.first().unwrap();
+        assert_eq!(first.decision.big_freq_mhz, 2000, "cold start runs unthrottled");
+        let throttled_epochs = summary
+            .epochs
+            .iter()
+            .filter(|e| e.decision.big_freq_mhz == throttle_cap)
+            .count();
+        assert!(
+            throttled_epochs > 0,
+            "sustained max-performance operation must hit thermal throttling"
+        );
+        // A frugal configuration never throttles.
+        let cool = platform
+            .run_application(&app, &mut FixedController(space.powersave_decision()), 0)
+            .unwrap();
+        assert!(cool.epochs.iter().all(|e| e.decision.big_freq_mhz == 200));
+    }
+
+    #[test]
+    fn leakage_heating_makes_late_epochs_more_expensive_than_early_ones() {
+        let platform = Platform::odroid_xu3();
+        let app = test_app(40);
+        let space = platform.spec().decision_space().clone();
+        // A warm but not throttling configuration: leakage rises with temperature, so the
+        // average power of the last epochs exceeds the first epoch's.
+        let decision = DrmDecision {
+            big_cores: 4,
+            little_cores: 4,
+            big_freq_mhz: 1400,
+            little_freq_mhz: 1000,
+        };
+        space.validate(&decision).unwrap();
+        let summary = platform
+            .run_application(&app, &mut FixedController(decision), 0)
+            .unwrap();
+        let first_power = summary.epochs[0].power_w;
+        let late_power: f64 = summary.epochs[30..].iter().map(|e| e.power_w).sum::<f64>() / 10.0;
+        assert!(
+            late_power > first_power * 1.02,
+            "late epochs ({late_power} W) should draw more power than the first ({first_power} W)"
+        );
+    }
+
+    #[test]
+    fn transition_model_charges_for_frequency_and_core_changes() {
+        let model = TransitionModel::default();
+        let a = DrmDecision {
+            big_cores: 4,
+            little_cores: 4,
+            big_freq_mhz: 1000,
+            little_freq_mhz: 800,
+        };
+        // No change: free.
+        assert_eq!(model.switch_time_s(&a, &a), 0.0);
+        // One frequency change.
+        let b = DrmDecision { big_freq_mhz: 1200, ..a };
+        assert!((model.switch_time_s(&a, &b) - 0.0002).abs() < 1e-12);
+        // Two frequency changes plus two cores hotplugged off.
+        let c = DrmDecision {
+            big_cores: 2,
+            big_freq_mhz: 1200,
+            little_freq_mhz: 600,
+            ..a
+        };
+        assert!((model.switch_time_s(&a, &c) - (0.0004 + 0.004)).abs() < 1e-12);
+    }
+
+    /// A controller that alternates between two very different configurations every epoch.
+    struct ThrashingController {
+        flip: bool,
+    }
+
+    impl DrmController for ThrashingController {
+        fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+            self.flip = !self.flip;
+            if self.flip {
+                DrmDecision {
+                    big_cores: 4,
+                    little_cores: 4,
+                    big_freq_mhz: 2000,
+                    little_freq_mhz: 1400,
+                }
+            } else {
+                DrmDecision {
+                    big_cores: 0,
+                    little_cores: 1,
+                    big_freq_mhz: 2000,
+                    little_freq_mhz: 1400,
+                }
+            }
+        }
+
+        fn name(&self) -> &str {
+            "thrash"
+        }
+    }
+
+    #[test]
+    fn configuration_thrashing_costs_time_relative_to_a_stable_controller() {
+        // Compare a thrashing controller against pinning each of its two configurations on a
+        // platform without measurement noise; the thrash run must be slower than the average
+        // of the two pinned runs because of the hotplug penalties it keeps paying.
+        let spec = SocSpec::new(
+            DecisionSpace::exynos5422(),
+            crate::perf::PerfModel::default(),
+            crate::power::PowerModel::default(),
+            0.0,
+        );
+        let platform = Platform::new(spec);
+        let app = test_app(20);
+        let thrash = platform
+            .run_application(&app, &mut ThrashingController { flip: false }, 0)
+            .unwrap();
+        let fast = platform
+            .run_application(
+                &app,
+                &mut FixedController(DrmDecision {
+                    big_cores: 4,
+                    little_cores: 4,
+                    big_freq_mhz: 2000,
+                    little_freq_mhz: 1400,
+                }),
+                0,
+            )
+            .unwrap();
+        let small = platform
+            .run_application(
+                &app,
+                &mut FixedController(DrmDecision {
+                    big_cores: 0,
+                    little_cores: 1,
+                    big_freq_mhz: 2000,
+                    little_freq_mhz: 1400,
+                }),
+                0,
+            )
+            .unwrap();
+        let stable_mean = (fast.execution_time_s + small.execution_time_s) / 2.0;
+        assert!(
+            thrash.execution_time_s > stable_mean,
+            "thrashing ({}) should be slower than the mean of its two pinned configurations ({})",
+            thrash.execution_time_s,
+            stable_mean
+        );
+    }
+
+    #[test]
+    fn ppw_magnitude_is_in_papers_range() {
+        // The paper's Fig. 6 reports PPW roughly between 0.4 and 1.2; the simulator should
+        // land in the same order of magnitude.
+        let platform = Platform::odroid_xu3();
+        let app = test_app(10);
+        let space = platform.spec().decision_space().clone();
+        for d in [space.performance_decision(), space.powersave_decision()] {
+            let s = platform
+                .run_application(&app, &mut FixedController(d), 2)
+                .unwrap();
+            assert!(s.ppw > 0.05 && s.ppw < 5.0, "ppw {} out of plausible range", s.ppw);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Power and energy model.
+//!
+//! Replaces the Odroid-XU3's INA231 current sensors: per-cluster dynamic power follows the
+//! classic `C_eff · V² · f` law weighted by utilization, static power scales with the supply
+//! voltage squared per powered-on core, and a small memory + SoC-base component accounts for
+//! DRAM and uncore consumption. The paper only consumes the *total* power/energy observable,
+//! but the per-rail breakdown is kept because the counter features include total chip power
+//! and the governors look at per-cluster utilization.
+
+use crate::cluster::ClusterParams;
+use crate::config::DrmDecision;
+use crate::perf::EpochPerf;
+use crate::workload::PhaseSpec;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle power of the memory subsystem in watts.
+    pub mem_base_power_w: f64,
+    /// Energy per DRAM access in nanojoules.
+    pub mem_energy_per_access_nj: f64,
+    /// Always-on SoC power (interconnect, GPU idle, IO) in watts.
+    pub soc_base_power_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            mem_base_power_w: 0.12,
+            mem_energy_per_access_nj: 6.0,
+            soc_base_power_w: 0.18,
+        }
+    }
+}
+
+/// First-order RC thermal model of the SoC package.
+///
+/// The Exynos 5422 is famously thermally limited: sustained operation of the A15 cluster at
+/// its top frequencies heats the package past the throttling trip point within seconds.
+/// The model tracks one lumped package temperature, driven by total chip power through a
+/// thermal resistance and a first-order time constant. Two effects feed back into the run:
+/// leakage power grows with temperature, and the Big cluster is throttled to a ceiling
+/// frequency while the package is above the trip temperature. Per-epoch profiling (as used by
+/// the imitation-learning Oracle and the per-epoch RL reward) does not observe these
+/// cross-epoch effects — exactly as on the real board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient temperature in °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance in °C per watt.
+    pub resistance_c_per_w: f64,
+    /// First-order thermal time constant in seconds.
+    pub time_constant_s: f64,
+    /// Fractional increase of total chip power per °C above ambient (leakage growth).
+    pub leakage_per_degree: f64,
+    /// Package temperature above which the Big cluster is throttled.
+    pub throttle_trip_c: f64,
+    /// Maximum Big-cluster frequency while throttled, in MHz.
+    pub throttle_big_freq_mhz: u32,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            ambient_c: 25.0,
+            resistance_c_per_w: 8.0,
+            time_constant_s: 2.0,
+            leakage_per_degree: 0.004,
+            throttle_trip_c: 80.0,
+            throttle_big_freq_mhz: 1200,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Steady-state package temperature for a constant power draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.resistance_c_per_w * power_w
+    }
+
+    /// Advances the package temperature by `dt_s` seconds at a constant power draw.
+    pub fn step(&self, temperature_c: f64, power_w: f64, dt_s: f64) -> f64 {
+        let target = self.steady_state_c(power_w);
+        let alpha = 1.0 - (-dt_s / self.time_constant_s.max(1e-9)).exp();
+        temperature_c + alpha * (target - temperature_c)
+    }
+
+    /// Multiplier applied to total chip power to account for temperature-dependent leakage.
+    pub fn leakage_multiplier(&self, temperature_c: f64) -> f64 {
+        1.0 + self.leakage_per_degree * (temperature_c - self.ambient_c).max(0.0)
+    }
+
+    /// Returns `true` if the Big cluster must be throttled at this temperature.
+    pub fn is_throttling(&self, temperature_c: f64) -> bool {
+        temperature_c > self.throttle_trip_c
+    }
+}
+
+/// Average power over one epoch, broken down per rail (as the Odroid sensors report it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Big-cluster (A15) rail power in watts.
+    pub big_w: f64,
+    /// Little-cluster (A7) rail power in watts.
+    pub little_w: f64,
+    /// Memory rail power in watts.
+    pub mem_w: f64,
+    /// Always-on SoC base power in watts.
+    pub base_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total chip power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.big_w + self.little_w + self.mem_w + self.base_w
+    }
+}
+
+impl PowerModel {
+    /// Average power of one cluster over an epoch.
+    ///
+    /// `active_cores` are powered (and leak); `utilization` is the average busy fraction of
+    /// those cores, which scales the dynamic component.
+    pub fn cluster_power(
+        &self,
+        cluster: &ClusterParams,
+        frequency_mhz: u32,
+        active_cores: u8,
+        utilization: f64,
+    ) -> f64 {
+        if active_cores == 0 {
+            return 0.0; // power-gated cluster
+        }
+        let opp = cluster
+            .opp_for(frequency_mhz)
+            .unwrap_or_else(|| cluster.opp_at_level(cluster.frequency_levels()));
+        let v2 = opp.voltage_v * opp.voltage_v;
+        let f_hz = opp.frequency_mhz as f64 * 1e6;
+        let n = active_cores as f64;
+        let dynamic = cluster.capacitance_nf * 1e-9 * v2 * f_hz * n * utilization.clamp(0.0, 1.0);
+        let static_p = cluster.leakage_w_per_v2 * v2 * n;
+        dynamic + static_p
+    }
+
+    /// Average power of the memory subsystem over an epoch.
+    pub fn memory_power(&self, phase: &PhaseSpec, instructions_per_second: f64) -> f64 {
+        let accesses_per_second = instructions_per_second * phase.memory_refs_per_instr;
+        self.mem_base_power_w + accesses_per_second * self.mem_energy_per_access_nj * 1e-9
+    }
+
+    /// Full per-rail power breakdown for one epoch.
+    pub fn epoch_power(
+        &self,
+        big: &ClusterParams,
+        little: &ClusterParams,
+        decision: &DrmDecision,
+        phase: &PhaseSpec,
+        perf: &EpochPerf,
+    ) -> PowerBreakdown {
+        let big_w = self.cluster_power(
+            big,
+            decision.big_freq_mhz,
+            decision.big_cores,
+            perf.big_utilization,
+        );
+        let little_w = self.cluster_power(
+            little,
+            decision.little_freq_mhz,
+            decision.little_cores,
+            perf.little_utilization,
+        );
+        let ips = if perf.time_s > 0.0 {
+            phase.instructions / perf.time_s
+        } else {
+            0.0
+        };
+        let mem_w = self.memory_power(phase, ips);
+        PowerBreakdown {
+            big_w,
+            little_w,
+            mem_w,
+            base_w: self.soc_base_power_w,
+        }
+    }
+
+    /// Energy consumed over one epoch in joules.
+    pub fn epoch_energy(
+        &self,
+        big: &ClusterParams,
+        little: &ClusterParams,
+        decision: &DrmDecision,
+        phase: &PhaseSpec,
+        perf: &EpochPerf,
+    ) -> f64 {
+        self.epoch_power(big, little, decision, phase, perf).total_w() * perf.time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterParams;
+    use crate::perf::PerfModel;
+
+    fn phase() -> PhaseSpec {
+        PhaseSpec {
+            name: "mixed".into(),
+            instructions: 80e6,
+            parallel_fraction: 0.5,
+            memory_refs_per_instr: 0.25,
+            l2_miss_rate: 0.03,
+            branch_fraction: 0.1,
+            branch_miss_rate: 0.04,
+            ilp_scale: 0.85,
+        }
+    }
+
+    fn decision(big: u8, little: u8, bf: u32, lf: u32) -> DrmDecision {
+        DrmDecision {
+            big_cores: big,
+            little_cores: little,
+            big_freq_mhz: bf,
+            little_freq_mhz: lf,
+        }
+    }
+
+    #[test]
+    fn cluster_power_increases_with_frequency_cores_and_utilization() {
+        let model = PowerModel::default();
+        let big = ClusterParams::exynos5422_big();
+        let p_low = model.cluster_power(&big, 600, 2, 0.8);
+        let p_high_f = model.cluster_power(&big, 1800, 2, 0.8);
+        let p_more_cores = model.cluster_power(&big, 600, 4, 0.8);
+        let p_idle = model.cluster_power(&big, 600, 2, 0.0);
+        assert!(p_high_f > p_low);
+        assert!(p_more_cores > p_low);
+        assert!(p_idle < p_low);
+        assert!(p_idle > 0.0, "powered cores still leak");
+        assert_eq!(model.cluster_power(&big, 600, 0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn frequency_scaling_is_superlinear_in_power() {
+        // Doubling frequency raises voltage too, so power more than doubles at full load.
+        let model = PowerModel::default();
+        let big = ClusterParams::exynos5422_big();
+        let p1 = model.cluster_power(&big, 1000, 4, 1.0);
+        let p2 = model.cluster_power(&big, 2000, 4, 1.0);
+        assert!(p2 > 2.0 * p1, "p(2GHz) = {p2} should exceed 2 x p(1GHz) = {}", 2.0 * p1);
+    }
+
+    #[test]
+    fn big_cluster_power_magnitudes_are_realistic() {
+        // Published Odroid-XU3 measurements: A15 cluster ~5-7 W flat out, A7 cluster ~0.5-1 W.
+        let model = PowerModel::default();
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let big_max = model.cluster_power(&big, 2000, 4, 1.0);
+        let little_max = model.cluster_power(&little, 1400, 4, 1.0);
+        assert!(big_max > 3.5 && big_max < 9.0, "big cluster {big_max} W");
+        assert!(little_max > 0.4 && little_max < 1.6, "little cluster {little_max} W");
+    }
+
+    #[test]
+    fn epoch_power_and_energy_are_consistent() {
+        let model = PowerModel::default();
+        let perf_model = PerfModel::default();
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let d = decision(2, 2, 1400, 1000);
+        let ph = phase();
+        let perf = perf_model.run_epoch(&big, &little, &d, &ph);
+        let breakdown = model.epoch_power(&big, &little, &d, &ph, &perf);
+        let energy = model.epoch_energy(&big, &little, &d, &ph, &perf);
+        assert!((energy - breakdown.total_w() * perf.time_s).abs() < 1e-12);
+        assert!(breakdown.total_w() > breakdown.big_w);
+        assert!(breakdown.mem_w > 0.0);
+        assert!(breakdown.base_w > 0.0);
+    }
+
+    #[test]
+    fn powersave_configuration_uses_least_power_but_most_time() {
+        let model = PowerModel::default();
+        let perf_model = PerfModel::default();
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let ph = phase();
+
+        let fast = decision(4, 4, 2000, 1400);
+        let slow = decision(0, 1, 200, 200);
+        let perf_fast = perf_model.run_epoch(&big, &little, &fast, &ph);
+        let perf_slow = perf_model.run_epoch(&big, &little, &slow, &ph);
+        let p_fast = model.epoch_power(&big, &little, &fast, &ph, &perf_fast).total_w();
+        let p_slow = model.epoch_power(&big, &little, &slow, &ph, &perf_slow).total_w();
+        assert!(p_fast > 4.0 * p_slow);
+        assert!(perf_slow.time_s > 4.0 * perf_fast.time_s);
+    }
+
+    #[test]
+    fn energy_exhibits_a_tradeoff_not_a_single_optimum_at_extremes() {
+        // The energy-optimal configuration should not be the performance extreme; usually an
+        // intermediate (race-to-idle vs leakage) point or the little cluster wins.
+        let model = PowerModel::default();
+        let perf_model = PerfModel::default();
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let ph = phase();
+        let energy_of = |d: &DrmDecision| {
+            let perf = perf_model.run_epoch(&big, &little, d, &ph);
+            model.epoch_energy(&big, &little, d, &ph, &perf)
+        };
+        let e_perf = energy_of(&decision(4, 4, 2000, 1400));
+        let e_little = energy_of(&decision(0, 4, 200, 1000));
+        assert!(
+            e_little < e_perf,
+            "little-cluster configuration should be more energy efficient ({e_little} vs {e_perf})"
+        );
+    }
+
+    #[test]
+    fn thermal_model_heats_towards_steady_state_and_throttles() {
+        let thermal = ThermalModel::default();
+        assert_eq!(thermal.steady_state_c(0.0), 25.0);
+        assert!((thermal.steady_state_c(10.0) - 105.0).abs() < 1e-12);
+
+        // Temperature rises monotonically towards (but never beyond) the steady state.
+        let mut t = thermal.ambient_c;
+        let mut previous = t;
+        for _ in 0..50 {
+            t = thermal.step(t, 10.0, 0.25);
+            assert!(t >= previous);
+            assert!(t <= thermal.steady_state_c(10.0) + 1e-9);
+            previous = t;
+        }
+        assert!(t > 95.0, "sustained 10 W should approach 105 C, got {t}");
+        assert!(thermal.is_throttling(t));
+        assert!(!thermal.is_throttling(60.0));
+        assert!(thermal.is_throttling(thermal.throttle_trip_c + 1.0));
+
+        // Cooling works the same way in reverse.
+        let cooled = thermal.step(t, 1.0, 5.0);
+        assert!(cooled < t);
+
+        // Leakage multiplier grows with temperature and is 1 at ambient.
+        assert_eq!(thermal.leakage_multiplier(25.0), 1.0);
+        assert!(thermal.leakage_multiplier(85.0) > 1.2);
+        assert_eq!(thermal.leakage_multiplier(10.0), 1.0);
+    }
+
+    #[test]
+    fn memory_power_scales_with_access_rate() {
+        let model = PowerModel::default();
+        let ph = phase();
+        let low = model.memory_power(&ph, 1e8);
+        let high = model.memory_power(&ph, 1e9);
+        assert!(high > low);
+        assert!(low >= model.mem_base_power_w);
+    }
+}

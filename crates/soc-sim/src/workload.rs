@@ -1,0 +1,317 @@
+//! Workload description: phases, decision epochs and applications.
+//!
+//! Following DyPO and the paper's experimental setup (§V-A "Decision interval"), an
+//! application is modelled as a sequence of *decision epochs*. Each epoch is a cluster of
+//! macro-blocks with stable characteristics; the DRM policy observes the hardware counters of
+//! the finished epoch and picks the configuration for the next one. Since the real
+//! MiBench/CortexSuite profiling traces are not available, each benchmark is described by a
+//! small set of [`PhaseSpec`]s (compute-bound, memory-bound, …) that are expanded into a
+//! repeatable epoch sequence with deterministic jitter.
+
+use crate::{Result, SocError};
+use serde::{Deserialize, Serialize};
+
+/// Workload characteristics of one program phase, expressed per dynamic instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Short human-readable phase name (e.g. `"sort-partition"`).
+    pub name: String,
+    /// Dynamic instructions executed in one epoch of this phase.
+    pub instructions: f64,
+    /// Fraction of the work that can run on multiple cores (Amdahl parallel fraction).
+    pub parallel_fraction: f64,
+    /// Data-memory accesses per instruction.
+    pub memory_refs_per_instr: f64,
+    /// L2 cache misses per data-memory access.
+    pub l2_miss_rate: f64,
+    /// Branches per instruction.
+    pub branch_fraction: f64,
+    /// Mispredictions per branch.
+    pub branch_miss_rate: f64,
+    /// Instruction-level-parallelism scale in (0, 1]: multiplies the cluster's peak IPC.
+    pub ilp_scale: f64,
+}
+
+impl PhaseSpec {
+    /// Validates that every characteristic lies in its physical range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidParameter`] naming the first out-of-range field.
+    pub fn validate(&self) -> Result<()> {
+        let checks: [(&'static str, f64, f64, f64); 7] = [
+            ("instructions", self.instructions, 1.0, 1e12),
+            ("parallel_fraction", self.parallel_fraction, 0.0, 1.0),
+            ("memory_refs_per_instr", self.memory_refs_per_instr, 0.0, 1.0),
+            ("l2_miss_rate", self.l2_miss_rate, 0.0, 1.0),
+            ("branch_fraction", self.branch_fraction, 0.0, 1.0),
+            ("branch_miss_rate", self.branch_miss_rate, 0.0, 1.0),
+            ("ilp_scale", self.ilp_scale, 0.05, 1.0),
+        ];
+        for (name, value, lo, hi) in checks {
+            if !(value.is_finite() && value >= lo && value <= hi) {
+                return Err(SocError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of the phase with its instruction count scaled by `factor` (used to add
+    /// deterministic epoch-to-epoch jitter).
+    pub fn scaled(&self, factor: f64) -> PhaseSpec {
+        PhaseSpec {
+            instructions: (self.instructions * factor).max(1.0),
+            ..self.clone()
+        }
+    }
+}
+
+/// A fully expanded application: an ordered sequence of per-epoch phase specifications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Benchmark name (e.g. `"qsort"`).
+    pub name: String,
+    /// One [`PhaseSpec`] per decision epoch, in execution order.
+    pub epochs: Vec<PhaseSpec>,
+}
+
+impl Application {
+    /// Creates an application after validating every epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::EmptyApplication`] for an empty epoch list and propagates
+    /// [`PhaseSpec::validate`] failures.
+    pub fn new(name: impl Into<String>, epochs: Vec<PhaseSpec>) -> Result<Self> {
+        let name = name.into();
+        if epochs.is_empty() {
+            return Err(SocError::EmptyApplication { name });
+        }
+        for e in &epochs {
+            e.validate()?;
+        }
+        Ok(Application { name, epochs })
+    }
+
+    /// Number of decision epochs.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Total dynamic instructions across all epochs.
+    pub fn total_instructions(&self) -> f64 {
+        self.epochs.iter().map(|e| e.instructions).sum()
+    }
+}
+
+/// Builder that expands a set of phases into a deterministic epoch sequence.
+///
+/// The builder interleaves the phases in round-robin order, repeating the cycle `cycles`
+/// times, and applies a deterministic ±`jitter` modulation to the instruction counts so that
+/// consecutive epochs of the same phase are similar but not identical — mimicking the
+/// epoch-to-epoch variability of the real traces.
+///
+/// # Examples
+///
+/// ```
+/// use soc_sim::workload::{ApplicationBuilder, PhaseSpec};
+///
+/// # fn main() -> Result<(), soc_sim::SocError> {
+/// let phase = PhaseSpec {
+///     name: "compute".into(),
+///     instructions: 50e6,
+///     parallel_fraction: 0.5,
+///     memory_refs_per_instr: 0.2,
+///     l2_miss_rate: 0.02,
+///     branch_fraction: 0.1,
+///     branch_miss_rate: 0.05,
+///     ilp_scale: 0.9,
+/// };
+/// let app = ApplicationBuilder::new("demo")
+///     .phase(phase, 3)
+///     .cycles(4)
+///     .jitter(0.1)
+///     .build()?;
+/// assert_eq!(app.epoch_count(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApplicationBuilder {
+    name: String,
+    phases: Vec<(PhaseSpec, usize)>,
+    cycles: usize,
+    jitter: f64,
+    seed: u64,
+}
+
+impl ApplicationBuilder {
+    /// Starts a builder for an application called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApplicationBuilder {
+            name: name.into(),
+            phases: Vec::new(),
+            cycles: 1,
+            jitter: 0.0,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Adds a phase that contributes `epochs_per_cycle` consecutive epochs to every cycle.
+    pub fn phase(mut self, spec: PhaseSpec, epochs_per_cycle: usize) -> Self {
+        self.phases.push((spec, epochs_per_cycle));
+        self
+    }
+
+    /// Sets how many times the phase cycle repeats (default 1).
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles.max(1);
+        self
+    }
+
+    /// Sets the relative instruction-count jitter in `[0, 0.5]` (default 0).
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Sets the deterministic jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expands the phases into a concrete [`Application`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::EmptyApplication`] if no phases were added (or all have zero
+    /// epochs per cycle) and propagates phase validation failures.
+    pub fn build(self) -> Result<Application> {
+        let mut epochs = Vec::new();
+        let mut hash = self.seed;
+        for cycle in 0..self.cycles {
+            for (spec, count) in &self.phases {
+                for rep in 0..*count {
+                    // SplitMix64-style deterministic pseudo-noise in [-1, 1].
+                    hash = hash
+                        .wrapping_add(0x9e3779b97f4a7c15)
+                        .wrapping_mul(0xbf58476d1ce4e5b9)
+                        ^ (cycle as u64 + 1).wrapping_mul(rep as u64 + 13);
+                    let unit = (hash >> 11) as f64 / (1u64 << 53) as f64;
+                    let noise = (unit * 2.0 - 1.0) * self.jitter;
+                    epochs.push(spec.scaled(1.0 + noise));
+                }
+            }
+        }
+        Application::new(self.name, epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, instructions: f64) -> PhaseSpec {
+        PhaseSpec {
+            name: name.into(),
+            instructions,
+            parallel_fraction: 0.4,
+            memory_refs_per_instr: 0.25,
+            l2_miss_rate: 0.03,
+            branch_fraction: 0.12,
+            branch_miss_rate: 0.04,
+            ilp_scale: 0.8,
+        }
+    }
+
+    #[test]
+    fn phase_validation_catches_out_of_range_values() {
+        assert!(phase("ok", 1e6).validate().is_ok());
+        let mut p = phase("bad", 1e6);
+        p.parallel_fraction = 1.4;
+        assert!(p.validate().is_err());
+        let mut p = phase("bad", 0.0);
+        p.instructions = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = phase("bad", 1e6);
+        p.ilp_scale = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = phase("bad", 1e6);
+        p.l2_miss_rate = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn application_requires_epochs() {
+        assert!(matches!(
+            Application::new("empty", vec![]),
+            Err(SocError::EmptyApplication { .. })
+        ));
+        let app = Application::new("one", vec![phase("a", 2e6)]).unwrap();
+        assert_eq!(app.epoch_count(), 1);
+        assert_eq!(app.total_instructions(), 2e6);
+    }
+
+    #[test]
+    fn builder_expands_cycles_and_phases_in_order() {
+        let app = ApplicationBuilder::new("two-phase")
+            .phase(phase("a", 10e6), 2)
+            .phase(phase("b", 20e6), 1)
+            .cycles(3)
+            .build()
+            .unwrap();
+        assert_eq!(app.epoch_count(), 9);
+        // Pattern per cycle: a, a, b.
+        assert_eq!(app.epochs[0].name, "a");
+        assert_eq!(app.epochs[1].name, "a");
+        assert_eq!(app.epochs[2].name, "b");
+        assert_eq!(app.epochs[3].name, "a");
+    }
+
+    #[test]
+    fn builder_jitter_is_deterministic_and_bounded() {
+        let build = || {
+            ApplicationBuilder::new("jittered")
+                .phase(phase("a", 100e6), 4)
+                .cycles(5)
+                .jitter(0.2)
+                .seed(77)
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same seed must give the same application");
+        for e in &a.epochs {
+            assert!(e.instructions >= 80e6 - 1.0 && e.instructions <= 120e6 + 1.0);
+        }
+        // Jitter actually perturbs the counts.
+        assert!(a.epochs.iter().any(|e| (e.instructions - 100e6).abs() > 1e3));
+
+        let c = ApplicationBuilder::new("jittered")
+            .phase(phase("a", 100e6), 4)
+            .cycles(5)
+            .jitter(0.2)
+            .seed(78)
+            .build()
+            .unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn builder_without_phases_fails() {
+        assert!(ApplicationBuilder::new("empty").cycles(3).build().is_err());
+    }
+
+    #[test]
+    fn scaled_preserves_other_fields() {
+        let p = phase("a", 100.0);
+        let s = p.scaled(0.5);
+        assert_eq!(s.instructions, 50.0);
+        assert_eq!(s.parallel_fraction, p.parallel_fraction);
+        assert_eq!(s.name, p.name);
+        // Scaling never produces non-positive instruction counts.
+        assert_eq!(p.scaled(0.0).instructions, 1.0);
+    }
+}

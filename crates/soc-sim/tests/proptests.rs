@@ -1,0 +1,124 @@
+//! Property-based tests for the SoC simulator substrate.
+
+use proptest::prelude::*;
+use soc_sim::cluster::ClusterParams;
+use soc_sim::config::{DecisionSpace, DrmDecision};
+use soc_sim::perf::PerfModel;
+use soc_sim::power::{PowerModel, ThermalModel};
+use soc_sim::workload::PhaseSpec;
+
+/// Strategy producing an arbitrary valid decision of the Exynos 5422 space.
+fn decision_strategy() -> impl Strategy<Value = DrmDecision> {
+    (0u8..=4, 1u8..=4, 0usize..19, 0usize..13).prop_map(|(big, little, bf, lf)| {
+        let space = DecisionSpace::exynos5422();
+        space.decision_from_knob_indices([big as usize, little as usize - 1, bf, lf])
+    })
+}
+
+/// Strategy producing a physically valid workload phase.
+fn phase_strategy() -> impl Strategy<Value = PhaseSpec> {
+    (
+        1.0e6f64..5.0e8,
+        0.0f64..1.0,
+        0.01f64..0.6,
+        0.0f64..0.2,
+        0.0f64..0.3,
+        0.0f64..0.3,
+        0.3f64..1.0,
+    )
+        .prop_map(
+            |(instructions, parallel, mem, miss, branch, branch_miss, ilp)| PhaseSpec {
+                name: "prop".into(),
+                instructions,
+                parallel_fraction: parallel,
+                memory_refs_per_instr: mem,
+                l2_miss_rate: miss,
+                branch_fraction: branch,
+                branch_miss_rate: branch_miss,
+                ilp_scale: ilp,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_enumerable_decision_is_valid(d in decision_strategy()) {
+        let space = DecisionSpace::exynos5422();
+        prop_assert!(space.validate(&d).is_ok());
+        // Knob index round-trip.
+        let idx = space.knob_indices_of(&d).unwrap();
+        prop_assert_eq!(space.decision_from_knob_indices(idx), d);
+    }
+
+    #[test]
+    fn epoch_time_and_attribution_are_physical(d in decision_strategy(), phase in phase_strategy()) {
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let perf = PerfModel::default().run_epoch(&big, &little, &d, &phase);
+        prop_assert!(perf.time_s > 0.0 && perf.time_s.is_finite());
+        prop_assert!(perf.big_utilization >= 0.0 && perf.big_utilization <= 1.0);
+        prop_assert!(perf.little_utilization >= 0.0 && perf.little_utilization <= 1.0);
+        let attributed = perf.big_instructions + perf.little_instructions;
+        prop_assert!((attributed - phase.instructions).abs() / phase.instructions < 1e-6);
+        // Busy core-seconds can never exceed wall time times active cores.
+        prop_assert!(perf.big_busy_core_s <= d.big_cores as f64 * perf.time_s + 1e-9);
+        prop_assert!(perf.little_busy_core_s <= d.little_cores as f64 * perf.time_s + 1e-9);
+    }
+
+    #[test]
+    fn raising_frequency_never_slows_an_epoch(phase in phase_strategy(), level in 0usize..18) {
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let model = PerfModel::default();
+        let space = DecisionSpace::exynos5422();
+        let lo = space.decision_from_knob_indices([4, 0, level, 5]);
+        let hi = space.decision_from_knob_indices([4, 0, level + 1, 5]);
+        let t_lo = model.run_epoch(&big, &little, &lo, &phase).time_s;
+        let t_hi = model.run_epoch(&big, &little, &hi, &phase).time_s;
+        prop_assert!(t_hi <= t_lo + 1e-12);
+    }
+
+    #[test]
+    fn power_is_positive_and_monotone_in_utilization(
+        d in decision_strategy(),
+        phase in phase_strategy(),
+        util in 0.0f64..1.0,
+    ) {
+        let big = ClusterParams::exynos5422_big();
+        let power = PowerModel::default();
+        let p_low = power.cluster_power(&big, d.big_freq_mhz, d.big_cores.max(1), util * 0.5);
+        let p_high = power.cluster_power(&big, d.big_freq_mhz, d.big_cores.max(1), util);
+        prop_assert!(p_low > 0.0);
+        prop_assert!(p_high + 1e-12 >= p_low);
+        let _ = phase;
+    }
+
+    #[test]
+    fn epoch_energy_is_power_times_time(d in decision_strategy(), phase in phase_strategy()) {
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let perf = PerfModel::default().run_epoch(&big, &little, &d, &phase);
+        let power = PowerModel::default();
+        let breakdown = power.epoch_power(&big, &little, &d, &phase, &perf);
+        let energy = power.epoch_energy(&big, &little, &d, &phase, &perf);
+        prop_assert!((energy - breakdown.total_w() * perf.time_s).abs() < 1e-9);
+        prop_assert!(breakdown.total_w() > 0.0);
+    }
+
+    #[test]
+    fn thermal_step_is_bounded_by_ambient_and_steady_state(
+        power_w in 0.0f64..12.0,
+        dt in 0.001f64..5.0,
+        start in 25.0f64..110.0,
+    ) {
+        let thermal = ThermalModel::default();
+        let next = thermal.step(start, power_w, dt);
+        let steady = thermal.steady_state_c(power_w);
+        let lo = start.min(steady) - 1e-9;
+        let hi = start.max(steady) + 1e-9;
+        prop_assert!(next >= lo && next <= hi, "temperature {next} left [{lo}, {hi}]");
+        prop_assert!(thermal.leakage_multiplier(next) >= 1.0);
+    }
+}

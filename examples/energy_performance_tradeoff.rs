@@ -1,0 +1,60 @@
+//! Energy/performance trade-off study: compare the Pareto front PaRMIS finds for one
+//! application against the RL and IL baselines and the four stock governors — a miniature
+//! version of the paper's Figure 3.
+//!
+//! ```text
+//! cargo run --release --example energy_performance_tradeoff
+//! ```
+
+use baselines::sweep::{governor_results, il_front, rl_front};
+use moo::dominance::dominates;
+use moo::hypervolume::{common_reference_point, hypervolume};
+use parmis::evaluation::SocEvaluator;
+use parmis::framework::Parmis;
+use parmis::objective::Objective;
+use parmis_repro::{example_parmis_config, example_sweep_config};
+use soc_sim::apps::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::Fft;
+    let objectives = Objective::TIME_ENERGY.to_vec();
+    println!("energy/performance trade-off on {}", benchmark);
+
+    // PaRMIS front.
+    let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.clone());
+    let outcome = Parmis::new(example_parmis_config(30, 11)).run(&evaluator)?;
+    let parmis_points = outcome.front.objective_values();
+    println!("PaRMIS found {} Pareto policies", parmis_points.len());
+
+    // Baseline fronts from scalarization sweeps.
+    let sweep = example_sweep_config(5);
+    let rl = rl_front(benchmark, &objectives, &sweep);
+    let il = il_front(benchmark, &objectives, &sweep);
+    println!("RL sweep kept {} policies, IL sweep kept {}", rl.len(), il.len());
+
+    // Governors give one point each.
+    let governors = governor_results(benchmark, &objectives);
+    for (name, point) in &governors {
+        let dominated = parmis_points.iter().any(|p| dominates(p, point));
+        println!(
+            "governor {name:<12} time {:.2} s energy {:.2} J{}",
+            point[0],
+            point[1],
+            if dominated { "  (dominated by PaRMIS)" } else { "" }
+        );
+    }
+
+    // Compare front quality with a common reference point, as the paper does.
+    let rl_points = rl.objective_values();
+    let il_points = il.objective_values();
+    let governor_points: Vec<Vec<f64>> = governors.iter().map(|(_, p)| p.clone()).collect();
+    let reference = common_reference_point(
+        &[&parmis_points, &rl_points, &il_points, &governor_points],
+        0.05,
+    );
+    println!("\nPareto hypervolume (higher is better, common reference point):");
+    println!("  parmis {:.3}", hypervolume(parmis_points, &reference));
+    println!("  rl     {:.3}", hypervolume(rl_points, &reference));
+    println!("  il     {:.3}", hypervolume(il_points, &reference));
+    Ok(())
+}

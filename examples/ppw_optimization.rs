@@ -1,0 +1,54 @@
+//! Complex-objective optimization: trade off performance-per-watt (PPW) against execution
+//! time — the objective pair RL and IL cannot be trained for directly (paper §V-E).
+//!
+//! ```text
+//! cargo run --release --example ppw_optimization
+//! ```
+
+use parmis::evaluation::SocEvaluator;
+use parmis::framework::Parmis;
+use parmis::objective::{reporting_vector, Objective};
+use parmis_repro::example_parmis_config;
+use soc_sim::apps::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::Dijkstra;
+    // PPW is maximized; the framework handles the sign internally, the user just lists it.
+    let objectives = vec![Objective::ExecutionTime, Objective::PerformancePerWatt];
+    println!("optimizing (execution time, PPW) for {}", benchmark);
+
+    let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.clone());
+    let outcome = Parmis::new(example_parmis_config(30, 21)).run(&evaluator)?;
+
+    println!(
+        "\n{} Pareto-frontier policies (from {} evaluations):",
+        outcome.front.len(),
+        outcome.history.len()
+    );
+    println!("{:>18} {:>10}", "execution time [s]", "PPW");
+    let mut rows: Vec<Vec<f64>> = outcome
+        .front
+        .objective_values()
+        .iter()
+        .map(|v| reporting_vector(&objectives, v))
+        .collect();
+    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+    for row in &rows {
+        println!("{:>18.3} {:>10.3}", row[0], row[1]);
+    }
+
+    // The front should expose a genuine trade-off: the fastest policy is not the most
+    // efficient one.
+    if rows.len() >= 2 {
+        let fastest = &rows[0];
+        let most_efficient = rows
+            .iter()
+            .max_by(|a, b| a[1].partial_cmp(&b[1]).unwrap())
+            .expect("non-empty");
+        println!(
+            "\nfastest policy: {:.2} s at {:.3} PPW; most efficient policy: {:.3} PPW at {:.2} s",
+            fastest[0], fastest[1], most_efficient[1], most_efficient[0]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Workspace-level helpers shared by the examples and integration tests of the PaRMIS
+//! reproduction.
+//!
+//! The heavy lifting lives in the workspace crates (`parmis`, `soc-sim`, `policy`,
+//! `baselines`, `gp`, `moo`, `linalg`); this tiny crate only bundles the configuration presets
+//! the runnable examples and the cross-crate integration tests use, so they stay short and
+//! consistent with each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parmis::acquisition::AcquisitionOptimizerConfig;
+use parmis::framework::ParmisConfig;
+use parmis::pareto_sampling::ParetoSamplingConfig;
+
+/// A PaRMIS configuration sized for interactive examples and integration tests: it finishes
+/// in seconds while still showing model-guided improvement over the initial random design.
+pub fn example_parmis_config(max_iterations: usize, seed: u64) -> ParmisConfig {
+    ParmisConfig {
+        max_iterations: max_iterations.max(5),
+        initial_samples: (max_iterations / 4).clamp(3, 8),
+        num_pareto_samples: 1,
+        sampling: ParetoSamplingConfig {
+            rff_features: 60,
+            nsga_population: 16,
+            nsga_generations: 8,
+        },
+        acquisition: AcquisitionOptimizerConfig {
+            random_candidates: 32,
+            local_candidates: 12,
+            local_perturbation: 0.2,
+        },
+        refit_hyperparameters_every: 10,
+        convergence_window: 0,
+        seed,
+        ..ParmisConfig::default()
+    }
+}
+
+/// A baseline sweep configuration sized for examples: three scalarizations, short training.
+pub fn example_sweep_config(seed: u64) -> baselines::sweep::SweepConfig {
+    baselines::sweep::SweepConfig {
+        weight_count: 3,
+        rl: baselines::RlConfig {
+            episodes: 6,
+            seed,
+            ..Default::default()
+        },
+        il: baselines::IlConfig {
+            oracle_stride: 61,
+            training: policy::training::TrainingConfig {
+                epochs: 20,
+                learning_rate: 0.06,
+                seed,
+            },
+            ..Default::default()
+        },
+        eval_seed: seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_config_is_small_but_valid() {
+        let cfg = example_parmis_config(20, 1);
+        assert_eq!(cfg.max_iterations, 20);
+        assert!(cfg.initial_samples >= 3 && cfg.initial_samples <= 8);
+        assert!(cfg.sampling.rff_features <= 100);
+        let cfg = example_parmis_config(2, 1);
+        assert_eq!(cfg.max_iterations, 5);
+    }
+
+    #[test]
+    fn example_sweep_config_is_small() {
+        let cfg = example_sweep_config(3);
+        assert_eq!(cfg.weight_count, 3);
+        assert!(cfg.rl.episodes <= 10);
+        assert!(cfg.il.oracle_stride >= 50);
+    }
+}
