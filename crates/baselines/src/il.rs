@@ -172,13 +172,12 @@ pub fn train_il_policy(
         config.oracle_stride,
         config.oracle_measurement_noise,
     );
-    let mut policy = DrmPolicy::random(&space, &config.architecture, config.seed).with_name(
-        format!(
+    let mut policy =
+        DrmPolicy::random(&space, &config.architecture, config.seed).with_name(format!(
             "il-{:.2}-{:.2}",
             weights.as_slice()[0],
             weights.as_slice()[1]
-        ),
-    );
+        ));
     let report = train_policy(&mut policy, &dataset, &config.training);
     IlOutcome {
         policy,
@@ -212,7 +211,11 @@ mod tests {
         let weights = WeightVector::new(vec![0.5, 0.5]);
         let dataset = oracle_dataset(&platform, &app, &weights, 61);
         assert_eq!(dataset.len(), app.epoch_count());
-        let cards = platform.spec().decision_space().knob_cardinalities().as_array();
+        let cards = platform
+            .spec()
+            .decision_space()
+            .knob_cardinalities()
+            .as_array();
         for ex in &dataset {
             for (idx, card) in ex.knob_indices.iter().zip(&cards) {
                 assert!(idx < card);
@@ -257,7 +260,10 @@ mod tests {
         assert!(!outcome.report.loss_history.is_empty());
         let first = outcome.report.loss_history[0];
         let last = *outcome.report.loss_history.last().unwrap();
-        assert!(last < first, "imitation loss should decrease ({first} -> {last})");
+        assert!(
+            last < first,
+            "imitation loss should decrease ({first} -> {last})"
+        );
     }
 
     #[test]

@@ -226,11 +226,10 @@ pub fn train_q_policy(
 
             counters = result.counters;
             let next_state = policy.encoder.encode(&counters);
-            for knob in 0..4 {
-                let old = policy.q(knob, state, actions[knob]);
+            for (knob, &action) in actions.iter().enumerate() {
+                let old = policy.q(knob, state, action);
                 let target = reward + config.discount * policy.max_q(knob, next_state);
-                *policy.q_mut(knob, state, actions[knob]) =
-                    old + config.learning_rate * (target - old);
+                *policy.q_mut(knob, state, action) = old + config.learning_rate * (target - old);
             }
             state = next_state;
         }

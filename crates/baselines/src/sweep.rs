@@ -12,6 +12,7 @@ use crate::rl::{train_q_policy, RlConfig};
 use moo::scalarize::WeightVector;
 use moo::ParetoFront;
 use parmis::objective::{objective_vector, Objective};
+use parmis::parallel::parallel_map;
 use soc_sim::apps::Benchmark;
 use soc_sim::governor::default_governors;
 use soc_sim::platform::{DrmController, Platform};
@@ -28,6 +29,10 @@ pub struct SweepConfig {
     pub il: IlConfig,
     /// Measurement-noise seed used for the final evaluation runs.
     pub eval_seed: u64,
+    /// Worker threads the sweep arms are trained on (`0` = one per available CPU). Each arm
+    /// derives its own training seed from the arm index, and arm results are merged into the
+    /// Pareto archive in arm order, so the resulting front does not depend on this knob.
+    pub num_workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -37,6 +42,7 @@ impl Default for SweepConfig {
             rl: RlConfig::default(),
             il: IlConfig::default(),
             eval_seed: 29,
+            num_workers: 1,
         }
     }
 }
@@ -59,10 +65,7 @@ pub fn evaluate_controller(
 ///
 /// Returns `(governor name, minimization objective vector)` for ondemand, interactive,
 /// performance and powersave — the single trade-off points shown in Figs. 3 and 6.
-pub fn governor_results(
-    benchmark: Benchmark,
-    objectives: &[Objective],
-) -> Vec<(String, Vec<f64>)> {
+pub fn governor_results(benchmark: Benchmark, objectives: &[Objective]) -> Vec<(String, Vec<f64>)> {
     let platform = Platform::odroid_xu3();
     let app = benchmark.application();
     default_governors(platform.spec())
@@ -84,20 +87,27 @@ pub fn rl_front(
 ) -> ParetoFront<String> {
     let platform = Platform::odroid_xu3();
     let app = benchmark.application();
-    let mut front = ParetoFront::new(objectives.len());
-    for (i, weights) in WeightVector::sweep_2d(config.weight_count).iter().enumerate() {
+    let weights = WeightVector::sweep_2d(config.weight_count);
+    // Train the scalarization arms in parallel: each arm's seed derives from its index, and
+    // parallel_map returns arm results in arm order, so the merged front is identical for
+    // any worker count.
+    let arms = parallel_map(&weights, config.num_workers, |i, arm_weights| {
         let mut rl_config = config.rl.clone();
         rl_config.seed = config.rl.seed.wrapping_add(i as u64 * 13);
-        let mut policy = train_q_policy(&platform, &app, weights, &rl_config);
+        let mut policy = train_q_policy(&platform, &app, arm_weights, &rl_config);
         let values =
             evaluate_controller(&platform, &app, &mut policy, objectives, config.eval_seed);
-        front.insert(values, policy.name().to_string());
+        (values, policy.name().to_string())
+    });
+    let mut front = ParetoFront::new(objectives.len());
+    for (values, name) in arms {
+        front.insert(values, name);
     }
     front
 }
 
 /// Trains the IL baseline across a scalarization sweep and returns its Pareto front on the
-/// requested evaluation objectives.
+/// requested evaluation objectives. Arms run in parallel exactly like [`rl_front`].
 pub fn il_front(
     benchmark: Benchmark,
     objectives: &[Objective],
@@ -105,11 +115,11 @@ pub fn il_front(
 ) -> ParetoFront<String> {
     let platform = Platform::odroid_xu3();
     let app = benchmark.application();
-    let mut front = ParetoFront::new(objectives.len());
-    for (i, weights) in WeightVector::sweep_2d(config.weight_count).iter().enumerate() {
+    let weights = WeightVector::sweep_2d(config.weight_count);
+    let arms = parallel_map(&weights, config.num_workers, |i, arm_weights| {
         let mut il_config = config.il.clone();
         il_config.seed = config.il.seed.wrapping_add(i as u64 * 7);
-        let mut outcome = train_il_policy(&platform, &app, weights, &il_config);
+        let mut outcome = train_il_policy(&platform, &app, arm_weights, &il_config);
         let values = evaluate_controller(
             &platform,
             &app,
@@ -117,7 +127,11 @@ pub fn il_front(
             objectives,
             config.eval_seed,
         );
-        front.insert(values, outcome.policy.name().to_string());
+        (values, outcome.policy.name().to_string())
+    });
+    let mut front = ParetoFront::new(objectives.len());
+    for (values, name) in arms {
+        front.insert(values, name);
     }
     front
 }
@@ -143,6 +157,7 @@ mod tests {
                 ..Default::default()
             },
             eval_seed: 5,
+            num_workers: 1,
         }
     }
 
@@ -150,7 +165,10 @@ mod tests {
     fn governor_results_cover_the_four_defaults() {
         let results = governor_results(Benchmark::Qsort, &Objective::TIME_ENERGY);
         let names: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["ondemand", "interactive", "performance", "powersave"]);
+        assert_eq!(
+            names,
+            vec!["ondemand", "interactive", "performance", "powersave"]
+        );
         for (_, v) in &results {
             assert_eq!(v.len(), 2);
             assert!(v.iter().all(|x| *x > 0.0));
@@ -185,6 +203,31 @@ mod tests {
         assert!(!front.is_empty());
         for entry in front.iter() {
             assert!(entry.tag.starts_with("il-"));
+        }
+    }
+
+    #[test]
+    fn sweep_fronts_are_identical_for_any_worker_count() {
+        let serial = tiny_sweep();
+        for workers in [2, 4] {
+            let parallel = SweepConfig {
+                num_workers: workers,
+                ..tiny_sweep()
+            };
+            let a = rl_front(Benchmark::Qsort, &Objective::TIME_ENERGY, &serial);
+            let b = rl_front(Benchmark::Qsort, &Objective::TIME_ENERGY, &parallel);
+            assert_eq!(
+                a.objective_values(),
+                b.objective_values(),
+                "rl, workers = {workers}"
+            );
+            let a = il_front(Benchmark::Qsort, &Objective::TIME_ENERGY, &serial);
+            let b = il_front(Benchmark::Qsort, &Objective::TIME_ENERGY, &parallel);
+            assert_eq!(
+                a.objective_values(),
+                b.objective_values(),
+                "il, workers = {workers}"
+            );
         }
     }
 

@@ -12,6 +12,8 @@ use gp::{GaussianProcess, RffSampler};
 use moo::hypervolume::hypervolume;
 use moo::nsga2::{Nsga2, Nsga2Config};
 use parmis::acquisition::information_gain;
+use parmis::evaluation::{ParallelEvaluator, PolicyEvaluator, SocEvaluator};
+use parmis::objective::Objective;
 use parmis::pareto_sampling::{ParetoFrontSampler, ParetoSamplingConfig};
 use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
 use policy::features::policy_features;
@@ -92,8 +94,8 @@ fn bench_gp(c: &mut Criterion) {
                     .unwrap()
             })
         });
-        let gp = GaussianProcess::fit(xs.clone(), ys.clone(), Kernel::matern52(1.0, 8.0), 1e-4)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(xs.clone(), ys.clone(), Kernel::matern52(1.0, 8.0), 1e-4).unwrap();
         let query = vec![0.5; 20];
         group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
             b.iter(|| gp.predict(std::hint::black_box(&query)).unwrap())
@@ -133,6 +135,39 @@ fn bench_parmis_kernels(c: &mut Criterion) {
     c.bench_function("acquisition_information_gain", |b| {
         b.iter(|| information_gain(std::hint::black_box(&theta), &models, &samples).unwrap())
     });
+}
+
+/// The batched evaluation engine: a fixed 16-candidate batch through the serial default
+/// `evaluate_batch` vs. `ParallelEvaluator` at 2 and 4 workers. The `threads` parameter in
+/// the benchmark id is what future PRs track for speedup regressions in `BENCH_*.json`; on a
+/// ≥ 4-core machine `parallel/4` should run at least 2× faster than `serial/1`.
+fn bench_batch_evaluation(c: &mut Criterion) {
+    let evaluator = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+    let dim = evaluator.parameter_dim();
+    let mut rng = StdRng::seed_from_u64(29);
+    let thetas: Vec<Vec<f64>> = (0..16)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-0.8..0.8)).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("policy_evaluation_batch16");
+    group.bench_with_input(BenchmarkId::new("serial", 1), &1usize, |b, _| {
+        b.iter(|| {
+            evaluator
+                .evaluate_batch(std::hint::black_box(&thetas))
+                .unwrap()
+        })
+    });
+    for &workers in &[2usize, 4] {
+        let parallel = ParallelEvaluator::new(evaluator.clone(), workers);
+        group.bench_with_input(BenchmarkId::new("parallel", workers), &workers, |b, _| {
+            b.iter(|| {
+                parallel
+                    .evaluate_batch(std::hint::black_box(&thetas))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
 }
 
 /// Multi-objective substrate: PHV and NSGA-II on a standard problem.
@@ -177,6 +212,7 @@ fn bench_moo(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_policy_inference, bench_simulator, bench_gp, bench_parmis_kernels, bench_moo
+    targets = bench_policy_inference, bench_simulator, bench_gp, bench_parmis_kernels,
+        bench_batch_evaluation, bench_moo
 }
 criterion_main!(benches);

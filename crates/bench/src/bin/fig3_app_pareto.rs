@@ -46,8 +46,18 @@ fn main() {
 
         // Paper observation 1: the PaRMIS front dominates the RL and IL fronts.
         let parmis_points = &fronts.iter().find(|f| f.method == "parmis").unwrap().points;
-        for baseline in ["rl", "il", "performance", "powersave", "ondemand", "interactive"] {
-            let Some(points) = fronts.iter().find(|f| f.method == baseline).map(|f| &f.points)
+        for baseline in [
+            "rl",
+            "il",
+            "performance",
+            "powersave",
+            "ondemand",
+            "interactive",
+        ] {
+            let Some(points) = fronts
+                .iter()
+                .find(|f| f.method == baseline)
+                .map(|f| &f.points)
             else {
                 continue;
             };
@@ -65,10 +75,7 @@ fn main() {
         }
 
         let phv = phv_with_common_reference(&fronts);
-        let rows: Vec<Vec<String>> = phv
-            .iter()
-            .map(|(m, v)| vec![m.clone(), fmt(*v)])
-            .collect();
+        let rows: Vec<Vec<String>> = phv.iter().map(|(m, v)| vec![m.clone(), fmt(*v)]).collect();
         print_table(
             &format!("{} PHV (common reference)", benchmark.name()),
             &["method", "phv"],

@@ -28,8 +28,7 @@ fn benchmarks_from_args() -> Vec<Benchmark> {
     let args: Vec<String> = std::env::args().collect();
     if let Some(pos) = args.iter().position(|a| a == "--apps") {
         if let Some(list) = args.get(pos + 1) {
-            let parsed: Vec<Benchmark> =
-                list.split(',').filter_map(Benchmark::from_name).collect();
+            let parsed: Vec<Benchmark> = list.split(',').filter_map(Benchmark::from_name).collect();
             if !parsed.is_empty() {
                 return parsed;
             }
@@ -102,7 +101,12 @@ fn main() {
 
     print_table(
         "Figure 5: global vs application-specific PHV",
-        &["benchmark", "app_specific_phv", "global_phv", "normalized_global"],
+        &[
+            "benchmark",
+            "app_specific_phv",
+            "global_phv",
+            "normalized_global",
+        ],
         &rows,
     );
     let avg = results.iter().map(|r| r.normalized_global).sum::<f64>() / results.len() as f64;

@@ -52,12 +52,12 @@ fn main() {
         }
 
         let phv = phv_with_common_reference(&fronts);
-        let rows: Vec<Vec<String>> = phv
-            .iter()
-            .map(|(m, v)| vec![m.clone(), fmt(*v)])
-            .collect();
+        let rows: Vec<Vec<String>> = phv.iter().map(|(m, v)| vec![m.clone(), fmt(*v)]).collect();
         print_table(
-            &format!("{} PHV (common reference, minimization space)", benchmark.name()),
+            &format!(
+                "{} PHV (common reference, minimization space)",
+                benchmark.name()
+            ),
             &["method", "phv"],
             &rows,
         );

@@ -9,7 +9,7 @@
 //! ```
 
 use bench::harness::{collect_method_fronts, phv_summary, ExperimentBudget};
-use bench::report::{fmt, print_header, print_table, write_json};
+use bench::report::{fmt, print_header, print_run_context, print_table, write_json};
 use parmis::objective::Objective;
 use soc_sim::apps::Benchmark;
 
@@ -17,8 +17,7 @@ fn benchmarks_from_args() -> Vec<Benchmark> {
     let args: Vec<String> = std::env::args().collect();
     if let Some(pos) = args.iter().position(|a| a == "--apps") {
         if let Some(list) = args.get(pos + 1) {
-            let parsed: Vec<Benchmark> =
-                list.split(',').filter_map(Benchmark::from_name).collect();
+            let parsed: Vec<Benchmark> = list.split(',').filter_map(Benchmark::from_name).collect();
             if !parsed.is_empty() {
                 return parsed;
             }
@@ -35,11 +34,13 @@ fn main() {
         "Normalized PHV of RL and IL w.r.t. PaRMIS for PPW vs execution time",
     );
 
+    print_run_context(budget.effective_threads(), budget.parmis_batch);
+
     let mut summaries = Vec::new();
     for (i, benchmark) in benchmarks.iter().enumerate() {
         let fronts =
             collect_method_fronts(*benchmark, &Objective::TIME_PPW, &budget, 300 + i as u64);
-        let summary = phv_summary(*benchmark, &fronts);
+        let summary = phv_summary(*benchmark, &fronts, &budget);
         println!(
             "{}: PaRMIS PHV {:.4}, RL {:.3}, IL {:.3} (normalized)",
             summary.benchmark, summary.parmis_phv, summary.rl_normalized, summary.il_normalized
@@ -55,19 +56,18 @@ fn main() {
                 "1.000".to_string(),
                 fmt(s.rl_normalized),
                 fmt(s.il_normalized),
+                s.threads.to_string(),
             ]
         })
         .collect();
     print_table(
         "Figure 7: normalized PHV per application (PPW, execution time)",
-        &["benchmark", "parmis", "rl", "il"],
+        &["benchmark", "parmis", "rl", "il", "threads"],
         &rows,
     );
 
-    let avg_rl =
-        summaries.iter().map(|s| s.rl_normalized).sum::<f64>() / summaries.len() as f64;
-    let avg_il =
-        summaries.iter().map(|s| s.il_normalized).sum::<f64>() / summaries.len() as f64;
+    let avg_rl = summaries.iter().map(|s| s.rl_normalized).sum::<f64>() / summaries.len() as f64;
+    let avg_il = summaries.iter().map(|s| s.il_normalized).sum::<f64>() / summaries.len() as f64;
     println!("\naverage normalized PHV: rl {avg_rl:.3}, il {avg_il:.3}");
     println!(
         "PaRMIS advantage: {:.1}% over RL (paper: ~16%), {:.1}% over IL (paper: ~21%)",

@@ -30,6 +30,12 @@ pub struct ExperimentBudget {
     pub il_stride: usize,
     /// IL supervised-training epochs.
     pub il_epochs: usize,
+    /// Worker threads for batched policy evaluation and sweep-arm training (`0` = one per
+    /// available CPU). Results are bit-identical for any value; this only trades wall-clock.
+    pub threads: usize,
+    /// Candidates selected and evaluated per PaRMIS iteration (`batch_size`); `1` is the
+    /// paper's sequential loop.
+    pub parmis_batch: usize,
 }
 
 impl ExperimentBudget {
@@ -41,6 +47,8 @@ impl ExperimentBudget {
             rl_episodes: 25,
             il_stride: 7,
             il_epochs: 50,
+            threads: 0,
+            parmis_batch: 1,
         }
     }
 
@@ -52,25 +60,44 @@ impl ExperimentBudget {
             rl_episodes: 4,
             il_stride: 101,
             il_epochs: 10,
+            threads: 0,
+            parmis_batch: 1,
         }
     }
 
-    /// Parses the budget from command-line arguments (`--quick`, `--iterations N`) and the
-    /// `PARMIS_QUICK` environment variable.
+    /// Parses the budget from command-line arguments (`--quick`, `--iterations N`,
+    /// `--threads N`, `--batch N`) and the `PARMIS_QUICK` environment variable.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let quick_env = std::env::var("PARMIS_QUICK").map(|v| v != "0").unwrap_or(false);
+        let quick_env = std::env::var("PARMIS_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
         let mut budget = if quick_env || args.iter().any(|a| a == "--quick") {
             ExperimentBudget::quick()
         } else {
             ExperimentBudget::standard()
         };
-        if let Some(pos) = args.iter().position(|a| a == "--iterations") {
-            if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
-                budget.parmis_iterations = n.max(5);
-            }
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|pos| args.get(pos + 1))
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        if let Some(n) = flag("--iterations") {
+            budget.parmis_iterations = n.max(5);
+        }
+        if let Some(n) = flag("--threads") {
+            budget.threads = n;
+        }
+        if let Some(n) = flag("--batch") {
+            budget.parmis_batch = n.max(1);
         }
         budget
+    }
+
+    /// The worker count actually used after resolving the "all CPUs" sentinel.
+    pub fn effective_threads(&self) -> usize {
+        parmis::parallel::resolve_workers(self.threads)
     }
 
     /// PaRMIS configuration matching this budget.
@@ -102,6 +129,8 @@ impl ExperimentBudget {
             refit_hyperparameters_every: 20,
             convergence_window: 0,
             seed,
+            batch_size: self.parmis_batch,
+            num_workers: self.threads,
         }
     }
 
@@ -124,6 +153,7 @@ impl ExperimentBudget {
                 ..Default::default()
             },
             eval_seed: 29,
+            num_workers: self.threads,
         }
     }
 }
@@ -148,9 +178,13 @@ pub struct PhvSummary {
     pub rl_normalized: f64,
     /// PHV of IL normalized by the PaRMIS PHV.
     pub il_normalized: f64,
+    /// Worker threads the experiment ran with (results are thread-count invariant; the
+    /// column exists so BENCH_*.json speedup comparisons know what produced each number).
+    pub threads: usize,
 }
 
-/// Runs PaRMIS for one benchmark with this budget.
+/// Runs PaRMIS for one benchmark with this budget, evaluating candidate batches across the
+/// budget's worker threads.
 pub fn run_parmis(
     benchmark: Benchmark,
     objectives: &[Objective],
@@ -159,7 +193,7 @@ pub fn run_parmis(
 ) -> ParmisOutcome {
     let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.to_vec());
     Parmis::new(budget.parmis_config(seed))
-        .run(&evaluator)
+        .run_parallel(&evaluator)
         .expect("PaRMIS run failed")
 }
 
@@ -172,7 +206,7 @@ pub fn run_global_parmis(
 ) -> (GlobalEvaluator, ParmisOutcome) {
     let evaluator = GlobalEvaluator::for_benchmarks(benchmarks, objectives.to_vec());
     let outcome = Parmis::new(budget.parmis_config(seed))
-        .run(&evaluator)
+        .run_parallel(&evaluator)
         .expect("global PaRMIS run failed");
     (evaluator, outcome)
 }
@@ -225,15 +259,25 @@ pub fn phv_with_common_reference(fronts: &[MethodFront]) -> Vec<(String, f64)> {
 }
 
 /// Builds the Fig. 4 / Fig. 7 style normalized-PHV summary for one benchmark.
-pub fn phv_summary(benchmark: Benchmark, fronts: &[MethodFront]) -> PhvSummary {
+pub fn phv_summary(
+    benchmark: Benchmark,
+    fronts: &[MethodFront],
+    budget: &ExperimentBudget,
+) -> PhvSummary {
     let phv = phv_with_common_reference(fronts);
-    let get = |name: &str| phv.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0);
+    let get = |name: &str| {
+        phv.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
     let parmis = get("parmis");
     PhvSummary {
         benchmark: benchmark.name().to_string(),
         parmis_phv: parmis,
         rl_normalized: normalized(get("rl"), parmis),
         il_normalized: normalized(get("il"), parmis),
+        threads: budget.effective_threads(),
     }
 }
 
@@ -263,10 +307,28 @@ mod tests {
         assert_eq!(cfg.max_iterations, quick.parmis_iterations);
         assert!(cfg.sampling.rff_features <= 60);
         let cfg = standard.parmis_config(1);
-        assert_eq!(cfg.sampling.rff_features, ParetoSamplingConfig::default().rff_features);
+        assert_eq!(
+            cfg.sampling.rff_features,
+            ParetoSamplingConfig::default().rff_features
+        );
         let sweep = quick.sweep_config(3);
         assert_eq!(sweep.weight_count, 3);
         assert_eq!(sweep.rl.episodes, 4);
+        assert_eq!(sweep.num_workers, quick.threads);
+    }
+
+    #[test]
+    fn parallelism_knobs_flow_into_the_parmis_config() {
+        let budget = ExperimentBudget {
+            threads: 4,
+            parmis_batch: 6,
+            ..ExperimentBudget::quick()
+        };
+        let cfg = budget.parmis_config(7);
+        assert_eq!(cfg.num_workers, 4);
+        assert_eq!(cfg.batch_size, 6);
+        assert_eq!(budget.effective_threads(), 4);
+        assert!(ExperimentBudget::quick().effective_threads() >= 1);
     }
 
     #[test]
@@ -300,11 +362,14 @@ mod tests {
                 points: vec![vec![2.0, 2.0]],
             },
         ];
-        let summary = phv_summary(Benchmark::Qsort, &fronts);
+        let budget = ExperimentBudget::quick();
+        let summary = phv_summary(Benchmark::Qsort, &fronts, &budget);
         assert_eq!(summary.benchmark, "qsort");
         assert!(summary.parmis_phv > 0.0);
         assert!(summary.rl_normalized < 1.0);
         assert!(summary.il_normalized < summary.rl_normalized);
+        assert_eq!(summary.threads, budget.effective_threads());
+        assert!(summary.threads >= 1);
     }
 
     #[test]

@@ -247,16 +247,17 @@ mod tests {
         let ys = vec![10.0, 12.0];
         let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 0.5), 1e-6).unwrap();
         let (mean, _) = gp.predict(&[100.0]).unwrap();
-        assert!((mean - 11.0).abs() < 1e-6, "far-field mean should revert to 11, got {mean}");
+        assert!(
+            (mean - 11.0).abs() < 1e-6,
+            "far-field mean should revert to 11, got {mean}"
+        );
     }
 
     #[test]
     fn validates_inputs() {
         let k = Kernel::rbf(1.0, 1.0);
         assert!(GaussianProcess::fit(vec![], vec![], k.clone(), 1e-6).is_err());
-        assert!(
-            GaussianProcess::fit(vec![vec![0.0]], vec![1.0, 2.0], k.clone(), 1e-6).is_err()
-        );
+        assert!(GaussianProcess::fit(vec![vec![0.0]], vec![1.0, 2.0], k.clone(), 1e-6).is_err());
         assert!(GaussianProcess::fit(
             vec![vec![0.0], vec![1.0, 2.0]],
             vec![1.0, 2.0],
@@ -264,9 +265,7 @@ mod tests {
             1e-6
         )
         .is_err());
-        assert!(
-            GaussianProcess::fit(vec![vec![0.0]], vec![f64::NAN], k.clone(), 1e-6).is_err()
-        );
+        assert!(GaussianProcess::fit(vec![vec![0.0]], vec![f64::NAN], k.clone(), 1e-6).is_err());
         assert!(GaussianProcess::fit(vec![vec![0.0]], vec![1.0], k.clone(), -1.0).is_err());
         assert!(GaussianProcess::fit(vec![vec![]], vec![1.0], k, 1e-6).is_err());
     }

@@ -94,7 +94,11 @@ impl Kernel {
     /// Returns [`GpError::InvalidHyperparameter`] if a hyperparameter is non-positive or
     /// non-finite.
     pub fn isotropic(family: KernelFamily, signal_variance: f64, lengthscale: f64) -> Result<Self> {
-        Self::validated(family, signal_variance, Lengthscales::Isotropic(lengthscale))
+        Self::validated(
+            family,
+            signal_variance,
+            Lengthscales::Isotropic(lengthscale),
+        )
     }
 
     fn validated(

@@ -93,8 +93,7 @@ impl RffSampler {
             let t_scale = match kernel.family() {
                 KernelFamily::SquaredExponential => 1.0,
                 KernelFamily::Matern52 => {
-                    let chi: ChiSquared<f64> =
-                        ChiSquared::new(5.0).expect("valid degrees of freedom");
+                    let chi: ChiSquared = ChiSquared::new(5.0).expect("valid degrees of freedom");
                     let u = chi.sample(&mut rng);
                     (5.0 / u).sqrt()
                 }

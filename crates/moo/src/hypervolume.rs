@@ -215,7 +215,10 @@ mod tests {
         // (0,1,1) and (1,0,0) vs ref (2,2,2).
         // Vol(a) = 2*1*1 = 2, Vol(b) = 1*2*2 = 4, overlap = box(max coords)=(1..2,1..2,1..2)=1.
         // Union = 2 + 4 - 1 = 5.
-        let hv = hypervolume(vec![vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 0.0]], &[2.0, 2.0, 2.0]);
+        let hv = hypervolume(
+            vec![vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 0.0]],
+            &[2.0, 2.0, 2.0],
+        );
         assert!((hv - 5.0).abs() < 1e-9, "got {hv}");
     }
 
@@ -239,10 +242,7 @@ mod tests {
                     let x = (i as f64 + 0.5) / n as f64;
                     let y = (j as f64 + 0.5) / n as f64;
                     let z = (k as f64 + 0.5) / n as f64;
-                    if pts
-                        .iter()
-                        .any(|p| p[0] <= x && p[1] <= y && p[2] <= z)
-                    {
+                    if pts.iter().any(|p| p[0] <= x && p[1] <= y && p[2] <= z) {
                         hits += 1;
                     }
                 }

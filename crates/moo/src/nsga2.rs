@@ -154,10 +154,7 @@ impl Nsga2 {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let dim = self.dim();
         let pop_size = self.config.population_size;
-        let mutation_p = self
-            .config
-            .mutation_probability
-            .unwrap_or(1.0 / dim as f64);
+        let mutation_p = self.config.mutation_probability.unwrap_or(1.0 / dim as f64);
 
         let mut decisions: Vec<Vec<f64>> = (0..pop_size)
             .map(|_| {
@@ -168,7 +165,10 @@ impl Nsga2 {
             .collect();
         let mut objectives: Vec<Vec<f64>> = decisions.iter().map(|x| evaluate(x)).collect();
         let n_obj = objectives[0].len();
-        assert!(n_obj > 0, "objective function must return at least one value");
+        assert!(
+            n_obj > 0,
+            "objective function must return at least one value"
+        );
         assert!(
             objectives.iter().all(|o| o.len() == n_obj),
             "objective function returned inconsistent dimensions"
@@ -222,12 +222,7 @@ impl Nsga2 {
     }
 
     /// Simulated binary crossover (SBX).
-    fn crossover(
-        &self,
-        rng: &mut StdRng,
-        p1: &[f64],
-        p2: &[f64],
-    ) -> (Vec<f64>, Vec<f64>) {
+    fn crossover(&self, rng: &mut StdRng, p1: &[f64], p2: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let mut c1 = p1.to_vec();
         let mut c2 = p2.to_vec();
         if rng.gen::<f64>() > self.config.crossover_probability {
@@ -259,7 +254,7 @@ impl Nsga2 {
     /// Polynomial mutation.
     fn mutate(&self, rng: &mut StdRng, x: &mut [f64], probability: f64) {
         let eta = self.config.mutation_eta;
-        for d in 0..x.len() {
+        for (d, xd) in x.iter_mut().enumerate() {
             if rng.gen::<f64>() > probability {
                 continue;
             }
@@ -271,7 +266,7 @@ impl Nsga2 {
             } else {
                 1.0 - (2.0 * (1.0 - u)).powf(1.0 / (eta + 1.0))
             };
-            x[d] = (x[d] + delta * span).clamp(lo, hi);
+            *xd = (*xd + delta * span).clamp(lo, hi);
         }
     }
 }

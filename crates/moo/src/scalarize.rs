@@ -135,14 +135,22 @@ impl Scalarization {
                     .map(|(o, w)| o * w)
                     .sum()
             }
-            Scalarization::Tchebycheff { weights, ideal, rho } => {
-                assert_eq!(objectives.len(), weights.len(), "objective dimension mismatch");
-                assert_eq!(objectives.len(), ideal.len(), "ideal point dimension mismatch");
-                let diffs: Vec<f64> = objectives
-                    .iter()
-                    .zip(ideal)
-                    .map(|(o, z)| o - z)
-                    .collect();
+            Scalarization::Tchebycheff {
+                weights,
+                ideal,
+                rho,
+            } => {
+                assert_eq!(
+                    objectives.len(),
+                    weights.len(),
+                    "objective dimension mismatch"
+                );
+                assert_eq!(
+                    objectives.len(),
+                    ideal.len(),
+                    "ideal point dimension mismatch"
+                );
+                let diffs: Vec<f64> = objectives.iter().zip(ideal).map(|(o, z)| o - z).collect();
                 let max_term = diffs
                     .iter()
                     .zip(weights.as_slice())

@@ -1,6 +1,8 @@
 //! Property-based tests for the multi-objective optimization toolkit.
 
-use moo::dominance::{compare, dominates, fast_non_dominated_sort, non_dominated_indices, Dominance};
+use moo::dominance::{
+    compare, dominates, fast_non_dominated_sort, non_dominated_indices, Dominance,
+};
 use moo::front::ParetoFront;
 use moo::hypervolume::hypervolume;
 use proptest::prelude::*;

@@ -56,8 +56,14 @@ pub fn information_gain(
     models: &[GaussianProcess],
     samples: &[ParetoFrontSample],
 ) -> Result<f64> {
-    assert!(!models.is_empty(), "at least one objective model is required");
-    assert!(!samples.is_empty(), "at least one Pareto-front sample is required");
+    assert!(
+        !models.is_empty(),
+        "at least one objective model is required"
+    );
+    assert!(
+        !samples.is_empty(),
+        "at least one Pareto-front sample is required"
+    );
     let mut total = 0.0;
     // Cache the per-objective predictions; they do not depend on the sample.
     let predictions: Vec<(f64, f64)> = models
@@ -142,24 +148,45 @@ impl AcquisitionOptimizer {
         incumbents: &[Vec<f64>],
         seed: u64,
     ) -> Result<(Vec<f64>, f64)> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut top = self.maximize_batch(models, samples, incumbents, 1, seed)?;
+        Ok(top.pop().expect("at least one candidate was scored"))
+    }
 
-        let consider = |theta: Vec<f64>,
-                            best: &mut Option<(Vec<f64>, f64)>|
-         -> Result<()> {
-            let value = information_gain(&theta, models, samples)?;
-            if best.as_ref().map_or(true, |(_, b)| value > *b) {
-                *best = Some((theta, value));
-            }
-            Ok(())
-        };
+    /// Finds the `q` highest-scoring distinct candidates, best first — the selection rule of
+    /// the batched search, which evaluates several policies per iteration instead of just
+    /// the argmax.
+    ///
+    /// The scored candidate pool is identical to [`maximize`](Self::maximize) for the same
+    /// seed (it does not depend on `q`), and ties are broken by generation order, so the
+    /// whole selection is deterministic. At most the pool size is returned when `q` exceeds
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GP prediction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn maximize_batch(
+        &self,
+        models: &[GaussianProcess],
+        samples: &[ParetoFrontSample],
+        incumbents: &[Vec<f64>],
+        q: usize,
+        seed: u64,
+    ) -> Result<Vec<(Vec<f64>, f64)>> {
+        assert!(q > 0, "batch size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scored: Vec<(Vec<f64>, f64)> =
+            Vec::with_capacity(self.config.random_candidates + self.config.local_candidates);
 
         for _ in 0..self.config.random_candidates {
             let theta: Vec<f64> = (0..self.dim)
                 .map(|_| rng.gen_range(-self.bound..self.bound))
                 .collect();
-            consider(theta, &mut best)?;
+            let value = information_gain(&theta, models, samples)?;
+            scored.push((theta, value));
         }
 
         if !incumbents.is_empty() {
@@ -173,11 +200,16 @@ impl AcquisitionOptimizer {
                         (v + noise).clamp(-self.bound, self.bound)
                     })
                     .collect();
-                consider(theta, &mut best)?;
+                let value = information_gain(&theta, models, samples)?;
+                scored.push((theta, value));
             }
         }
 
-        Ok(best.expect("at least one candidate was scored"))
+        // Stable sort: equal scores keep generation order, so the result is a deterministic
+        // function of (models, samples, incumbents, seed) alone.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(q);
+        Ok(scored)
     }
 }
 
@@ -223,7 +255,10 @@ mod tests {
         for theta in [[0.0], [0.5], [1.0]] {
             let a = information_gain(&theta, &models, &samples).unwrap();
             assert!(a.is_finite());
-            assert!(a >= -1e-9, "acquisition should be (numerically) non-negative, got {a}");
+            assert!(
+                a >= -1e-9,
+                "acquisition should be (numerically) non-negative, got {a}"
+            );
         }
     }
 
@@ -288,8 +323,12 @@ mod tests {
         let models = one_d_models();
         let samples = vec![fake_sample(vec![0.0, 0.0])];
         let optimizer = AcquisitionOptimizer::new(1, 3.0, AcquisitionOptimizerConfig::default());
-        let a = optimizer.maximize(&models, &samples, &[vec![0.2]], 5).unwrap();
-        let b = optimizer.maximize(&models, &samples, &[vec![0.2]], 5).unwrap();
+        let a = optimizer
+            .maximize(&models, &samples, &[vec![0.2]], 5)
+            .unwrap();
+        let b = optimizer
+            .maximize(&models, &samples, &[vec![0.2]], 5)
+            .unwrap();
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
     }
@@ -298,5 +337,56 @@ mod tests {
     #[should_panic]
     fn optimizer_rejects_zero_dimension() {
         AcquisitionOptimizer::new(0, 3.0, AcquisitionOptimizerConfig::default());
+    }
+
+    #[test]
+    fn batch_selection_returns_distinct_top_candidates_in_score_order() {
+        let models = one_d_models();
+        let samples = vec![fake_sample(vec![0.1, 0.1])];
+        let optimizer = AcquisitionOptimizer::new(1, 3.0, AcquisitionOptimizerConfig::default());
+        let batch = optimizer
+            .maximize_batch(&models, &samples, &[vec![0.4]], 4, 21)
+            .unwrap();
+        assert_eq!(batch.len(), 4);
+        for pair in batch.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "batch must be sorted best-first");
+        }
+        for (theta, value) in &batch {
+            assert_eq!(theta.len(), 1);
+            assert!(theta[0].abs() <= 3.0);
+            assert!(value.is_finite());
+        }
+    }
+
+    #[test]
+    fn batch_head_matches_argmax_for_any_q() {
+        let models = one_d_models();
+        let samples = vec![fake_sample(vec![0.0, 0.0])];
+        let optimizer = AcquisitionOptimizer::new(1, 3.0, AcquisitionOptimizerConfig::default());
+        let single = optimizer
+            .maximize(&models, &samples, &[vec![0.2]], 9)
+            .unwrap();
+        for q in [1, 3, 8] {
+            let batch = optimizer
+                .maximize_batch(&models, &samples, &[vec![0.2]], q, 9)
+                .unwrap();
+            assert_eq!(batch[0], single, "q = {q} must not change the argmax");
+        }
+    }
+
+    #[test]
+    fn oversized_q_is_capped_at_the_candidate_pool() {
+        let models = one_d_models();
+        let samples = vec![fake_sample(vec![0.0, 0.0])];
+        let config = AcquisitionOptimizerConfig {
+            random_candidates: 5,
+            local_candidates: 0,
+            local_perturbation: 0.1,
+        };
+        let optimizer = AcquisitionOptimizer::new(1, 3.0, config);
+        let batch = optimizer
+            .maximize_batch(&models, &samples, &[], 50, 2)
+            .unwrap();
+        assert_eq!(batch.len(), 5);
     }
 }

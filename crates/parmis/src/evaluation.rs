@@ -30,10 +30,130 @@ pub trait PolicyEvaluator {
 
     /// Evaluates θ and returns the minimization objective vector (one entry per objective).
     ///
+    /// Implementations must be **pure**: the result may depend only on `theta` (and the
+    /// evaluator's own configuration, e.g. a fixed measurement seed), never on call order or
+    /// hidden mutable state. The batched search relies on this to keep the Pareto front
+    /// bit-identical for any worker count.
+    ///
     /// # Errors
     ///
     /// Returns [`ParmisError`] if the evaluation cannot be carried out.
     fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>>;
+
+    /// Evaluates a batch of candidates, returning one objective vector per candidate in the
+    /// same order.
+    ///
+    /// The default implementation is the serial element-wise loop, so `evaluate_batch`
+    /// always agrees with [`evaluate`](Self::evaluate); [`ParallelEvaluator`] overrides it
+    /// to shard the batch across a scoped thread pool while preserving slot order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by any element of the batch (in slot order).
+    fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        thetas.iter().map(|theta| self.evaluate(theta)).collect()
+    }
+}
+
+impl<E: PolicyEvaluator + ?Sized> PolicyEvaluator for &E {
+    fn parameter_dim(&self) -> usize {
+        (**self).parameter_dim()
+    }
+
+    fn parameter_bound(&self) -> f64 {
+        (**self).parameter_bound()
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        (**self).objectives()
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        (**self).evaluate(theta)
+    }
+
+    fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        (**self).evaluate_batch(thetas)
+    }
+}
+
+/// Adapter that parallelizes [`PolicyEvaluator::evaluate_batch`] across a scoped
+/// `std::thread` pool.
+///
+/// Each batch slot is evaluated by whichever worker claims it first (dynamic work stealing),
+/// but results are merged back **in slot order** and every evaluation is a pure function of
+/// its θ, so the output is bit-identical to the serial default for any worker count. A
+/// worker count of `0` means "one worker per available CPU".
+///
+/// ```no_run
+/// use parmis::evaluation::{ParallelEvaluator, PolicyEvaluator, SocEvaluator};
+/// use parmis::objective::Objective;
+/// use soc_sim::apps::Benchmark;
+///
+/// # fn main() -> Result<(), parmis::ParmisError> {
+/// let serial = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+/// let parallel = ParallelEvaluator::new(serial, 4);
+/// let thetas = vec![vec![0.1; parallel.parameter_dim()]; 8];
+/// let objectives = parallel.evaluate_batch(&thetas)?;
+/// assert_eq!(objectives.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelEvaluator<E> {
+    inner: E,
+    num_workers: usize,
+}
+
+impl<E: PolicyEvaluator + Sync> ParallelEvaluator<E> {
+    /// Wraps `inner`, sharding batches across `num_workers` threads (`0` = all CPUs).
+    pub fn new(inner: E, num_workers: usize) -> Self {
+        ParallelEvaluator {
+            inner,
+            num_workers: crate::parallel::resolve_workers(num_workers),
+        }
+    }
+
+    /// The effective worker count after resolving the "all CPUs" sentinel.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Access to the wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps the adapter.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
+    fn parameter_dim(&self) -> usize {
+        self.inner.parameter_dim()
+    }
+
+    fn parameter_bound(&self) -> f64 {
+        self.inner.parameter_bound()
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        self.inner.objectives()
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        self.inner.evaluate(theta)
+    }
+
+    fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        crate::parallel::parallel_map(thetas, self.num_workers, |_, theta| {
+            self.inner.evaluate(theta)
+        })
+        .into_iter()
+        .collect()
+    }
 }
 
 /// Evaluates policies by running them on the simulated platform for one benchmark.
@@ -278,7 +398,10 @@ mod tests {
     fn evaluations_are_deterministic_for_fixed_theta() {
         let eval = SocEvaluator::for_benchmark(Benchmark::Sha, Objective::TIME_ENERGY.to_vec());
         let theta = vec![-0.4; eval.parameter_dim()];
-        assert_eq!(eval.evaluate(&theta).unwrap(), eval.evaluate(&theta).unwrap());
+        assert_eq!(
+            eval.evaluate(&theta).unwrap(),
+            eval.evaluate(&theta).unwrap()
+        );
         // A different run seed changes the (noisy) measurement slightly.
         let noisy = eval.clone().with_run_seed(99);
         let a = eval.evaluate(&theta).unwrap();
@@ -317,6 +440,63 @@ mod tests {
             );
         }
         assert_eq!(global.as_soc_evaluator().applications().len(), 2);
+    }
+
+    #[test]
+    fn default_batch_agrees_with_elementwise_evaluate() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Fft, Objective::TIME_ENERGY.to_vec());
+        let dim = eval.parameter_dim();
+        let thetas: Vec<Vec<f64>> = (0..5).map(|i| vec![-0.5 + 0.2 * i as f64; dim]).collect();
+        let batch = eval.evaluate_batch(&thetas).unwrap();
+        for (theta, row) in thetas.iter().zip(&batch) {
+            assert_eq!(row, &eval.evaluate(theta).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_evaluator_is_bitwise_identical_to_serial() {
+        let serial = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_PPW.to_vec());
+        let dim = serial.parameter_dim();
+        let thetas: Vec<Vec<f64>> = (0..9).map(|i| vec![0.3 - 0.07 * i as f64; dim]).collect();
+        let expected = serial.evaluate_batch(&thetas).unwrap();
+        for workers in [1, 2, 4] {
+            let parallel = ParallelEvaluator::new(serial.clone(), workers);
+            assert_eq!(parallel.num_workers(), workers);
+            assert_eq!(
+                parallel.evaluate_batch(&thetas).unwrap(),
+                expected,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_evaluator_delegates_scalar_interface() {
+        let serial = SocEvaluator::for_benchmark(Benchmark::Sha, Objective::TIME_ENERGY.to_vec());
+        let parallel = ParallelEvaluator::new(serial.clone(), 2);
+        assert_eq!(parallel.parameter_dim(), serial.parameter_dim());
+        assert_eq!(parallel.parameter_bound(), serial.parameter_bound());
+        assert_eq!(parallel.objectives(), serial.objectives());
+        let theta = vec![0.1; serial.parameter_dim()];
+        assert_eq!(
+            parallel.evaluate(&theta).unwrap(),
+            serial.evaluate(&theta).unwrap()
+        );
+        assert_eq!(parallel.inner().applications().len(), 1);
+        assert_eq!(parallel.into_inner().applications().len(), 1);
+    }
+
+    #[test]
+    fn batch_errors_surface_from_any_slot() {
+        let eval = SocEvaluator::for_benchmark(Benchmark::Aes, Objective::TIME_ENERGY.to_vec());
+        let dim = eval.parameter_dim();
+        let thetas = vec![vec![0.0; dim], vec![0.0; 3]];
+        assert!(matches!(
+            eval.evaluate_batch(&thetas),
+            Err(ParmisError::Evaluation { .. })
+        ));
+        let parallel = ParallelEvaluator::new(eval, 2);
+        assert!(parallel.evaluate_batch(&thetas).is_err());
     }
 
     #[test]

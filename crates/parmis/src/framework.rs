@@ -37,6 +37,19 @@ pub struct ParmisConfig {
     pub convergence_window: usize,
     /// RNG seed controlling the initial design, sampling and acquisition search.
     pub seed: u64,
+    /// Number of candidates `q` selected and evaluated per model-guided iteration (the
+    /// batched variant of Algorithm 1, line 4/5: the top-`q` acquisition scores instead of
+    /// the argmax). `1` reproduces the paper's sequential loop exactly; larger batches
+    /// amortize the model-fitting cost and let [`Parmis::run_parallel`] (or a
+    /// [`ParallelEvaluator`](crate::evaluation::ParallelEvaluator)) evaluate the whole batch
+    /// concurrently. Every RNG stream is derived from `(seed, iteration, slot)`, so the
+    /// outcome is a deterministic function of the configuration regardless of scheduling.
+    pub batch_size: usize,
+    /// Worker threads used by [`Parmis::run_parallel`] to evaluate each batch (`0` = one per
+    /// available CPU). Because batch results are merged in slot order and evaluators are
+    /// pure, the Pareto front is **bit-identical for any worker count** — this knob trades
+    /// wall-clock time only.
+    pub num_workers: usize,
 }
 
 impl Default for ParmisConfig {
@@ -51,6 +64,8 @@ impl Default for ParmisConfig {
             refit_hyperparameters_every: 20,
             convergence_window: 0,
             seed: 0x9a92_0c1e,
+            batch_size: 1,
+            num_workers: 1,
         }
     }
 }
@@ -122,6 +137,10 @@ impl Parmis {
 
     /// Runs Algorithm 1 against `evaluator`.
     ///
+    /// Batches are evaluated through [`PolicyEvaluator::evaluate_batch`]; hand in a
+    /// [`ParallelEvaluator`](crate::evaluation::ParallelEvaluator) (or call
+    /// [`run_parallel`](Self::run_parallel)) to spread each batch across worker threads.
+    ///
     /// # Errors
     ///
     /// Returns [`ParmisError::InvalidConfig`] for inconsistent configurations and propagates
@@ -130,8 +149,23 @@ impl Parmis {
         self.run_with_progress(evaluator, |_, _| {})
     }
 
+    /// Runs Algorithm 1 with batches sharded across [`ParmisConfig::num_workers`] threads.
+    ///
+    /// This is `run(&ParallelEvaluator::new(evaluator, config.num_workers))` spelled as a
+    /// convenience; the outcome is bit-identical to [`run`](Self::run) for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_parallel<E: PolicyEvaluator + Sync>(&self, evaluator: &E) -> Result<ParmisOutcome> {
+        let parallel =
+            crate::evaluation::ParallelEvaluator::new(evaluator, self.config.num_workers);
+        self.run(&parallel)
+    }
+
     /// Runs Algorithm 1, invoking `progress` after every evaluation (used by the figure
-    /// harness to print convergence traces).
+    /// harness to print convergence traces). With `batch_size > 1` the callback fires once
+    /// per batch slot, in slot order, after the whole batch has been evaluated.
     ///
     /// # Errors
     ///
@@ -160,10 +194,16 @@ impl Parmis {
         let mut noises: Vec<f64> = vec![1e-4; k];
 
         // --- Initial design (Algorithm 1, line 1) -------------------------------------------
+        // The candidate parameters are drawn from a single sequential stream (independent of
+        // batch size and worker count) and then evaluated as one batch.
         let initial = cfg.initial_samples.min(cfg.max_iterations).max(2);
-        for i in 0..initial {
-            let theta: Vec<f64> = (0..dim).map(|_| rng.gen_range(-bound..bound)).collect();
-            let objectives_value = evaluator.evaluate(&theta)?;
+        let initial_thetas: Vec<Vec<f64>> = (0..initial)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-bound..bound)).collect())
+            .collect();
+        let initial_values = evaluator.evaluate_batch(&initial_thetas)?;
+        for (i, (theta, objectives_value)) in
+            initial_thetas.into_iter().zip(initial_values).enumerate()
+        {
             self.check_objective_vector(&objectives_value, k)?;
             front.insert(objectives_value.clone(), theta.clone());
             let record = IterationRecord {
@@ -176,8 +216,14 @@ impl Parmis {
             history.push(record);
         }
 
-        // --- Model-guided iterations (Algorithm 1, lines 2-8) -------------------------------
-        for iteration in initial..cfg.max_iterations {
+        // --- Model-guided iterations (Algorithm 1, lines 2-8), q candidates per round ------
+        // Every stochastic choice below is seeded from (cfg.seed, iteration), and candidate
+        // slots within a round are merged in order, so the full trajectory is a pure function
+        // of the configuration — independent of batch evaluation scheduling.
+        let mut iteration = initial;
+        'rounds: while iteration < cfg.max_iterations {
+            let q = cfg.batch_size.min(cfg.max_iterations - iteration).max(1);
+
             // Line 3: learn statistical models from the aggregate training data.
             let xs: Vec<Vec<f64>> = history.iter().map(|r| r.theta.clone()).collect();
             let (models, standardizers) = self.fit_models(
@@ -201,41 +247,50 @@ impl Parmis {
             let samples =
                 sampler.sample_many(cfg.num_pareto_samples, cfg.seed ^ (iteration as u64) << 8)?;
 
-            // Line 4 (part 2): maximize the information gain over candidate policies.
+            // Line 4 (part 2): take the top-q information-gain candidates instead of the
+            // argmax.
             let incumbents: Vec<Vec<f64>> = front.tags().into_iter().cloned().collect();
             let optimizer = AcquisitionOptimizer::new(dim, bound, cfg.acquisition.clone());
-            let (theta_next, acq_value) = optimizer.maximize(
+            let selected = optimizer.maximize_batch(
                 &models,
                 &samples,
                 &incumbents,
+                q,
                 cfg.seed ^ (iteration as u64).wrapping_mul(0xB5297A4D),
             )?;
-
-            // Line 5: evaluate the selected policy on the platform.
-            let objectives_value = evaluator.evaluate(&theta_next)?;
-            self.check_objective_vector(&objectives_value, k)?;
-
-            // Line 6: aggregate training data; track whether the front improved.
-            let improved = front.insert(objectives_value.clone(), theta_next.clone());
-            let record = IterationRecord {
-                iteration,
-                theta: theta_next,
-                objectives: objectives_value,
-                acquisition_value: Some(acq_value),
-            };
-            progress(iteration, &record);
-            history.push(record);
             drop(standardizers);
 
-            if improved {
-                stale_iterations = 0;
-            } else {
-                stale_iterations += 1;
+            // Line 5: evaluate the selected policies on the platform as one batch.
+            let thetas: Vec<Vec<f64>> = selected.iter().map(|(theta, _)| theta.clone()).collect();
+            let values = evaluator.evaluate_batch(&thetas)?;
+
+            // Line 6: aggregate training data slot by slot; track whether the front improved.
+            let evaluated = selected.len();
+            for (slot, ((theta, acq_value), objectives_value)) in
+                selected.into_iter().zip(values).enumerate()
+            {
+                self.check_objective_vector(&objectives_value, k)?;
+                let improved = front.insert(objectives_value.clone(), theta.clone());
+                let record = IterationRecord {
+                    iteration: iteration + slot,
+                    theta,
+                    objectives: objectives_value,
+                    acquisition_value: Some(acq_value),
+                };
+                progress(iteration + slot, &record);
+                history.push(record);
+
+                if improved {
+                    stale_iterations = 0;
+                } else {
+                    stale_iterations += 1;
+                }
+                if cfg.convergence_window > 0 && stale_iterations >= cfg.convergence_window {
+                    converged_at = Some(iteration + slot);
+                    break 'rounds;
+                }
             }
-            if cfg.convergence_window > 0 && stale_iterations >= cfg.convergence_window {
-                converged_at = Some(iteration);
-                break;
-            }
+            iteration += evaluated;
         }
 
         // --- Post-processing: PHV trajectory against a common reference ---------------------
@@ -262,6 +317,16 @@ impl Parmis {
         if cfg.num_pareto_samples == 0 {
             return Err(ParmisError::InvalidConfig {
                 reason: "num_pareto_samples must be positive".into(),
+            });
+        }
+        if cfg.batch_size == 0 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "batch_size must be positive".into(),
+            });
+        }
+        if cfg.acquisition.random_candidates == 0 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "the acquisition optimizer needs at least one random candidate".into(),
             });
         }
         if evaluator.objectives().len() < 2 {
@@ -304,8 +369,8 @@ impl Parmis {
         bound: f64,
         iteration: usize,
         kernels: &mut Option<Vec<gp::kernel::Kernel>>,
-        noises: &mut Vec<f64>,
-    ) -> Result<(Vec<GaussianProcess>, Vec<(f64, f64)>)> {
+        noises: &mut [f64],
+    ) -> Result<(Vec<GaussianProcess>, Vec<Standardizer>)> {
         let cfg = &self.config;
         let mut models = Vec::with_capacity(k);
         let mut standardizers = Vec::with_capacity(k);
@@ -314,7 +379,7 @@ impl Parmis {
                 == 0;
         let mut new_kernels = Vec::with_capacity(k);
 
-        for j in 0..k {
+        for (j, noise) in noises.iter_mut().enumerate().take(k) {
             let raw: Vec<f64> = history.iter().map(|r| r.objectives[j]).collect();
             let mean = linalg::vector::mean(&raw);
             let std = linalg::vector::std_dev(&raw).max(1e-9);
@@ -331,11 +396,11 @@ impl Parmis {
                 };
                 let fitted = fit_with_hyperopt(xs.to_vec(), ys, &config)?;
                 new_kernels.push(fitted.model.kernel().clone());
-                noises[j] = fitted.model.noise_variance();
+                *noise = fitted.model.noise_variance();
                 models.push(fitted.model);
             } else {
                 let kernel = kernels.as_ref().expect("kernels cached")[j].clone();
-                let model = GaussianProcess::fit(xs.to_vec(), ys, kernel, noises[j])?;
+                let model = GaussianProcess::fit(xs.to_vec(), ys, kernel, *noise)?;
                 models.push(model);
             }
         }
@@ -345,6 +410,9 @@ impl Parmis {
         Ok((models, standardizers))
     }
 }
+
+/// Per-objective `(mean, std)` pair used to standardize GP training targets.
+type Standardizer = (f64, f64);
 
 /// Lengthscale candidates scaled to the expected pairwise distance of uniform points in the
 /// box `[-bound, bound]^dim`.
@@ -366,7 +434,13 @@ fn phv_reference(history: &[IterationRecord], k: usize) -> Vec<f64> {
     }
     worst
         .into_iter()
-        .map(|w| if w.abs() < f64::EPSILON { 0.05 } else { w + w.abs() * 0.05 })
+        .map(|w| {
+            if w.abs() < f64::EPSILON {
+                0.05
+            } else {
+                w + w.abs() * 0.05
+            }
+        })
         .collect()
 }
 
@@ -489,7 +563,10 @@ mod tests {
             "search should improve PHV ({initial_phv} -> {final_phv})"
         );
         for pair in outcome.phv_history.windows(2) {
-            assert!(pair[1] + 1e-12 >= pair[0], "PHV trajectory must be monotone");
+            assert!(
+                pair[1] + 1e-12 >= pair[0],
+                "PHV trajectory must be monotone"
+            );
         }
     }
 
@@ -556,6 +633,83 @@ mod tests {
         config.seed = 999;
         let c = Parmis::new(config).run(&evaluator).unwrap();
         assert_ne!(a.history[7].theta, c.history[7].theta);
+    }
+
+    #[test]
+    fn batched_search_fills_the_budget_with_sequential_records() {
+        let evaluator = SyntheticEvaluator::new();
+        let config = ParmisConfig {
+            batch_size: 3,
+            ..quick_config(17)
+        };
+        let outcome = Parmis::new(config).run(&evaluator).unwrap();
+        // 6 initial + rounds of 3 capped at the budget: every slot gets its own record.
+        assert_eq!(outcome.history.len(), 17);
+        for (i, r) in outcome.history.iter().enumerate() {
+            assert_eq!(r.iteration, i);
+            if i >= 6 {
+                assert!(r.acquisition_value.is_some());
+            }
+        }
+        // Within a round the selection is sorted best-first.
+        for round in outcome.history[6..15].chunks(3) {
+            let values: Vec<f64> = round.iter().map(|r| r.acquisition_value.unwrap()).collect();
+            assert!(values[0] >= values[1] && values[1] >= values[2]);
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial_for_any_worker_count() {
+        let evaluator = SyntheticEvaluator::new();
+        let config = ParmisConfig {
+            batch_size: 4,
+            ..quick_config(18)
+        };
+        let serial = Parmis::new(config.clone()).run(&evaluator).unwrap();
+        for workers in [1, 2, 4] {
+            let parallel = Parmis::new(ParmisConfig {
+                num_workers: workers,
+                ..config.clone()
+            })
+            .run_parallel(&evaluator)
+            .unwrap();
+            assert_eq!(
+                parallel.phv_history, serial.phv_history,
+                "workers = {workers}"
+            );
+            assert_eq!(parallel.history.len(), serial.history.len());
+            for (a, b) in parallel.history.iter().zip(&serial.history) {
+                assert_eq!(a.theta, b.theta);
+                assert_eq!(a.objectives, b.objectives);
+                assert_eq!(a.acquisition_value, b.acquisition_value);
+            }
+            assert_eq!(
+                parallel.front.objective_values(),
+                serial.front.objective_values()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_batch_configuration_is_rejected() {
+        let evaluator = SyntheticEvaluator::new();
+        let bad = ParmisConfig {
+            batch_size: 0,
+            ..quick_config(10)
+        };
+        assert!(matches!(
+            Parmis::new(bad).run(&evaluator),
+            Err(ParmisError::InvalidConfig { .. })
+        ));
+        let bad = ParmisConfig {
+            acquisition: AcquisitionOptimizerConfig {
+                random_candidates: 0,
+                local_candidates: 0,
+                local_perturbation: 0.1,
+            },
+            ..quick_config(10)
+        };
+        assert!(Parmis::new(bad).run(&evaluator).is_err());
     }
 
     #[test]

@@ -20,6 +20,16 @@
 //! The result is a set of Pareto-frontier DRM policies; at run time the system picks the one
 //! matching the user's desired trade-off ([`moo::ParetoFront::select_by`]).
 //!
+//! # Batched, parallel evaluation
+//!
+//! Step 3/4 can select the **top-q** acquisition candidates per iteration instead of the
+//! argmax ([`ParmisConfig::batch_size`]) and evaluate them as one batch. Batches flow through
+//! [`evaluation::PolicyEvaluator::evaluate_batch`]; wrap any evaluator in a
+//! [`evaluation::ParallelEvaluator`] — or call [`framework::Parmis::run_parallel`] — to shard
+//! the batch across a scoped thread pool ([`ParmisConfig::num_workers`]). All random streams
+//! derive from `(seed, iteration, slot)` and batch results merge in slot order, so the Pareto
+//! front is bit-identical for any worker count.
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -48,10 +58,11 @@ mod error;
 pub mod evaluation;
 pub mod framework;
 pub mod objective;
+pub mod parallel;
 pub mod pareto_sampling;
 
 pub use error::ParmisError;
-pub use evaluation::{GlobalEvaluator, PolicyEvaluator, SocEvaluator};
+pub use evaluation::{GlobalEvaluator, ParallelEvaluator, PolicyEvaluator, SocEvaluator};
 pub use framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome};
 pub use objective::Objective;
 

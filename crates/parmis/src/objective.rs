@@ -27,8 +27,7 @@ impl Objective {
     /// Objective pairs used by the paper's two main experiment families.
     pub const TIME_ENERGY: [Objective; 2] = [Objective::ExecutionTime, Objective::Energy];
     /// Execution time and PPW, the "complex objective" experiment of §V-E.
-    pub const TIME_PPW: [Objective; 2] =
-        [Objective::ExecutionTime, Objective::PerformancePerWatt];
+    pub const TIME_PPW: [Objective; 2] = [Objective::ExecutionTime, Objective::PerformancePerWatt];
 
     /// Short name used in reports and figures.
     pub fn name(&self) -> &'static str {

@@ -1,0 +1,125 @@
+//! Deterministic scoped-thread fan-out used by the batched evaluation engine.
+//!
+//! The only parallelism primitive the workspace needs is an ordered, work-stealing
+//! `parallel_map`: apply a function to every item of a slice across a bounded pool of
+//! `std::thread` workers and return the results **in input order**, so callers observe
+//! exactly the same values as a serial loop no matter how many workers ran or how the
+//! scheduler interleaved them. Combined with per-item deterministic seeding this is what
+//! makes the PaRMIS Pareto front bit-identical for any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every element of `items` using up to `num_workers` OS threads and returns
+/// the outputs in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven per-item cost does not
+/// stall the pool. With `num_workers <= 1`, a single item, or an empty slice the call runs
+/// inline on the caller's thread with zero overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins its workers.
+pub fn parallel_map<T, R, F>(items: &[T], num_workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if num_workers <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let workers = num_workers.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Resolves a worker-count knob: `0` means "one worker per available CPU", anything else is
+/// taken literally.
+pub fn resolve_workers(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, workers, |_, &x| x * x);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let got = parallel_map(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u8], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_workloads_still_merge_in_order() {
+        // Later items are much cheaper than early ones; a naive chunking would reorder
+        // completion, but the output must stay by-index.
+        let items: Vec<u64> = (0..16).collect();
+        let got = parallel_map(&items, 4, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..(16 - x) * 2_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, std::hint::black_box(acc).min(1))
+        });
+        let order: Vec<u64> = got.iter().map(|(x, _)| *x).collect();
+        assert_eq!(order, items);
+    }
+
+    #[test]
+    fn resolve_workers_expands_zero_to_available_parallelism() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+}

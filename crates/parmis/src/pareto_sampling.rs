@@ -64,7 +64,10 @@ impl ParetoFrontSampler {
         config: ParetoSamplingConfig,
         seed: u64,
     ) -> Result<Self> {
-        assert!(!models.is_empty(), "at least one objective model is required");
+        assert!(
+            !models.is_empty(),
+            "at least one objective model is required"
+        );
         let dim = models[0].dim();
         let samplers = models
             .iter()
@@ -228,7 +231,10 @@ mod tests {
                 .map(|p| p[0])
                 .fold(f64::NEG_INFINITY, f64::max)
                 - sample.per_objective_best[0];
-            assert!(spread0 > 0.1, "front should span objective 0, spread {spread0}");
+            assert!(
+                spread0 > 0.1,
+                "front should span objective 0, spread {spread0}"
+            );
         }
     }
 }

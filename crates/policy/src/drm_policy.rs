@@ -103,7 +103,10 @@ impl DrmPolicy {
             .iter()
             .enumerate()
             .map(|(i, &out)| {
-                Mlp::random(&architecture.layer_sizes(out), seed.wrapping_add(i as u64 * 7919))
+                Mlp::random(
+                    &architecture.layer_sizes(out),
+                    seed.wrapping_add(i as u64 * 7919),
+                )
             })
             .collect();
         DrmPolicy {
@@ -284,7 +287,10 @@ mod tests {
     fn storage_footprint_is_around_one_kilobyte() {
         let policy = DrmPolicy::zeros(&space(), &PolicyArchitecture::paper_default());
         let kb = policy.storage_bytes() as f64 / 1024.0;
-        assert!(kb > 0.5 && kb < 4.0, "storage {kb} KiB outside the expected ballpark");
+        assert!(
+            kb > 0.5 && kb < 4.0,
+            "storage {kb} KiB outside the expected ballpark"
+        );
     }
 
     #[test]
@@ -332,7 +338,10 @@ mod tests {
             let policy = DrmPolicy::random(&s, &arch, seed);
             let counters = CounterSnapshot::zeroed();
             let d = policy.decide_for_counters(&counters);
-            assert!(s.validate(&d).is_ok(), "random policy produced invalid decision {d}");
+            assert!(
+                s.validate(&d).is_ok(),
+                "random policy produced invalid decision {d}"
+            );
         }
     }
 
@@ -366,7 +375,10 @@ mod tests {
         assert_eq!(summary.controller, "parmis-candidate");
         assert!(summary.execution_time_s > 0.0);
         // Every epoch decision stayed inside the decision space (run_application validates).
-        assert_eq!(summary.epochs.len(), Benchmark::Qsort.application().epoch_count());
+        assert_eq!(
+            summary.epochs.len(),
+            Benchmark::Qsort.application().epoch_count()
+        );
     }
 
     #[test]
@@ -382,7 +394,7 @@ mod tests {
         let before = policy.to_flat_parameters();
         policy
             .head_mut(Knob::BigFrequency)
-            .sgd_step(&vec![0.1; 9], 3, 0.5);
+            .sgd_step(&[0.1; 9], 3, 0.5);
         assert_ne!(before, policy.to_flat_parameters());
         assert_eq!(Knob::ALL.len(), 4);
     }

@@ -306,7 +306,10 @@ mod tests {
         let mut perturbed = flat.clone();
         perturbed[0] += 5.0;
         let other = Mlp::from_flat_parameters(&[4, 6, 3], &perturbed);
-        assert_ne!(other.forward(&[1.0, 0.5, -0.5, 2.0]), mlp.forward(&[1.0, 0.5, -0.5, 2.0]));
+        assert_ne!(
+            other.forward(&[1.0, 0.5, -0.5, 2.0]),
+            mlp.forward(&[1.0, 0.5, -0.5, 2.0])
+        );
     }
 
     #[test]
@@ -324,7 +327,7 @@ mod tests {
         assert_eq!(probs.len(), 4);
         let sum: f64 = probs.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        assert!(probs.iter().all(|&p| p >= 0.0 && p <= 1.0));
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
         assert!(mlp.predict_class(&input) < 4);
     }
 
@@ -387,7 +390,10 @@ mod tests {
             })
             .sum::<f64>()
             / examples.len() as f64;
-        assert!(final_loss < last_avg * 0.5, "loss {final_loss} vs initial {last_avg}");
+        assert!(
+            final_loss < last_avg * 0.5,
+            "loss {final_loss} vs initial {last_avg}"
+        );
         for (x, y) in &examples {
             assert_eq!(mlp.predict_class(x), *y);
         }

@@ -233,6 +233,9 @@ mod tests {
             })
             .collect();
         let acc = accuracy(&policy, &dataset);
-        assert!(acc <= 0.5, "random labels should not be matched well, got {acc}");
+        assert!(
+            acc <= 0.5,
+            "random labels should not be matched well, got {acc}"
+        );
     }
 }

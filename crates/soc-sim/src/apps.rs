@@ -139,8 +139,14 @@ fn phase(
 
 fn basicmath() -> crate::Result<Application> {
     ApplicationBuilder::new("basicmath")
-        .phase(phase("cubic-solver", 90.0, 0.15, 0.12, 0.004, 0.10, 0.02, 0.95), 3)
-        .phase(phase("rad2deg", 70.0, 0.30, 0.18, 0.008, 0.08, 0.02, 0.90), 2)
+        .phase(
+            phase("cubic-solver", 90.0, 0.15, 0.12, 0.004, 0.10, 0.02, 0.95),
+            3,
+        )
+        .phase(
+            phase("rad2deg", 70.0, 0.30, 0.18, 0.008, 0.08, 0.02, 0.90),
+            2,
+        )
         .phase(phase("isqrt", 60.0, 0.10, 0.10, 0.003, 0.14, 0.04, 0.85), 2)
         .cycles(8)
         .jitter(0.08)
@@ -150,9 +156,18 @@ fn basicmath() -> crate::Result<Application> {
 
 fn dijkstra() -> crate::Result<Application> {
     ApplicationBuilder::new("dijkstra")
-        .phase(phase("graph-load", 50.0, 0.10, 0.40, 0.06, 0.10, 0.05, 0.60), 1)
-        .phase(phase("relaxation", 80.0, 0.20, 0.38, 0.07, 0.16, 0.09, 0.55), 5)
-        .phase(phase("queue-update", 45.0, 0.10, 0.30, 0.05, 0.20, 0.11, 0.60), 2)
+        .phase(
+            phase("graph-load", 50.0, 0.10, 0.40, 0.06, 0.10, 0.05, 0.60),
+            1,
+        )
+        .phase(
+            phase("relaxation", 80.0, 0.20, 0.38, 0.07, 0.16, 0.09, 0.55),
+            5,
+        )
+        .phase(
+            phase("queue-update", 45.0, 0.10, 0.30, 0.05, 0.20, 0.11, 0.60),
+            2,
+        )
         .cycles(7)
         .jitter(0.10)
         .seed(102)
@@ -161,9 +176,18 @@ fn dijkstra() -> crate::Result<Application> {
 
 fn fft() -> crate::Result<Application> {
     ApplicationBuilder::new("fft")
-        .phase(phase("bit-reverse", 40.0, 0.50, 0.30, 0.06, 0.08, 0.03, 0.75), 1)
-        .phase(phase("butterfly", 110.0, 0.70, 0.24, 0.05, 0.06, 0.02, 0.90), 4)
-        .phase(phase("twiddle", 60.0, 0.60, 0.16, 0.02, 0.07, 0.02, 0.92), 2)
+        .phase(
+            phase("bit-reverse", 40.0, 0.50, 0.30, 0.06, 0.08, 0.03, 0.75),
+            1,
+        )
+        .phase(
+            phase("butterfly", 110.0, 0.70, 0.24, 0.05, 0.06, 0.02, 0.90),
+            4,
+        )
+        .phase(
+            phase("twiddle", 60.0, 0.60, 0.16, 0.02, 0.07, 0.02, 0.92),
+            2,
+        )
         .cycles(8)
         .jitter(0.07)
         .seed(103)
@@ -172,9 +196,18 @@ fn fft() -> crate::Result<Application> {
 
 fn qsort() -> crate::Result<Application> {
     ApplicationBuilder::new("qsort")
-        .phase(phase("partition", 85.0, 0.45, 0.30, 0.05, 0.22, 0.12, 0.70), 4)
-        .phase(phase("insertion-tail", 40.0, 0.15, 0.24, 0.03, 0.25, 0.10, 0.72), 2)
-        .phase(phase("copy-back", 35.0, 0.60, 0.42, 0.08, 0.05, 0.02, 0.65), 1)
+        .phase(
+            phase("partition", 85.0, 0.45, 0.30, 0.05, 0.22, 0.12, 0.70),
+            4,
+        )
+        .phase(
+            phase("insertion-tail", 40.0, 0.15, 0.24, 0.03, 0.25, 0.10, 0.72),
+            2,
+        )
+        .phase(
+            phase("copy-back", 35.0, 0.60, 0.42, 0.08, 0.05, 0.02, 0.65),
+            1,
+        )
         .cycles(8)
         .jitter(0.10)
         .seed(104)
@@ -183,8 +216,23 @@ fn qsort() -> crate::Result<Application> {
 
 fn sha() -> crate::Result<Application> {
     ApplicationBuilder::new("sha")
-        .phase(phase("message-schedule", 70.0, 0.10, 0.14, 0.010, 0.05, 0.01, 0.95), 2)
-        .phase(phase("compression", 120.0, 0.08, 0.08, 0.004, 0.04, 0.01, 1.00), 5)
+        .phase(
+            phase(
+                "message-schedule",
+                70.0,
+                0.10,
+                0.14,
+                0.010,
+                0.05,
+                0.01,
+                0.95,
+            ),
+            2,
+        )
+        .phase(
+            phase("compression", 120.0, 0.08, 0.08, 0.004, 0.04, 0.01, 1.00),
+            5,
+        )
         .cycles(8)
         .jitter(0.05)
         .seed(105)
@@ -193,8 +241,14 @@ fn sha() -> crate::Result<Application> {
 
 fn blowfish() -> crate::Result<Application> {
     ApplicationBuilder::new("blowfish")
-        .phase(phase("key-schedule", 55.0, 0.05, 0.18, 0.015, 0.06, 0.02, 0.90), 1)
-        .phase(phase("feistel-rounds", 100.0, 0.35, 0.20, 0.012, 0.05, 0.01, 0.95), 5)
+        .phase(
+            phase("key-schedule", 55.0, 0.05, 0.18, 0.015, 0.06, 0.02, 0.90),
+            1,
+        )
+        .phase(
+            phase("feistel-rounds", 100.0, 0.35, 0.20, 0.012, 0.05, 0.01, 0.95),
+            5,
+        )
         .cycles(9)
         .jitter(0.06)
         .seed(106)
@@ -203,7 +257,10 @@ fn blowfish() -> crate::Result<Application> {
 
 fn stringsearch() -> crate::Result<Application> {
     ApplicationBuilder::new("stringsearch")
-        .phase(phase("preprocess", 30.0, 0.10, 0.22, 0.02, 0.18, 0.08, 0.80), 1)
+        .phase(
+            phase("preprocess", 30.0, 0.10, 0.22, 0.02, 0.18, 0.08, 0.80),
+            1,
+        )
         .phase(phase("scan", 75.0, 0.40, 0.34, 0.06, 0.24, 0.10, 0.70), 5)
         .cycles(9)
         .jitter(0.09)
@@ -213,9 +270,27 @@ fn stringsearch() -> crate::Result<Application> {
 
 fn aes() -> crate::Result<Application> {
     ApplicationBuilder::new("aes")
-        .phase(phase("key-expansion", 40.0, 0.05, 0.16, 0.010, 0.06, 0.02, 0.92), 1)
-        .phase(phase("encrypt-blocks", 120.0, 0.55, 0.22, 0.020, 0.04, 0.01, 0.95), 5)
-        .phase(phase("output-whitening", 45.0, 0.45, 0.28, 0.030, 0.05, 0.02, 0.88), 1)
+        .phase(
+            phase("key-expansion", 40.0, 0.05, 0.16, 0.010, 0.06, 0.02, 0.92),
+            1,
+        )
+        .phase(
+            phase("encrypt-blocks", 120.0, 0.55, 0.22, 0.020, 0.04, 0.01, 0.95),
+            5,
+        )
+        .phase(
+            phase(
+                "output-whitening",
+                45.0,
+                0.45,
+                0.28,
+                0.030,
+                0.05,
+                0.02,
+                0.88,
+            ),
+            1,
+        )
         .cycles(8)
         .jitter(0.06)
         .seed(108)
@@ -224,9 +299,27 @@ fn aes() -> crate::Result<Application> {
 
 fn kmeans() -> crate::Result<Application> {
     ApplicationBuilder::new("kmeans")
-        .phase(phase("assign", 130.0, 0.85, 0.36, 0.09, 0.08, 0.03, 0.80), 4)
-        .phase(phase("update-centroids", 60.0, 0.70, 0.30, 0.07, 0.06, 0.02, 0.78), 2)
-        .phase(phase("convergence-check", 25.0, 0.20, 0.20, 0.03, 0.12, 0.04, 0.85), 1)
+        .phase(
+            phase("assign", 130.0, 0.85, 0.36, 0.09, 0.08, 0.03, 0.80),
+            4,
+        )
+        .phase(
+            phase("update-centroids", 60.0, 0.70, 0.30, 0.07, 0.06, 0.02, 0.78),
+            2,
+        )
+        .phase(
+            phase(
+                "convergence-check",
+                25.0,
+                0.20,
+                0.20,
+                0.03,
+                0.12,
+                0.04,
+                0.85,
+            ),
+            1,
+        )
         .cycles(8)
         .jitter(0.08)
         .seed(109)
@@ -235,9 +328,18 @@ fn kmeans() -> crate::Result<Application> {
 
 fn spectral() -> crate::Result<Application> {
     ApplicationBuilder::new("spectral")
-        .phase(phase("affinity-matrix", 110.0, 0.80, 0.32, 0.08, 0.05, 0.02, 0.82), 3)
-        .phase(phase("eigen-iteration", 130.0, 0.75, 0.26, 0.06, 0.06, 0.02, 0.88), 4)
-        .phase(phase("cluster-assign", 50.0, 0.60, 0.30, 0.05, 0.10, 0.04, 0.80), 1)
+        .phase(
+            phase("affinity-matrix", 110.0, 0.80, 0.32, 0.08, 0.05, 0.02, 0.82),
+            3,
+        )
+        .phase(
+            phase("eigen-iteration", 130.0, 0.75, 0.26, 0.06, 0.06, 0.02, 0.88),
+            4,
+        )
+        .phase(
+            phase("cluster-assign", 50.0, 0.60, 0.30, 0.05, 0.10, 0.04, 0.80),
+            1,
+        )
         .cycles(7)
         .jitter(0.07)
         .seed(110)
@@ -246,8 +348,14 @@ fn spectral() -> crate::Result<Application> {
 
 fn motionest() -> crate::Result<Application> {
     ApplicationBuilder::new("motionest")
-        .phase(phase("block-match", 140.0, 0.90, 0.28, 0.04, 0.07, 0.02, 0.92), 5)
-        .phase(phase("vector-refine", 60.0, 0.65, 0.22, 0.03, 0.10, 0.04, 0.88), 2)
+        .phase(
+            phase("block-match", 140.0, 0.90, 0.28, 0.04, 0.07, 0.02, 0.92),
+            5,
+        )
+        .phase(
+            phase("vector-refine", 60.0, 0.65, 0.22, 0.03, 0.10, 0.04, 0.88),
+            2,
+        )
         .cycles(8)
         .jitter(0.08)
         .seed(111)
@@ -256,9 +364,18 @@ fn motionest() -> crate::Result<Application> {
 
 fn pca() -> crate::Result<Application> {
     ApplicationBuilder::new("pca")
-        .phase(phase("covariance", 150.0, 0.85, 0.40, 0.12, 0.04, 0.01, 0.75), 4)
-        .phase(phase("eigen-decomp", 90.0, 0.55, 0.30, 0.08, 0.08, 0.03, 0.80), 3)
-        .phase(phase("projection", 70.0, 0.80, 0.38, 0.10, 0.04, 0.01, 0.78), 2)
+        .phase(
+            phase("covariance", 150.0, 0.85, 0.40, 0.12, 0.04, 0.01, 0.75),
+            4,
+        )
+        .phase(
+            phase("eigen-decomp", 90.0, 0.55, 0.30, 0.08, 0.08, 0.03, 0.80),
+            3,
+        )
+        .phase(
+            phase("projection", 70.0, 0.80, 0.38, 0.10, 0.04, 0.01, 0.78),
+            2,
+        )
         .cycles(6)
         .jitter(0.09)
         .seed(112)
@@ -297,7 +414,11 @@ mod tests {
         for app in Benchmark::all_applications() {
             assert!(app.epoch_count() >= 20, "{} too short", app.name);
             assert!(app.epoch_count() <= 120, "{} too long", app.name);
-            assert!(app.total_instructions() > 1e9, "{} too little work", app.name);
+            assert!(
+                app.total_instructions() > 1e9,
+                "{} too little work",
+                app.name
+            );
         }
     }
 

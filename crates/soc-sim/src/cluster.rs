@@ -143,7 +143,13 @@ impl ClusterParams {
 /// Builds an OPP table from `min..=max` MHz in `step` MHz increments with a voltage curve that
 /// rises slightly super-linearly from `v_min` to `v_max`, approximating published Exynos 5422
 /// DVFS tables.
-fn build_opps(min_mhz: u32, max_mhz: u32, step_mhz: u32, v_min: f64, v_max: f64) -> Vec<OperatingPoint> {
+fn build_opps(
+    min_mhz: u32,
+    max_mhz: u32,
+    step_mhz: u32,
+    v_min: f64,
+    v_max: f64,
+) -> Vec<OperatingPoint> {
     let mut opps = Vec::new();
     let mut f = min_mhz;
     while f <= max_mhz {
@@ -183,7 +189,10 @@ mod tests {
 
     #[test]
     fn voltage_increases_monotonically_with_frequency() {
-        for params in [ClusterParams::exynos5422_big(), ClusterParams::exynos5422_little()] {
+        for params in [
+            ClusterParams::exynos5422_big(),
+            ClusterParams::exynos5422_little(),
+        ] {
             for pair in params.opps.windows(2) {
                 assert!(pair[1].frequency_mhz > pair[0].frequency_mhz);
                 assert!(pair[1].voltage_v > pair[0].voltage_v);

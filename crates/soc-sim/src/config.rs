@@ -313,13 +313,25 @@ mod tests {
         };
         assert!(space.validate(&valid).is_ok());
 
-        let too_many_big = DrmDecision { big_cores: 5, ..valid };
+        let too_many_big = DrmDecision {
+            big_cores: 5,
+            ..valid
+        };
         assert!(space.validate(&too_many_big).is_err());
-        let zero_little = DrmDecision { little_cores: 0, ..valid };
+        let zero_little = DrmDecision {
+            little_cores: 0,
+            ..valid
+        };
         assert!(space.validate(&zero_little).is_err());
-        let bad_big_freq = DrmDecision { big_freq_mhz: 1250, ..valid };
+        let bad_big_freq = DrmDecision {
+            big_freq_mhz: 1250,
+            ..valid
+        };
         assert!(space.validate(&bad_big_freq).is_err());
-        let bad_little_freq = DrmDecision { little_freq_mhz: 1500, ..valid };
+        let bad_little_freq = DrmDecision {
+            little_freq_mhz: 1500,
+            ..valid
+        };
         assert!(space.validate(&bad_little_freq).is_err());
     }
 

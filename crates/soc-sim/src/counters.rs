@@ -105,8 +105,7 @@ impl CounterSnapshot {
             l2_cache_misses,
             data_memory_accesses,
             noncache_external_requests,
-            little_cluster_utilization_sum: perf.little_utilization
-                * decision.little_cores as f64,
+            little_cluster_utilization_sum: perf.little_utilization * decision.little_cores as f64,
             big_cluster_utilization_per_core: perf.big_utilization,
             total_chip_power_w: power.total_w(),
         }

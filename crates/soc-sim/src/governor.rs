@@ -157,8 +157,7 @@ impl DrmController for OndemandGovernor {
 /// load is approximated by the cluster's total busy fraction capped at one: if any core is
 /// saturated (e.g. by the serial section) the estimate reaches 1.0.
 fn cluster_loads(counters: &CounterSnapshot, previous: &DrmDecision) -> (f64, f64) {
-    let big_load =
-        (counters.big_cluster_utilization_per_core * previous.big_cores as f64).min(1.0);
+    let big_load = (counters.big_cluster_utilization_per_core * previous.big_cores as f64).min(1.0);
     let little_load = counters.little_cluster_utilization_sum.min(1.0);
     (big_load, little_load)
 }
@@ -369,6 +368,9 @@ mod tests {
         let spec = SocSpec::exynos5422();
         let governors = default_governors(&spec);
         let names: Vec<&str> = governors.iter().map(|g| g.name()).collect();
-        assert_eq!(names, vec!["ondemand", "interactive", "performance", "powersave"]);
+        assert_eq!(
+            names,
+            vec!["ondemand", "interactive", "performance", "powersave"]
+        );
     }
 }

@@ -60,3 +60,29 @@ pub use platform::{DrmController, EpochResult, Platform, RunSummary, SocSpec, Tr
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SocError>;
+
+// The parallel batched evaluation engine (`parmis::evaluation::ParallelEvaluator`) shares
+// platforms and applications across scoped worker threads and clones them into sweep arms.
+// Everything here is plain owned data — no interior mutability, no `Rc` — so these bounds
+// hold structurally; the assertions turn an accidental regression (e.g. someone caching
+// state in a `RefCell`) into a compile error at the crate boundary.
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    fn assert_worker_shareable<T: Send + Sync + Clone>() {}
+
+    #[test]
+    fn platform_types_can_cross_worker_threads() {
+        assert_worker_shareable::<Platform>();
+        assert_worker_shareable::<SocSpec>();
+        assert_worker_shareable::<DecisionSpace>();
+        assert_worker_shareable::<DrmDecision>();
+        assert_worker_shareable::<workload::Application>();
+        assert_worker_shareable::<workload::PhaseSpec>();
+        assert_worker_shareable::<apps::Benchmark>();
+        assert_worker_shareable::<CounterSnapshot>();
+        assert_worker_shareable::<RunSummary>();
+        assert_worker_shareable::<EpochResult>();
+    }
+}

@@ -70,8 +70,7 @@ impl PerfModel {
         let branch_cpi =
             phase.branch_fraction * phase.branch_miss_rate * cluster.branch_miss_penalty_cycles;
         let f_ghz = freq_mhz as f64 / 1000.0;
-        let dram_cycles =
-            self.dram_latency_ns * (1.0 + 0.5 * self.row_miss_fraction) * f_ghz;
+        let dram_cycles = self.dram_latency_ns * (1.0 + 0.5 * self.row_miss_fraction) * f_ghz;
         let miss_cpi = phase.memory_refs_per_instr
             * phase.l2_miss_rate
             * (dram_cycles + cluster.miss_stall_overhead_cycles);
@@ -356,8 +355,16 @@ mod tests {
         let model = PerfModel::default();
         let fast = model.run_epoch(&big, &little, &decision(4, 4, 2000, 1400), &compute_phase());
         let slow = model.run_epoch(&big, &little, &decision(0, 1, 200, 200), &compute_phase());
-        assert!(fast.time_s > 0.005 && fast.time_s < 0.1, "fast epoch {}", fast.time_s);
-        assert!(slow.time_s > 0.2 && slow.time_s < 3.0, "slow epoch {}", slow.time_s);
+        assert!(
+            fast.time_s > 0.005 && fast.time_s < 0.1,
+            "fast epoch {}",
+            fast.time_s
+        );
+        assert!(
+            slow.time_s > 0.2 && slow.time_s < 3.0,
+            "slow epoch {}",
+            slow.time_s
+        );
     }
 
     #[test]

@@ -267,7 +267,10 @@ impl Platform {
         self.spec.decision_space().validate(decision)?;
         let big = self.spec.big_cluster();
         let little = self.spec.little_cluster();
-        let perf = self.spec.perf_model().run_epoch(big, little, decision, phase);
+        let perf = self
+            .spec
+            .perf_model()
+            .run_epoch(big, little, decision, phase);
         let power = self
             .spec
             .power_model()
@@ -338,7 +341,10 @@ impl Platform {
             result.energy_j = result.time_s * result.power_w;
             // Pay the DVFS / hotplug switching cost for changing the configuration; the extra
             // time is spent at the new configuration's power level.
-            let switch_s = self.spec.transition_model().switch_time_s(&previous, &decision);
+            let switch_s = self
+                .spec
+                .transition_model()
+                .switch_time_s(&previous, &decision);
             if switch_s > 0.0 {
                 result.time_s += switch_s;
                 result.energy_j = result.time_s * result.power_w;
@@ -519,7 +525,10 @@ mod tests {
         assert_eq!(te, vec![s.execution_time_s, s.energy_j]);
         let tp = s.time_ppw_objectives();
         assert_eq!(tp[0], s.execution_time_s);
-        assert!(tp[1] < 0.0, "PPW objective must be negated for minimization");
+        assert!(
+            tp[1] < 0.0,
+            "PPW objective must be negated for minimization"
+        );
     }
 
     #[test]
@@ -551,7 +560,10 @@ mod tests {
             .unwrap();
         let throttle_cap = platform.spec().thermal_model().throttle_big_freq_mhz;
         let first = summary.epochs.first().unwrap();
-        assert_eq!(first.decision.big_freq_mhz, 2000, "cold start runs unthrottled");
+        assert_eq!(
+            first.decision.big_freq_mhz, 2000,
+            "cold start runs unthrottled"
+        );
         let throttled_epochs = summary
             .epochs
             .iter()
@@ -605,7 +617,10 @@ mod tests {
         // No change: free.
         assert_eq!(model.switch_time_s(&a, &a), 0.0);
         // One frequency change.
-        let b = DrmDecision { big_freq_mhz: 1200, ..a };
+        let b = DrmDecision {
+            big_freq_mhz: 1200,
+            ..a
+        };
         assert!((model.switch_time_s(&a, &b) - 0.0002).abs() < 1e-12);
         // Two frequency changes plus two cores hotplugged off.
         let c = DrmDecision {
@@ -707,7 +722,11 @@ mod tests {
             let s = platform
                 .run_application(&app, &mut FixedController(d), 2)
                 .unwrap();
-            assert!(s.ppw > 0.05 && s.ppw < 5.0, "ppw {} out of plausible range", s.ppw);
+            assert!(
+                s.ppw > 0.05 && s.ppw < 5.0,
+                "ppw {} out of plausible range",
+                s.ppw
+            );
         }
     }
 }

@@ -193,7 +193,9 @@ impl PowerModel {
         phase: &PhaseSpec,
         perf: &EpochPerf,
     ) -> f64 {
-        self.epoch_power(big, little, decision, phase, perf).total_w() * perf.time_s
+        self.epoch_power(big, little, decision, phase, perf)
+            .total_w()
+            * perf.time_s
     }
 }
 
@@ -247,7 +249,11 @@ mod tests {
         let big = ClusterParams::exynos5422_big();
         let p1 = model.cluster_power(&big, 1000, 4, 1.0);
         let p2 = model.cluster_power(&big, 2000, 4, 1.0);
-        assert!(p2 > 2.0 * p1, "p(2GHz) = {p2} should exceed 2 x p(1GHz) = {}", 2.0 * p1);
+        assert!(
+            p2 > 2.0 * p1,
+            "p(2GHz) = {p2} should exceed 2 x p(1GHz) = {}",
+            2.0 * p1
+        );
     }
 
     #[test]
@@ -259,7 +265,10 @@ mod tests {
         let big_max = model.cluster_power(&big, 2000, 4, 1.0);
         let little_max = model.cluster_power(&little, 1400, 4, 1.0);
         assert!(big_max > 3.5 && big_max < 9.0, "big cluster {big_max} W");
-        assert!(little_max > 0.4 && little_max < 1.6, "little cluster {little_max} W");
+        assert!(
+            little_max > 0.4 && little_max < 1.6,
+            "little cluster {little_max} W"
+        );
     }
 
     #[test]
@@ -291,8 +300,12 @@ mod tests {
         let slow = decision(0, 1, 200, 200);
         let perf_fast = perf_model.run_epoch(&big, &little, &fast, &ph);
         let perf_slow = perf_model.run_epoch(&big, &little, &slow, &ph);
-        let p_fast = model.epoch_power(&big, &little, &fast, &ph, &perf_fast).total_w();
-        let p_slow = model.epoch_power(&big, &little, &slow, &ph, &perf_slow).total_w();
+        let p_fast = model
+            .epoch_power(&big, &little, &fast, &ph, &perf_fast)
+            .total_w();
+        let p_slow = model
+            .epoch_power(&big, &little, &slow, &ph, &perf_slow)
+            .total_w();
         assert!(p_fast > 4.0 * p_slow);
         assert!(perf_slow.time_s > 4.0 * perf_fast.time_s);
     }

@@ -42,7 +42,12 @@ impl PhaseSpec {
         let checks: [(&'static str, f64, f64, f64); 7] = [
             ("instructions", self.instructions, 1.0, 1e12),
             ("parallel_fraction", self.parallel_fraction, 0.0, 1.0),
-            ("memory_refs_per_instr", self.memory_refs_per_instr, 0.0, 1.0),
+            (
+                "memory_refs_per_instr",
+                self.memory_refs_per_instr,
+                0.0,
+                1.0,
+            ),
             ("l2_miss_rate", self.l2_miss_rate, 0.0, 1.0),
             ("branch_fraction", self.branch_fraction, 0.0, 1.0),
             ("branch_miss_rate", self.branch_miss_rate, 0.0, 1.0),
@@ -287,7 +292,10 @@ mod tests {
             assert!(e.instructions >= 80e6 - 1.0 && e.instructions <= 120e6 + 1.0);
         }
         // Jitter actually perturbs the counts.
-        assert!(a.epochs.iter().any(|e| (e.instructions - 100e6).abs() > 1e3));
+        assert!(a
+            .epochs
+            .iter()
+            .any(|e| (e.instructions - 100e6).abs() > 1e3));
 
         let c = ApplicationBuilder::new("jittered")
             .phase(phase("a", 100e6), 4)

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sweep = example_sweep_config(5);
     let rl = rl_front(benchmark, &objectives, &sweep);
     let il = il_front(benchmark, &objectives, &sweep);
-    println!("RL sweep kept {} policies, IL sweep kept {}", rl.len(), il.len());
+    println!(
+        "RL sweep kept {} policies, IL sweep kept {}",
+        rl.len(),
+        il.len()
+    );
 
     // Governors give one point each.
     let governors = governor_results(benchmark, &objectives);
@@ -40,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "governor {name:<12} time {:.2} s energy {:.2} J{}",
             point[0],
             point[1],
-            if dominated { "  (dominated by PaRMIS)" } else { "" }
+            if dominated {
+                "  (dominated by PaRMIS)"
+            } else {
+                ""
+            }
         );
     }
 

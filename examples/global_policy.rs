@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let objectives = Objective::TIME_ENERGY.to_vec();
     println!(
         "training one global policy set over: {}",
-        benchmarks.iter().map(|b| b.name()).collect::<Vec<_>>().join(", ")
+        benchmarks
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // One search over the whole application set.
@@ -56,6 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             normalized(phv_global, phv_app)
         );
     }
-    println!("\nthe paper finds global policies within ~2% of application-specific ones on average");
+    println!(
+        "\nthe paper finds global policies within ~2% of application-specific ones on average"
+    );
     Ok(())
 }

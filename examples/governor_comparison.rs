@@ -7,8 +7,8 @@
 //! ```
 
 use soc_sim::apps::Benchmark;
-use soc_sim::governor::{default_governors, UserspaceGovernor};
 use soc_sim::config::DrmDecision;
+use soc_sim::governor::{default_governors, UserspaceGovernor};
 use soc_sim::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Choose the target application and the objectives to trade off.
     let benchmark = Benchmark::Qsort;
     let objectives = vec![Objective::ExecutionTime, Objective::Energy];
-    println!("PaRMIS quickstart: {} / (execution time, energy)", benchmark);
+    println!(
+        "PaRMIS quickstart: {} / (execution time, energy)",
+        benchmark
+    );
 
     // 2. Offline phase: run the information-theoretic search for Pareto-frontier policies.
     let evaluator = SocEvaluator::for_benchmark(benchmark, objectives);

@@ -33,6 +33,9 @@ pub fn example_parmis_config(max_iterations: usize, seed: u64) -> ParmisConfig {
         refit_hyperparameters_every: 10,
         convergence_window: 0,
         seed,
+        // One candidate per iteration (the paper's loop), but let Parmis::run_parallel use
+        // every CPU when an example opts into batched evaluation.
+        num_workers: 0,
         ..ParmisConfig::default()
     }
 }
@@ -56,6 +59,8 @@ pub fn example_sweep_config(seed: u64) -> baselines::sweep::SweepConfig {
             ..Default::default()
         },
         eval_seed: seed,
+        // Sweep arms merge deterministically, so the examples can use every CPU for free.
+        num_workers: 0,
     }
 }
 

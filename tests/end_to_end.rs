@@ -53,7 +53,11 @@ fn parmis_front_policies_beat_fixed_governor_extremes_somewhere() {
 
     let governors = governor_results(benchmark, &Objective::TIME_ENERGY);
     let powersave = &governors.iter().find(|(n, _)| n == "powersave").unwrap().1;
-    let performance = &governors.iter().find(|(n, _)| n == "performance").unwrap().1;
+    let performance = &governors
+        .iter()
+        .find(|(n, _)| n == "performance")
+        .unwrap()
+        .1;
 
     let front = outcome.front.objective_values();
     assert!(
@@ -120,8 +124,7 @@ fn global_policies_transfer_to_individual_applications() {
 
 #[test]
 fn ppw_objective_pipeline_produces_positive_reported_ppw() {
-    let evaluator =
-        SocEvaluator::for_benchmark(Benchmark::Basicmath, Objective::TIME_PPW.to_vec());
+    let evaluator = SocEvaluator::for_benchmark(Benchmark::Basicmath, Objective::TIME_PPW.to_vec());
     let outcome = Parmis::new(example_parmis_config(12, 17))
         .run(&evaluator)
         .expect("PaRMIS run succeeds");

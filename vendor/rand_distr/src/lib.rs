@@ -1,0 +1,216 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements exactly the distributions this workspace samples — [`Normal`], [`LogNormal`],
+//! [`ChiSquared`] and [`StandardNormal`] — on top of the vendored `rand` stub. Normal draws
+//! use the Box–Muller transform (two uniforms per draw, no hidden state), the chi-squared
+//! distribution uses the Marsaglia–Tsang gamma sampler, so every draw is a pure function of
+//! the generator stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when distribution parameters are invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Draws one standard-normal variate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the logarithm away from 0: next_f64 is in [0, 1).
+    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// The normal distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("standard deviation must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm is `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("sigma must be finite and >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The chi-squared distribution with `k` degrees of freedom (Gamma(k/2, 2)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates a chi-squared distribution with `k > 0` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `k` is not a positive finite number.
+    pub fn new(k: f64) -> Result<Self, ParamError> {
+        if !k.is_finite() || k <= 0.0 {
+            return Err(ParamError("degrees of freedom must be finite and > 0"));
+        }
+        Ok(ChiSquared { k })
+    }
+}
+
+impl Distribution<f64> for ChiSquared {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // chi²(k) = Gamma(shape = k/2, scale = 2).
+        2.0 * gamma_sample(rng, self.k / 2.0)
+    }
+}
+
+/// Marsaglia–Tsang sampler for Gamma(shape, 1), with the standard boost for shape < 1.
+fn gamma_sample<R: RngCore + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..40_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn standard_normal_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.03);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_correct_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = LogNormal::new(0.5, 0.25).unwrap();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 0.5f64.exp()).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn chi_squared_mean_equals_degrees_of_freedom() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dist = ChiSquared::new(5.0).unwrap();
+        let samples: Vec<f64> = (0..40_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(samples.iter().all(|&x| x > 0.0));
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 10.0).abs() < 0.6, "variance {var}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(ChiSquared::new(0.0).is_err());
+    }
+}

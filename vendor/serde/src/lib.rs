@@ -1,0 +1,223 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the minimal
+//! serialization machinery the workspace needs: a [`Value`] tree, a [`Serialize`] trait that
+//! lowers any supported type into it, a [`Deserialize`] marker trait, and `derive` macros for
+//! both (re-exported from the companion `serde_derive` proc-macro crate). The vendored
+//! `serde_json` crate renders [`Value`] trees as JSON text.
+//!
+//! Supported derive input is deliberately narrow — structs with named fields and enums with
+//! unit variants — which covers every derive in this repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// The derive macros expand to `::serde::…` paths; alias this crate under its public name so
+// the expansions also resolve inside serde's own test suite.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree (the stub's analogue of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value map (declaration order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the [`Value`] representation of `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// Nothing in the workspace deserializes at run time yet; the derive exists so that shared
+/// model types can keep their upstream-compatible `#[derive(Serialize, Deserialize)]` spelling.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_values() {
+        assert_eq!(3u32.to_json_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_json_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_json_value(), Value::Float(1.5));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("hi".to_json_value(), Value::String("hi".into()));
+        assert_eq!(None::<u8>.to_json_value(), Value::Null);
+    }
+
+    #[test]
+    fn collections_lower_recursively() {
+        let v = vec![vec![1u8], vec![2, 3]];
+        assert_eq!(
+            v.to_json_value(),
+            Value::Array(vec![
+                Value::Array(vec![Value::UInt(1)]),
+                Value::Array(vec![Value::UInt(2), Value::UInt(3)]),
+            ])
+        );
+        assert_eq!(
+            (1u8, "x").to_json_value(),
+            Value::Array(vec![Value::UInt(1), Value::String("x".into())])
+        );
+    }
+
+    #[test]
+    fn derive_handles_structs_and_unit_enums() {
+        #[derive(Serialize, Deserialize)]
+        enum Kind {
+            Big,
+            #[allow(dead_code)]
+            Little,
+        }
+
+        #[derive(Serialize, Deserialize)]
+        struct Report {
+            name: String,
+            kind: Kind,
+            values: Vec<f64>,
+        }
+
+        let report = Report {
+            name: "qsort".into(),
+            kind: Kind::Big,
+            values: vec![1.0, 2.0],
+        };
+        let value = report.to_json_value();
+        assert_eq!(
+            value,
+            Value::Object(vec![
+                ("name".into(), Value::String("qsort".into())),
+                ("kind".into(), Value::String("Big".into())),
+                (
+                    "values".into(),
+                    Value::Array(vec![Value::Float(1.0), Value::Float(2.0)])
+                ),
+            ])
+        );
+        fn assert_deserialize<T: Deserialize>() {}
+        assert_deserialize::<Report>();
+    }
+}

@@ -1,0 +1,207 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! With no crates.io access there is no `syn`/`quote`, so the derive input is parsed directly
+//! from the [`proc_macro::TokenStream`]. The supported grammar is the subset the workspace
+//! uses: non-generic `struct`s with named fields and non-generic `enum`s whose variants are
+//! all unit variants. Anything else produces a `compile_error!` pointing here.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Input {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips attributes (`#[...]`), which is also how doc comments appear in the token stream.
+fn skip_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        // The bracketed attribute body.
+        tokens.next();
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+        if ident.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind}`"));
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "generic type `{name}` is not supported by the serde stub"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "tuple/unit type `{name}` is not supported by the serde stub"
+                ))
+            }
+            Some(_) => continue,
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Input::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        })
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let variant = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            other => {
+                return Err(format!(
+                    "variant `{variant}` is not a unit variant ({other:?}); the serde stub only supports unit enums"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("valid error expansion")
+}
+
+/// Derives the stub `serde::Serialize` (lowering into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Err(e) => return compile_error(&e),
+        Ok(Input::Struct { name, fields }) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_json_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join("\n")
+            )
+        }
+        Ok(Input::Enum { name, variants }) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Err(e) => return compile_error(&e),
+        Ok(Input::Struct { name, .. }) | Ok(Input::Enum { name, .. }) => {
+            format!("impl ::serde::Deserialize for {name} {{}}")
+        }
+    };
+    code.parse().expect("generated impl parses")
+}

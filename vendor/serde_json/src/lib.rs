@@ -1,0 +1,173 @@
+//! Offline stand-in for the `serde_json` crate: JSON text rendering of the vendored serde
+//! stub's [`serde::Value`] tree. Only serialization is provided — nothing in the workspace
+//! parses JSON yet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. Non-finite floats are the only value this stub refuses to render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value contains a NaN or infinite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value contains a NaN or infinite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("non-finite float {x} cannot be represented")));
+            }
+            // Keep integral floats recognizably floating-point, like upstream serde_json.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&x.to_string());
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_sequence(out, indent, depth, items.len(), '[', ']', |out, i| {
+                write_value(out, &items[i], indent, depth + 1)
+            })?
+        }
+        Value::Object(entries) => {
+            write_sequence(out, indent, depth, entries.len(), '{', '}', |out, i| {
+                let (key, v) = &entries[i];
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1)
+            })?
+        }
+    }
+    Ok(())
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, i)?;
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_round_trips_simple_values() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn pretty_output_indents_nested_structures() {
+        #[derive(serde::Serialize)]
+        struct Point {
+            x: f64,
+            label: String,
+        }
+        let json = to_string_pretty(&Point {
+            x: 0.25,
+            label: "p".into(),
+        })
+        .unwrap();
+        assert_eq!(json, "{\n  \"x\": 0.25,\n  \"label\": \"p\"\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+}
