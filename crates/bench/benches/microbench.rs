@@ -71,17 +71,7 @@ fn bench_simulator(c: &mut Criterion) {
     });
 }
 
-fn random_training_data(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let xs: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect())
-        .collect();
-    let ys: Vec<f64> = xs
-        .iter()
-        .map(|x| x.iter().map(|v| v.sin()).sum::<f64>() / dim as f64)
-        .collect();
-    (xs, ys)
-}
+use bench::data::synthetic_gp_data as random_training_data;
 
 /// GP substrate: fitting and posterior prediction at PaRMIS-realistic sizes.
 fn bench_gp(c: &mut Criterion) {
@@ -99,6 +89,61 @@ fn bench_gp(c: &mut Criterion) {
         let query = vec![0.5; 20];
         group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
             b.iter(|| gp.predict(std::hint::black_box(&query)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The incremental-refit engine: appending one observation via the rank-one Cholesky
+/// extension (`with_observation`) against the serial baseline of refitting the same `n + 1`
+/// points from scratch. The `full_fit/n` vs `incremental/n` ratio is the speedup tracked by
+/// `BENCH_gp.json`.
+fn bench_gp_incremental_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_incremental_refit");
+    for &n in &[50usize, 150] {
+        let (xs, ys) = random_training_data(n + 1, 20, 7);
+        let gp = GaussianProcess::fit(
+            xs[..n].to_vec(),
+            ys[..n].to_vec(),
+            Kernel::matern52(1.0, 8.0),
+            1e-4,
+        )
+        .unwrap();
+        let (new_x, new_y) = (xs[n].clone(), ys[n]);
+        group.bench_with_input(BenchmarkId::new("full_fit", n), &n, |b, _| {
+            b.iter(|| {
+                GaussianProcess::fit(xs.clone(), ys.clone(), Kernel::matern52(1.0, 8.0), 1e-4)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                gp.with_observation(std::hint::black_box(new_x.clone()), new_y)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The batched-prediction engine: scoring a PaRMIS-sized 128-candidate pool with one
+/// `predict_batch` blocked solve against the serial baseline of 128 per-point `predict`
+/// calls (identical results, see `gp` proptests).
+fn bench_predict_batch128(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_batch128");
+    for &n in &[50usize, 150] {
+        let (xs, ys) = random_training_data(n, 20, 7);
+        let gp = GaussianProcess::fit(xs, ys, Kernel::matern52(1.0, 8.0), 1e-4).unwrap();
+        let (queries, _) = random_training_data(128, 20, 31);
+        group.bench_with_input(BenchmarkId::new("per_point", n), &n, |b, _| {
+            b.iter(|| {
+                for q in std::hint::black_box(&queries) {
+                    std::hint::black_box(gp.predict(q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| gp.predict_batch(std::hint::black_box(&queries)).unwrap())
         });
     }
     group.finish();
@@ -191,6 +236,18 @@ fn bench_moo(c: &mut Criterion) {
     c.bench_function("hypervolume_3d_60_points", |b| {
         b.iter(|| hypervolume(points_3d.clone(), &[1.1, 1.1, 1.1]))
     });
+    // A 50-point mutually non-dominated 3-D front (points on a constant-sum simplex), the
+    // worst case for the recursive slicer's active-set maintenance.
+    let front_3d: Vec<Vec<f64>> = (0..50)
+        .map(|_| {
+            let x = rng.gen_range(0.0..1.0);
+            let y = rng.gen_range(0.0..1.0);
+            vec![x, y, 2.5 - x - y]
+        })
+        .collect();
+    c.bench_function("hypervolume_3d_front50", |b| {
+        b.iter(|| hypervolume(front_3d.clone(), &[3.0, 3.0, 3.0]))
+    });
 
     c.bench_function("nsga2_zdt1_dim6", |b| {
         let config = Nsga2Config {
@@ -212,7 +269,7 @@ fn bench_moo(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_policy_inference, bench_simulator, bench_gp, bench_parmis_kernels,
-        bench_batch_evaluation, bench_moo
+    targets = bench_policy_inference, bench_simulator, bench_gp, bench_gp_incremental_refit,
+        bench_predict_batch128, bench_parmis_kernels, bench_batch_evaluation, bench_moo
 }
 criterion_main!(benches);

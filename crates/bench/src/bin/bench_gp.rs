@@ -1,0 +1,124 @@
+//! GP engine speedup report: measures the incremental-refit and batched-prediction ratios
+//! and emits them as `BENCH_gp.json` (into `$PARMIS_RESULTS_DIR` when set).
+//!
+//! Two ratios are tracked:
+//!
+//! * `incremental_speedup` — from-scratch `GaussianProcess::fit` of `n + 1` points vs. the
+//!   rank-one `with_observation` update of an `n`-point model (`O(n³)` vs. `O(n²)`).
+//! * `batch_speedup` — 128 per-point `predict` calls vs. one `predict_batch` blocked solve
+//!   over the same 128 queries (identical results, cache-contiguous memory traffic).
+//!
+//! Accepts `--quick` (or `PARMIS_QUICK=1`) for a CI-sized problem.
+
+use bench::data::synthetic_gp_data;
+use bench::report::{fmt, print_header, write_json};
+use gp::kernel::Kernel;
+use gp::GaussianProcess;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The measured engine ratios, one JSON object per training-set size.
+#[derive(Debug, Serialize)]
+struct GpBenchPoint {
+    n_train: usize,
+    dim: usize,
+    reps: usize,
+    batch: usize,
+    full_fit_ms: f64,
+    incremental_ms: f64,
+    /// full_fit_ms / incremental_ms — how much cheaper the rank-one update is.
+    incremental_speedup: f64,
+    per_point_predict_ms: f64,
+    batched_predict_ms: f64,
+    /// per_point_predict_ms / batched_predict_ms — how much cheaper the blocked solve is.
+    batch_speedup: f64,
+}
+
+/// Mean wall-clock milliseconds per call over `reps` calls (after one warm-up call).
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn measure(n: usize, dim: usize, reps: usize, batch: usize) -> GpBenchPoint {
+    let (xs, ys) = synthetic_gp_data(n + 1, dim, 17);
+    let kernel = Kernel::matern52(1.0, 8.0);
+    let gp = GaussianProcess::fit(xs[..n].to_vec(), ys[..n].to_vec(), kernel.clone(), 1e-4)
+        .expect("baseline fit");
+    let (new_x, new_y) = (xs[n].clone(), ys[n]);
+
+    let full_fit_ms = time_ms(reps, || {
+        std::hint::black_box(
+            GaussianProcess::fit(xs.clone(), ys.clone(), kernel.clone(), 1e-4).unwrap(),
+        );
+    });
+    let incremental_ms = time_ms(reps, || {
+        std::hint::black_box(gp.with_observation(new_x.clone(), new_y).unwrap());
+    });
+
+    let (queries, _) = synthetic_gp_data(batch, dim, 31);
+    let per_point_predict_ms = time_ms(reps, || {
+        for q in &queries {
+            std::hint::black_box(gp.predict(q).unwrap());
+        }
+    });
+    let batched_predict_ms = time_ms(reps, || {
+        std::hint::black_box(gp.predict_batch(&queries).unwrap());
+    });
+
+    GpBenchPoint {
+        n_train: n,
+        dim,
+        reps,
+        batch,
+        full_fit_ms,
+        incremental_ms,
+        incremental_speedup: full_fit_ms / incremental_ms.max(1e-9),
+        per_point_predict_ms,
+        batched_predict_ms,
+        batch_speedup: per_point_predict_ms / batched_predict_ms.max(1e-9),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("PARMIS_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick");
+    let (sizes, reps): (&[usize], usize) = if quick {
+        (&[60, 120], 3)
+    } else {
+        (&[100, 200, 300], 8)
+    };
+    let dim = 20;
+    let batch = 128;
+
+    print_header(
+        "BENCH_gp",
+        "incremental-refit and batched-prediction speedups of the GP engine",
+    );
+    let points: Vec<GpBenchPoint> = sizes
+        .iter()
+        .map(|&n| measure(n, dim, reps, batch))
+        .collect();
+    println!(
+        "n,full_fit_ms,incremental_ms,incremental_speedup,per_point_ms,batched_ms,batch_speedup"
+    );
+    for p in &points {
+        println!(
+            "{},{},{},{}x,{},{},{}x",
+            p.n_train,
+            fmt(p.full_fit_ms),
+            fmt(p.incremental_ms),
+            fmt(p.incremental_speedup),
+            fmt(p.per_point_predict_ms),
+            fmt(p.batched_predict_ms),
+            fmt(p.batch_speedup),
+        );
+    }
+    write_json("BENCH_gp", &points);
+}

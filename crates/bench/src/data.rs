@@ -1,0 +1,34 @@
+//! Shared synthetic data for the GP microbenchmarks and speedup reports.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic GP training/query set: `n` uniform points in `[-3, 3]^dim` with a smooth
+/// sin-sum response. Used by `benches/microbench.rs` and the `bench_gp` binary so both
+/// measure the engine on identical inputs.
+pub fn synthetic_gp_data(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| v.sin()).sum::<f64>() / dim as f64)
+        .collect();
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_is_deterministic_and_well_shaped() {
+        let (xs, ys) = synthetic_gp_data(10, 3, 7);
+        assert_eq!(xs.len(), 10);
+        assert_eq!(ys.len(), 10);
+        assert!(xs.iter().all(|x| x.len() == 3));
+        assert!(ys.iter().all(|y| y.is_finite()));
+        assert_eq!(synthetic_gp_data(10, 3, 7), (xs, ys));
+    }
+}

@@ -35,6 +35,9 @@ pub struct GaussianProcess {
     noise_variance: f64,
     chol: Cholesky,
     alpha: Vec<f64>,
+    /// Centred targets `y - ȳ`, cached at fit/update time so the marginal likelihood (and
+    /// target swaps) never re-centre on the fly.
+    centred: Vec<f64>,
 }
 
 impl GaussianProcess {
@@ -91,9 +94,7 @@ impl GaussianProcess {
         let y_mean = vector::mean(&ys);
         let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
 
-        let mut gram = kernel.gram(&xs);
-        gram.add_diagonal(noise_variance.max(1e-10));
-        let chol = Cholesky::new_with_jitter(&gram, 1e-8, 8)?;
+        let chol = Self::factorize(&xs, &kernel, noise_variance)?;
         let alpha = chol.solve_vec(&centred)?;
 
         Ok(GaussianProcess {
@@ -104,7 +105,21 @@ impl GaussianProcess {
             noise_variance,
             chol,
             alpha,
+            centred,
         })
+    }
+
+    /// Factorizes `K + σ_n² I` with the crate's standard nugget floor and jitter retry
+    /// policy. Shared by [`fit`](Self::fit) and the degenerate-extension fallback of the
+    /// incremental update, so both paths produce the same factor for the same system — and
+    /// both count as a from-scratch fit in [`crate::stats`], so the operation counters
+    /// cannot miss a run that silently degrades into per-iteration refactorizations.
+    fn factorize(xs: &[Vec<f64>], kernel: &Kernel, noise_variance: f64) -> Result<Cholesky> {
+        let mut gram = kernel.gram(xs);
+        gram.add_diagonal(noise_variance.max(1e-10));
+        let chol = Cholesky::new_with_jitter(&gram, 1e-8, 8)?;
+        crate::stats::record_full_fit();
+        Ok(chol)
     }
 
     /// Number of training points.
@@ -166,11 +181,77 @@ impl GaussianProcess {
                 ),
             });
         }
+        crate::stats::record_predict_point();
         let k_star = self.kernel.cross(x, &self.xs);
         let mean = self.y_mean + vector::dot(&k_star, &self.alpha);
         let v = self.chol.solve_lower(&k_star)?;
         let variance = (self.kernel.eval(x, x) - vector::dot(&v, &v)).max(1e-12);
         Ok((mean, variance))
+    }
+
+    /// Posterior predictive mean and variance for a whole block of query points.
+    ///
+    /// Builds the full cross-covariance matrix once ([`Kernel::cross_matrix`]) and answers
+    /// every query with a single blocked forward substitution
+    /// ([`linalg::Cholesky::solve_lower_matrix_in_place`]) instead of one `O(n²)` triangular
+    /// solve per point: scoring `m` candidates costs one cache-contiguous `O(n² m)` pass and
+    /// two allocations total. Each returned `(mean, variance)` pair is **bit-identical** to
+    /// what [`predict`](Self::predict) returns for that query — the accumulation order of
+    /// every dot product is preserved — so callers can batch opportunistically without
+    /// changing results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidData`] if any query dimension does not match the training
+    /// dimension.
+    pub fn predict_batch(&self, queries: &[Vec<f64>]) -> Result<Vec<(f64, f64)>> {
+        for q in queries {
+            if q.len() != self.dim() {
+                return Err(GpError::InvalidData {
+                    reason: format!(
+                        "query has dimension {} but the model expects {}",
+                        q.len(),
+                        self.dim()
+                    ),
+                });
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        crate::stats::record_predict_batch();
+        let m = queries.len();
+        // K* as an n x m block: row i holds k(xs[i], ·) against every query, contiguously.
+        let mut k_star = self.kernel.cross_matrix(&self.xs, queries);
+
+        // Posterior means: accumulate K*ᵀ α by streaming over the rows of K*, which adds the
+        // i-th term of every query's dot product in the same ascending order as the scalar
+        // `predict` path.
+        let mut means = vec![0.0; m];
+        for (i, &a) in self.alpha.iter().enumerate() {
+            for (mean, k) in means.iter_mut().zip(k_star.row(i)) {
+                *mean += k * a;
+            }
+        }
+
+        // V = L⁻¹ K*: one blocked solve for the whole query block, then the posterior
+        // variances are the per-column squared norms of V, again accumulated row by row.
+        self.chol.solve_lower_matrix_in_place(&mut k_star)?;
+        let mut squared = vec![0.0; m];
+        for i in 0..self.len() {
+            for (sq, v) in squared.iter_mut().zip(k_star.row(i)) {
+                *sq += v * v;
+            }
+        }
+
+        Ok(queries
+            .iter()
+            .zip(means.iter().zip(&squared))
+            .map(|(q, (&mean, &sq))| {
+                let variance = (self.kernel.eval(q, q) - sq).max(1e-12);
+                (self.y_mean + mean, variance)
+            })
+            .collect())
     }
 
     /// Posterior predictive standard deviation at a query point.
@@ -185,29 +266,134 @@ impl GaussianProcess {
 
     /// Log marginal likelihood of the training data under the current hyperparameters
     /// (Rasmussen & Williams, Eq. 2.30). Used by [`crate::hyperopt`] for model selection.
+    ///
+    /// Uses the centred-target vector cached at fit/update time, so repeated calls do no
+    /// per-call re-centring work beyond one `O(n)` dot product.
     pub fn log_marginal_likelihood(&self) -> f64 {
         let n = self.len() as f64;
-        let centred: Vec<f64> = self.ys.iter().map(|y| y - self.y_mean).collect();
-        let data_fit = -0.5 * vector::dot(&centred, &self.alpha);
+        let data_fit = -0.5 * vector::dot(&self.centred, &self.alpha);
         let complexity = -0.5 * self.chol.log_determinant();
         let norm = -0.5 * n * (2.0 * std::f64::consts::PI).ln();
         data_fit + complexity + norm
     }
 
-    /// Refits the model with an additional observation, returning the new model.
+    /// Returns the model extended with one additional observation, reusing the cached
+    /// Cholesky factor.
     ///
-    /// PaRMIS adds exactly one evaluation per iteration (Algorithm 1, line 6); a full refit is
-    /// O(n³) but n ≤ 500 in every experiment, so the simplicity is worth it.
+    /// PaRMIS adds exactly one evaluation per iteration (Algorithm 1, line 6). Instead of the
+    /// seed's from-scratch `O(n³)` refit, the kernel matrix grows by one row/column via
+    /// [`linalg::Cholesky::extend`] in `O(n²)`, and the recentred weight vector `α` is
+    /// recovered with two triangular solves — no call to [`fit`](Self::fit). If the extension
+    /// is numerically degenerate (e.g. a near-duplicate input makes the new pivot
+    /// non-positive), the kernel matrix is refactorized from scratch with the standard jitter
+    /// policy, so the method never fails where `fit` would have succeeded.
     ///
     /// # Errors
     ///
-    /// Same as [`fit`](Self::fit).
+    /// Returns [`GpError::InvalidData`] for a dimension mismatch or a non-finite target, and
+    /// [`GpError::Linalg`] if even the jittered fallback cannot factorize.
     pub fn with_observation(&self, x: Vec<f64>, y: f64) -> Result<Self> {
-        let mut xs = self.xs.clone();
+        self.with_observations(std::slice::from_ref(&x), &[y])
+    }
+
+    /// Returns the model extended with a batch of observations — the multi-point counterpart
+    /// of [`with_observation`](Self::with_observation), performing one `O(n²)` rank-one
+    /// extension per point and a single pair of triangular solves at the end.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`with_observation`](Self::with_observation).
+    pub fn with_observations(&self, new_xs: &[Vec<f64>], new_ys: &[f64]) -> Result<Self> {
+        if new_xs.len() != new_ys.len() {
+            return Err(GpError::InvalidData {
+                reason: format!("{} inputs but {} targets", new_xs.len(), new_ys.len()),
+            });
+        }
         let mut ys = self.ys.clone();
-        xs.push(x);
-        ys.push(y);
-        GaussianProcess::fit(xs, ys, self.kernel.clone(), self.noise_variance)
+        ys.extend_from_slice(new_ys);
+        self.with_observations_and_targets(new_xs, ys)
+    }
+
+    /// Extends the inputs with `new_xs` and installs `ys` as the full replacement target
+    /// vector (old and new points alike) in one step.
+    ///
+    /// This is the search loop's per-iteration update: new evaluations arrive *and* every
+    /// target is re-standardized against the grown history. Folding both into one call does
+    /// the rank-one extensions plus a **single** pair of triangular solves, where
+    /// `with_observations(...)` followed by [`with_targets`](Self::with_targets) would solve
+    /// for an `α` that is immediately thrown away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidData`] for dimension mismatches, a target vector whose
+    /// length is not `self.len() + new_xs.len()`, or non-finite targets, and
+    /// [`GpError::Linalg`] if even the jittered fallback cannot factorize.
+    pub fn with_observations_and_targets(&self, new_xs: &[Vec<f64>], ys: Vec<f64>) -> Result<Self> {
+        if ys.len() != self.len() + new_xs.len() {
+            return Err(GpError::InvalidData {
+                reason: format!(
+                    "{} inputs but {} targets",
+                    self.len() + new_xs.len(),
+                    ys.len()
+                ),
+            });
+        }
+        if new_xs.iter().any(|x| x.len() != self.dim()) {
+            return Err(GpError::InvalidData {
+                reason: "inputs have inconsistent dimensions".into(),
+            });
+        }
+        if ys.iter().any(|y| !y.is_finite()) {
+            return Err(GpError::InvalidData {
+                reason: "targets must be finite".into(),
+            });
+        }
+
+        let mut xs = self.xs.clone();
+        xs.reserve(new_xs.len());
+        let mut chol = self.chol.clone();
+        let mut degenerate = false;
+        for x in new_xs {
+            if !degenerate {
+                let cross = self.kernel.cross(x, &xs);
+                let diag = self.kernel.eval(x, x) + self.noise_variance.max(1e-10);
+                match chol.extend(&cross, diag) {
+                    Ok(()) => crate::stats::record_incremental_update(),
+                    Err(linalg::LinalgError::NotPositiveDefinite { .. }) => degenerate = true,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            xs.push(x.clone());
+        }
+        if degenerate {
+            chol = Self::factorize(&xs, &self.kernel, self.noise_variance)?;
+        }
+
+        let y_mean = vector::mean(&ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let alpha = chol.solve_vec(&centred)?;
+        Ok(GaussianProcess {
+            xs,
+            ys,
+            y_mean,
+            kernel: self.kernel.clone(),
+            noise_variance: self.noise_variance,
+            chol,
+            alpha,
+            centred,
+        })
+    }
+
+    /// Returns a model over the same inputs with a replacement target vector, reusing the
+    /// cached Cholesky factor (the kernel matrix does not depend on the targets, so swapping
+    /// them costs two triangular solves instead of a refit). This is what lets the search
+    /// loop re-standardize its objective values every iteration without ever refactorizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidData`] if `ys` has the wrong length or non-finite entries.
+    pub fn with_targets(&self, ys: Vec<f64>) -> Result<Self> {
+        self.with_observations_and_targets(&[], ys)
     }
 }
 
@@ -301,6 +487,128 @@ mod tests {
         assert!(var < 1e-2);
         // Original model is untouched.
         assert_eq!(gp.len(), 5);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_refit() {
+        let gp = toy_gp();
+        let incremental = gp.with_observation(vec![5.0], -1.5).unwrap();
+        let mut xs: Vec<Vec<f64>> = gp.training_inputs().to_vec();
+        let mut ys: Vec<f64> = gp.training_targets().to_vec();
+        xs.push(vec![5.0]);
+        ys.push(-1.5);
+        let full = GaussianProcess::fit(xs, ys, gp.kernel().clone(), gp.noise_variance()).unwrap();
+        for q in [-1.0, 0.7, 2.2, 5.0, 8.0] {
+            let (mi, vi) = incremental.predict(&[q]).unwrap();
+            let (mf, vf) = full.predict(&[q]).unwrap();
+            assert!((mi - mf).abs() < 1e-8, "mean diverged at {q}: {mi} vs {mf}");
+            assert!(
+                (vi - vf).abs() < 1e-8,
+                "variance diverged at {q}: {vi} vs {vf}"
+            );
+        }
+        assert!(
+            (incremental.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-8
+        );
+    }
+
+    #[test]
+    fn with_observations_appends_a_batch() {
+        let gp = toy_gp();
+        let updated = gp
+            .with_observations(&[vec![5.0], vec![6.0]], &[-1.5, -0.9])
+            .unwrap();
+        assert_eq!(updated.len(), 7);
+        let (mean, _) = updated.predict(&[6.0]).unwrap();
+        assert!((mean + 0.9).abs() < 1e-2);
+        // Empty batch is the identity.
+        let same = gp.with_observations(&[], &[]).unwrap();
+        assert_eq!(same.len(), gp.len());
+        assert_eq!(same.predict(&[1.3]).unwrap(), gp.predict(&[1.3]).unwrap());
+    }
+
+    #[test]
+    fn with_observations_and_targets_matches_the_two_step_update() {
+        let gp = toy_gp();
+        let new_xs = vec![vec![5.0], vec![6.0]];
+        // Re-scaled targets for all seven points, as the search loop produces.
+        let full_ys: Vec<f64> = vec![0.0, 0.4, 0.45, 0.05, -0.4, -0.75, -0.45];
+        let one_step = gp
+            .with_observations_and_targets(&new_xs, full_ys.clone())
+            .unwrap();
+        let two_step = gp
+            .with_observations(&new_xs, &full_ys[5..])
+            .unwrap()
+            .with_targets(full_ys.clone())
+            .unwrap();
+        assert_eq!(one_step.training_targets(), full_ys.as_slice());
+        for q in [0.3, 2.1, 5.5, 7.0] {
+            assert_eq!(
+                one_step.predict(&[q]).unwrap(),
+                two_step.predict(&[q]).unwrap()
+            );
+        }
+        // Length mismatch between targets and total inputs is rejected.
+        assert!(gp
+            .with_observations_and_targets(&new_xs, vec![0.0; 5])
+            .is_err());
+    }
+
+    #[test]
+    fn with_observations_validates_input() {
+        let gp = toy_gp();
+        assert!(gp.with_observations(&[vec![1.0]], &[]).is_err());
+        assert!(gp.with_observations(&[vec![1.0, 2.0]], &[0.5]).is_err());
+        assert!(gp.with_observations(&[vec![1.0]], &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn duplicate_observation_falls_back_to_jittered_refactorization() {
+        // Appending an exact duplicate of a training point with ~zero noise makes the
+        // extended kernel matrix numerically singular: the rank-one extension must detect
+        // the non-positive pivot and recover via the jittered from-scratch path.
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.3, 0.9];
+        let gp = GaussianProcess::fit(xs, ys, Kernel::rbf(1.0, 1.0), 0.0).unwrap();
+        let updated = gp.with_observation(vec![1.0], 0.9).unwrap();
+        assert_eq!(updated.len(), 3);
+        let (mean, _) = updated.predict(&[1.0]).unwrap();
+        assert!((mean - 0.9).abs() < 1e-2);
+    }
+
+    #[test]
+    fn with_targets_swaps_targets_without_refactorizing() {
+        let gp = toy_gp();
+        let flipped: Vec<f64> = gp.training_targets().iter().map(|y| -y).collect();
+        let swapped = gp.with_targets(flipped.clone()).unwrap();
+        let refit = GaussianProcess::fit(
+            gp.training_inputs().to_vec(),
+            flipped,
+            gp.kernel().clone(),
+            gp.noise_variance(),
+        )
+        .unwrap();
+        for q in [0.5, 2.5, 6.0] {
+            let (ms, vs) = swapped.predict(&[q]).unwrap();
+            let (mr, vr) = refit.predict(&[q]).unwrap();
+            assert!((ms - mr).abs() < 1e-10);
+            assert!((vs - vr).abs() < 1e-10);
+        }
+        assert!(gp.with_targets(vec![1.0]).is_err());
+        assert!(gp.with_targets(vec![f64::INFINITY; 5]).is_err());
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_per_point_predict() {
+        let gp = toy_gp();
+        let queries: Vec<Vec<f64>> = (-3..8).map(|i| vec![i as f64 * 0.77]).collect();
+        let batch = gp.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, pair) in queries.iter().zip(&batch) {
+            assert_eq!(*pair, gp.predict(q).unwrap(), "diverged at query {q:?}");
+        }
+        assert!(gp.predict_batch(&[]).unwrap().is_empty());
+        assert!(gp.predict_batch(&[vec![0.0, 1.0]]).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::kernel::{Kernel, KernelFamily};
 use crate::{GaussianProcess, GpError, Result};
+use linalg::{vector, Cholesky, Matrix};
 
 /// Configuration of the hyperparameter search.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,12 +80,14 @@ pub fn fit_with_hyperopt(
             reason: "hyperparameter grid must not be empty".into(),
         });
     }
+    validate_training_data(&xs, &ys)?;
 
+    let mut ctx = ScoreContext::new(&xs, &ys, config.family);
     let mut best: Option<(f64, f64, f64, f64)> = None; // (lml, ls, sv, nv)
     for &ls in &config.lengthscales {
         for &sv in &config.signal_variances {
             for &nv in &config.noise_variances {
-                if let Some(lml) = score(&xs, &ys, config.family, ls, sv, nv) {
+                if let Some(lml) = ctx.score(ls, sv, nv) {
                     if best.map_or(true, |(b, ..)| lml > b) {
                         best = Some((lml, ls, sv, nv));
                     }
@@ -99,19 +102,19 @@ pub fn fit_with_hyperopt(
     // Local multiplicative coordinate refinement around the grid optimum.
     for _ in 0..config.refinement_passes {
         for factor in [0.5, 2.0] {
-            if let Some(lml) = score(&xs, &ys, config.family, ls * factor, sv, nv) {
+            if let Some(lml) = ctx.score(ls * factor, sv, nv) {
                 if lml > best_lml {
                     best_lml = lml;
                     ls *= factor;
                 }
             }
-            if let Some(lml) = score(&xs, &ys, config.family, ls, sv * factor, nv) {
+            if let Some(lml) = ctx.score(ls, sv * factor, nv) {
                 if lml > best_lml {
                     best_lml = lml;
                     sv *= factor;
                 }
             }
-            if let Some(lml) = score(&xs, &ys, config.family, ls, sv, nv * factor) {
+            if let Some(lml) = ctx.score(ls, sv, nv * factor) {
                 if lml > best_lml {
                     best_lml = lml;
                     nv *= factor;
@@ -129,19 +132,103 @@ pub fn fit_with_hyperopt(
     })
 }
 
-/// Scores one hyperparameter configuration, returning `None` if the fit fails.
-fn score(
-    xs: &[Vec<f64>],
-    ys: &[f64],
+/// Mirrors the input validation of [`GaussianProcess::fit`] so invalid data is rejected
+/// before any Gram matrix is built (the scoring path below bypasses `fit`).
+fn validate_training_data(xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+    if xs.is_empty() {
+        return Err(GpError::InvalidData {
+            reason: "no training points".into(),
+        });
+    }
+    if xs.len() != ys.len() {
+        return Err(GpError::InvalidData {
+            reason: format!("{} inputs but {} targets", xs.len(), ys.len()),
+        });
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+        return Err(GpError::InvalidData {
+            reason: "inputs must share one positive dimension".into(),
+        });
+    }
+    if ys.iter().any(|y| !y.is_finite()) {
+        return Err(GpError::InvalidData {
+            reason: "targets must be finite".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Shared state of the grid/refinement scoring loop.
+///
+/// The expensive part of scoring one grid cell is the `O(n² d)` Gram matrix build — but the
+/// Gram matrix of a stationary kernel factors as `σ² G(ℓ)` where `G` depends only on the
+/// lengthscale. The context therefore caches the unit-signal-variance Gram per lengthscale
+/// and rescales it across the whole (signal variance, noise variance) grid, reducing the
+/// grid's Gram builds from `|ℓ|·|σ²|·|σ_n²|` to `|ℓ|`. It also centres the targets once and
+/// reuses one solve buffer, where the seed cloned `xs`/`ys` and re-centred per cell.
+struct ScoreContext<'a> {
+    xs: &'a [Vec<f64>],
+    centred: Vec<f64>,
+    norm_term: f64,
     family: KernelFamily,
-    lengthscale: f64,
-    signal_variance: f64,
-    noise_variance: f64,
-) -> Option<f64> {
-    let kernel = Kernel::isotropic(family, signal_variance, lengthscale).ok()?;
-    let gp = GaussianProcess::fit(xs.to_vec(), ys.to_vec(), kernel, noise_variance).ok()?;
-    let lml = gp.log_marginal_likelihood();
-    lml.is_finite().then_some(lml)
+    /// Up to two `(lengthscale, unit-signal-variance Gram)` entries, most recent first. Two
+    /// slots (not one) so the coordinate-refinement probes, which alternate between ℓ and
+    /// ℓ·factor within a pass, never thrash the cache.
+    unit_grams: Vec<(f64, Matrix)>,
+    alpha: Vec<f64>,
+}
+
+impl<'a> ScoreContext<'a> {
+    fn new(xs: &'a [Vec<f64>], ys: &[f64], family: KernelFamily) -> Self {
+        let y_mean = vector::mean(ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let norm_term = -0.5 * ys.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+        ScoreContext {
+            xs,
+            centred,
+            norm_term,
+            family,
+            unit_grams: Vec::with_capacity(2),
+            alpha: Vec::new(),
+        }
+    }
+
+    /// Scores one hyperparameter configuration by exact log marginal likelihood, returning
+    /// `None` if the configuration is invalid or fails to factorize.
+    fn score(
+        &mut self,
+        lengthscale: f64,
+        signal_variance: f64,
+        noise_variance: f64,
+    ) -> Option<f64> {
+        if !(signal_variance.is_finite() && signal_variance > 0.0) {
+            return None;
+        }
+        if !(noise_variance.is_finite() && noise_variance >= 0.0) {
+            return None;
+        }
+        if let Some(pos) = self
+            .unit_grams
+            .iter()
+            .position(|(ls, _)| *ls == lengthscale)
+        {
+            self.unit_grams.swap(0, pos);
+        } else {
+            let kernel = Kernel::isotropic(self.family, 1.0, lengthscale).ok()?;
+            self.unit_grams
+                .insert(0, (lengthscale, kernel.gram(self.xs)));
+            self.unit_grams.truncate(2);
+        }
+        let (_, unit) = &self.unit_grams[0];
+        let mut k = unit.scale(signal_variance);
+        k.add_diagonal(noise_variance.max(1e-10));
+        let chol = Cholesky::new_with_jitter(&k, 1e-8, 8).ok()?;
+        chol.solve_vec_into(&self.centred, &mut self.alpha).ok()?;
+        let lml = -0.5 * vector::dot(&self.centred, &self.alpha) - 0.5 * chol.log_determinant()
+            + self.norm_term;
+        lml.is_finite().then_some(lml)
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +288,33 @@ mod tests {
         let base = fit_with_hyperopt(xs.clone(), ys.clone(), &no_refine).unwrap();
         let refined = fit_with_hyperopt(xs, ys, &refine).unwrap();
         assert!(refined.log_marginal_likelihood >= base.log_marginal_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn cached_gram_scoring_matches_a_direct_fit() {
+        // The rescaled-Gram fast path must agree with building the model outright, including
+        // when consecutive cells share a lengthscale and hit the cache.
+        let (xs, ys) = smooth_data(12);
+        let mut ctx = ScoreContext::new(&xs, &ys, KernelFamily::Matern52);
+        for (ls, sv, nv) in [
+            (0.5, 1.0, 1e-4),
+            (0.5, 2.0, 1e-2), // cache hit on the unit Gram
+            (1.5, 0.25, 1e-6),
+        ] {
+            let scored = ctx.score(ls, sv, nv).unwrap();
+            let kernel = Kernel::isotropic(KernelFamily::Matern52, sv, ls).unwrap();
+            let direct = GaussianProcess::fit(xs.clone(), ys.clone(), kernel, nv)
+                .unwrap()
+                .log_marginal_likelihood();
+            assert!(
+                (scored - direct).abs() < 1e-9,
+                "score {scored} diverged from direct fit {direct} at ({ls}, {sv}, {nv})"
+            );
+        }
+        // Invalid cells are skipped, not fatal.
+        assert!(ctx.score(1.0, -1.0, 1e-4).is_none());
+        assert!(ctx.score(1.0, 1.0, f64::NAN).is_none());
+        assert!(ctx.score(-1.0, 1.0, 1e-4).is_none());
     }
 
     #[test]

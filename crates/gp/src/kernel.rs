@@ -224,6 +224,24 @@ impl Kernel {
     pub fn cross(&self, x: &[f64], xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|xi| self.eval(x, xi)).collect()
     }
+
+    /// Builds the cross-covariance matrix `K[i][j] = k(xs[i], queries[j])` between the
+    /// training inputs (rows) and a block of query points (columns) as one row-major
+    /// allocation.
+    ///
+    /// This is the batched counterpart of [`cross`](Self::cross): the whole block is filled
+    /// with allocation-free inner loops (both the isotropic and the ARD distance paths work
+    /// on borrowed slices), ready to be handed to a blocked triangular solve.
+    pub fn cross_matrix(&self, xs: &[Vec<f64>], queries: &[Vec<f64>]) -> linalg::Matrix {
+        let mut data = Vec::with_capacity(xs.len() * queries.len());
+        for xi in xs {
+            for q in queries {
+                data.push(self.eval(xi, q));
+            }
+        }
+        linalg::Matrix::from_vec(xs.len(), queries.len(), data)
+            .expect("cross_matrix dimensions are consistent by construction")
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +328,25 @@ mod tests {
         let c = k.cross(&[0.5], &xs);
         for (i, xi) in xs.iter().enumerate() {
             assert_eq!(c[i], k.eval(&[0.5], xi));
+        }
+    }
+
+    #[test]
+    fn cross_matrix_matches_per_point_cross() {
+        for kernel in [
+            Kernel::rbf(1.3, 0.8),
+            Kernel::ard(KernelFamily::Matern52, 1.0, vec![0.5, 2.0]).unwrap(),
+        ] {
+            let xs = vec![vec![0.0, 0.0], vec![1.0, 0.5], vec![-0.5, 2.0]];
+            let queries = vec![vec![0.2, 0.1], vec![1.5, -0.3]];
+            let m = kernel.cross_matrix(&xs, &queries);
+            assert_eq!(m.shape(), (3, 2));
+            for (j, q) in queries.iter().enumerate() {
+                let c = kernel.cross(q, &xs);
+                for (i, ci) in c.iter().enumerate() {
+                    assert_eq!(m[(i, j)], *ci, "mismatch at ({i},{j})");
+                }
+            }
         }
     }
 

@@ -38,6 +38,7 @@ mod gaussian_process;
 pub mod hyperopt;
 pub mod kernel;
 pub mod rff;
+pub mod stats;
 
 pub use error::GpError;
 pub use gaussian_process::GaussianProcess;

@@ -86,4 +86,54 @@ proptest! {
         let gp = GaussianProcess::fit(pts, ys, Kernel::matern52(sv, ls), noise).unwrap();
         prop_assert!(gp.log_marginal_likelihood().is_finite());
     }
+
+    #[test]
+    fn incremental_update_matches_full_fit(
+        xs in xs_strategy(),
+        (ls, sv, noise) in hyper_strategy(),
+        new_x in 0.0f64..10.0,
+        new_y in -2.0f64..2.0,
+        query in 0.0f64..10.0,
+    ) {
+        // Fit on all but the last point, add it incrementally, and compare against fitting
+        // the full data from scratch: the rank-one Cholesky extension must agree to 1e-8 on
+        // predictions and marginal likelihood.
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.6).sin()).collect();
+        let kernel = Kernel::matern52(sv, ls);
+        let base = GaussianProcess::fit(pts.clone(), ys.clone(), kernel.clone(), noise).unwrap();
+        let incremental = base.with_observation(vec![new_x], new_y).unwrap();
+
+        let mut full_xs = pts;
+        let mut full_ys = ys;
+        full_xs.push(vec![new_x]);
+        full_ys.push(new_y);
+        let full = GaussianProcess::fit(full_xs, full_ys, kernel, noise).unwrap();
+
+        let (mi, vi) = incremental.predict(&[query]).unwrap();
+        let (mf, vf) = full.predict(&[query]).unwrap();
+        prop_assert!((mi - mf).abs() < 1e-8, "mean {} vs {}", mi, mf);
+        prop_assert!((vi - vf).abs() < 1e-8, "variance {} vs {}", vi, vf);
+        prop_assert!(
+            (incremental.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-8
+        );
+    }
+
+    #[test]
+    fn predict_batch_agrees_exactly_with_per_point_predict(
+        xs in xs_strategy(),
+        (ls, sv, noise) in hyper_strategy(),
+        queries in prop::collection::vec(0.0f64..10.0, 1..9),
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.4).cos()).collect();
+        let gp = GaussianProcess::fit(pts, ys, Kernel::rbf(sv, ls), noise).unwrap();
+        let block: Vec<Vec<f64>> = queries.iter().map(|&q| vec![q]).collect();
+        let batched = gp.predict_batch(&block).unwrap();
+        for (q, pair) in block.iter().zip(&batched) {
+            // Bit-identical, not merely close: the batched path preserves the scalar path's
+            // accumulation order.
+            prop_assert_eq!(*pair, gp.predict(q).unwrap());
+        }
+    }
 }

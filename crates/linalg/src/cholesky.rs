@@ -98,6 +98,67 @@ impl Cholesky {
         Err(last_err)
     }
 
+    /// Extends the factorization of an `n x n` matrix `A` to the `(n+1) x (n+1)` matrix
+    ///
+    /// ```text
+    /// A' = [ A    b ]
+    ///      [ bᵀ   d ]
+    /// ```
+    ///
+    /// in `O(n²)` instead of refactorizing from scratch in `O(n³)`: the new off-diagonal row
+    /// of the factor is `l = L⁻¹ b` (one forward substitution) and the new pivot is
+    /// `sqrt(d - l·l)` (Rasmussen & Williams, GPML 2006, Appx. A.3). This is the workhorse of
+    /// incremental Gaussian-process refits, which append exactly one observation per search
+    /// iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n` and
+    /// [`LinalgError::NotPositiveDefinite`] if the extended matrix is not positive definite
+    /// (the caller should fall back to a from-scratch jittered factorization).
+    pub fn extend(&mut self, b: &[f64], d: f64) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        let row = self.solve_lower(b)?;
+        let pivot_sq = d - crate::vector::dot(&row, &row);
+        if pivot_sq <= 0.0 || !pivot_sq.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n });
+        }
+        let pivot = pivot_sq.sqrt();
+
+        // Copy the old factor into the top-left block of the grown matrix row by row
+        // (both are row-major, so each copy is contiguous).
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        {
+            let src = self.l.as_slice();
+            let dst = grown.as_mut_slice();
+            for i in 0..n {
+                dst[i * (n + 1)..i * (n + 1) + n].copy_from_slice(&src[i * n..(i + 1) * n]);
+            }
+            dst[n * (n + 1)..n * (n + 1) + n].copy_from_slice(&row);
+            dst[n * (n + 1) + n] = pivot;
+        }
+        self.l = grown;
+        Ok(())
+    }
+
+    /// Returns the extension of this factorization with one row/column, leaving `self`
+    /// untouched. See [`extend`](Self::extend).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`extend`](Self::extend).
+    pub fn extended(&self, b: &[f64], d: f64) -> Result<Self> {
+        let mut out = self.clone();
+        out.extend(b, d)?;
+        Ok(out)
+    }
+
     /// Returns the lower-triangular factor `L`.
     pub fn factor(&self) -> &Matrix {
         &self.l
@@ -108,28 +169,40 @@ impl Cholesky {
         self.l.rows()
     }
 
+    fn check_rhs_len(&self, len: usize) -> Result<()> {
+        let n = self.dim();
+        if len != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {len}"),
+            });
+        }
+        Ok(())
+    }
+
     /// Solves `L y = b` (forward substitution).
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let n = self.dim();
-        if b.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: format!("vector of length {n}"),
-                found: format!("vector of length {}", b.len()),
-            });
-        }
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for (k, &yk) in y.iter().enumerate().take(i) {
-                sum -= self.l[(i, k)] * yk;
-            }
-            y[i] = sum / self.l[(i, i)];
-        }
+        let mut y = Vec::new();
+        self.solve_lower_into(b, &mut y)?;
         Ok(y)
+    }
+
+    /// Solves `L y = b` into a caller-supplied buffer, avoiding the per-call allocation of
+    /// [`solve_lower`](Self::solve_lower). The buffer is cleared and refilled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut Vec<f64>) -> Result<()> {
+        self.check_rhs_len(b.len())?;
+        y.clear();
+        y.extend_from_slice(b);
+        self.forward_substitute_in_place(y);
+        Ok(())
     }
 
     /// Solves `Lᵀ x = y` (backward substitution).
@@ -138,22 +211,22 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `y.len() != n`.
     pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
-        let n = self.dim();
-        if y.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: format!("vector of length {n}"),
-                found: format!("vector of length {}", y.len()),
-            });
-        }
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
-                sum -= self.l[(k, i)] * xk;
-            }
-            x[i] = sum / self.l[(i, i)];
-        }
+        let mut x = Vec::new();
+        self.solve_upper_into(y, &mut x)?;
         Ok(x)
+    }
+
+    /// Solves `Lᵀ x = y` into a caller-supplied buffer. The buffer is cleared and refilled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `y.len() != n`.
+    pub fn solve_upper_into(&self, y: &[f64], x: &mut Vec<f64>) -> Result<()> {
+        self.check_rhs_len(y.len())?;
+        x.clear();
+        x.extend_from_slice(y);
+        self.backward_substitute_in_place(x);
+        Ok(())
     }
 
     /// Solves the full system `A x = b` where `A = L Lᵀ`.
@@ -162,16 +235,62 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
     pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let y = self.solve_lower(b)?;
-        self.solve_upper(&y)
+        let mut x = Vec::new();
+        self.solve_vec_into(b, &mut x)?;
+        Ok(x)
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `A x = b` into a caller-supplied buffer (forward then backward substitution in
+    /// place). The buffer is cleared and refilled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_vec_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
+        self.check_rhs_len(b.len())?;
+        x.clear();
+        x.extend_from_slice(b);
+        self.forward_substitute_in_place(x);
+        self.backward_substitute_in_place(x);
+        Ok(())
+    }
+
+    /// In-place forward substitution `v <- L⁻¹ v`.
+    fn forward_substitute_in_place(&self, v: &mut [f64]) {
+        let n = self.dim();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut sum = v[i];
+            for (k, &vk) in v.iter().enumerate().take(i) {
+                sum -= row[k] * vk;
+            }
+            v[i] = sum / row[i];
+        }
+    }
+
+    /// In-place backward substitution `v <- L⁻ᵀ v`.
+    fn backward_substitute_in_place(&self, v: &mut [f64]) {
+        let n = self.dim();
+        for i in (0..n).rev() {
+            let mut sum = v[i];
+            for (k, &vk) in v.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * vk;
+            }
+            v[i] = sum / self.l[(i, i)];
+        }
+    }
+
+    /// Solves `L Y = B` for a whole right-hand-side block in place.
+    ///
+    /// The forward substitution walks `B` row by row, so every inner loop streams over a
+    /// contiguous row-major slice — solving an `n x m` block costs one `O(n² m)` pass with
+    /// unit-stride access instead of `m` strided column extractions. Each column of the
+    /// result is bit-identical to [`solve_lower`](Self::solve_lower) on that column.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n`.
-    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+    pub fn solve_lower_matrix_in_place(&self, b: &mut Matrix) -> Result<()> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -179,14 +298,89 @@ impl Cholesky {
                 found: format!("matrix with {} rows", b.rows()),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve_vec(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+        let m = b.cols();
+        if m == 0 {
+            return Ok(());
+        }
+        let data = b.as_mut_slice();
+        for i in 0..n {
+            let l_row = self.l.row(i);
+            let (head, tail) = data.split_at_mut(i * m);
+            let row_i = &mut tail[..m];
+            for (k, row_k) in head.chunks_exact(m).enumerate() {
+                let l_ik = l_row[k];
+                for (yi, yk) in row_i.iter_mut().zip(row_k) {
+                    *yi -= l_ik * yk;
+                }
+            }
+            let pivot = l_row[i];
+            for yi in row_i.iter_mut() {
+                *yi /= pivot;
             }
         }
+        Ok(())
+    }
+
+    /// Solves `L Y = B`, returning the solution block. See
+    /// [`solve_lower_matrix_in_place`](Self::solve_lower_matrix_in_place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n`.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = b.clone();
+        self.solve_lower_matrix_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `Lᵀ X = Y` for a whole right-hand-side block in place (row-major blocked
+    /// backward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `Y.rows() != n`.
+    pub fn solve_upper_matrix_in_place(&self, y: &mut Matrix) -> Result<()> {
+        let n = self.dim();
+        if y.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("matrix with {n} rows"),
+                found: format!("matrix with {} rows", y.rows()),
+            });
+        }
+        let m = y.cols();
+        if m == 0 {
+            return Ok(());
+        }
+        let data = y.as_mut_slice();
+        for i in (0..n).rev() {
+            let (head, tail) = data.split_at_mut((i + 1) * m);
+            let row_i = &mut head[i * m..];
+            for (below, row_k) in tail.chunks_exact(m).enumerate() {
+                let l_ki = self.l[(i + 1 + below, i)];
+                for (xi, xk) in row_i.iter_mut().zip(row_k) {
+                    *xi -= l_ki * xk;
+                }
+            }
+            let pivot = self.l[(i, i)];
+            for xi in row_i.iter_mut() {
+                *xi /= pivot;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A X = B` where `A = L Lᵀ` with one blocked forward and one blocked backward
+    /// substitution over the whole right-hand-side block (cache-contiguous, no per-column
+    /// allocation). Each column of the result is bit-identical to
+    /// [`solve_vec`](Self::solve_vec) on that column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = b.clone();
+        self.solve_lower_matrix_in_place(&mut out)?;
+        self.solve_upper_matrix_in_place(&mut out)?;
         Ok(out)
     }
 
@@ -305,6 +499,96 @@ mod tests {
         assert!(chol.solve_lower(&[1.0]).is_err());
         assert!(chol.solve_upper(&[1.0]).is_err());
         assert!(chol.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    fn spd4() -> Matrix {
+        Matrix::from_rows(&[
+            &[8.0, 2.0, 1.0, 0.5],
+            &[2.0, 6.0, 2.0, 1.0],
+            &[1.0, 2.0, 5.0, 2.0],
+            &[0.5, 1.0, 2.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_factorization() {
+        let a = spd4();
+        let leading = Matrix::from_fn(3, 3, |i, j| a[(i, j)]);
+        let mut chol = Cholesky::new(&leading).unwrap();
+        chol.extend(&[a[(3, 0)], a[(3, 1)], a[(3, 2)]], a[(3, 3)])
+            .unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        assert_eq!(chol.dim(), 4);
+        assert!(chol.factor().max_abs_diff(full.factor()).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn extended_leaves_original_untouched() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let bigger = chol.extended(&[0.5, 0.25, 0.1], 7.0).unwrap();
+        assert_eq!(chol.dim(), 3);
+        assert_eq!(bigger.dim(), 4);
+    }
+
+    #[test]
+    fn extend_rejects_indefinite_extension_and_bad_lengths() {
+        let mut chol = Cholesky::new(&spd3()).unwrap();
+        // A huge off-diagonal coupling with a tiny new diagonal cannot be SPD.
+        assert!(matches!(
+            chol.extended(&[100.0, 0.0, 0.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite { pivot: 3 })
+        ));
+        assert!(chol.extend(&[1.0], 1.0).is_err());
+        // The failed attempts must not have corrupted the factor.
+        assert_eq!(chol.dim(), 3);
+        let x = chol.solve_vec(&[1.0, 2.0, 3.0]).unwrap();
+        let ax = spd3().mat_vec(&x).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn blocked_matrix_solves_match_per_column_vector_solves() {
+        let a = spd4();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f64 - 1.3) * (j as f64 + 0.7));
+        let lower = chol.solve_lower_matrix(&b).unwrap();
+        let full = chol.solve_matrix(&b).unwrap();
+        for j in 0..5 {
+            let col = b.col(j);
+            let y = chol.solve_lower(&col).unwrap();
+            let x = chol.solve_vec(&col).unwrap();
+            for i in 0..4 {
+                assert_eq!(
+                    lower[(i, j)],
+                    y[i],
+                    "solve_lower_matrix diverged at ({i},{j})"
+                );
+                assert_eq!(full[(i, j)], x[i], "solve_matrix diverged at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_solves_accept_zero_column_rhs() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let empty = Matrix::zeros(3, 0);
+        assert_eq!(chol.solve_matrix(&empty).unwrap().shape(), (3, 0));
+        assert_eq!(chol.solve_lower_matrix(&empty).unwrap().shape(), (3, 0));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_allocating_solves() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let mut buf = vec![99.0; 17]; // deliberately wrong size and contents
+        chol.solve_lower_into(&b, &mut buf).unwrap();
+        assert_eq!(buf, chol.solve_lower(&b).unwrap());
+        chol.solve_upper_into(&b, &mut buf).unwrap();
+        assert_eq!(buf, chol.solve_upper(&b).unwrap());
+        chol.solve_vec_into(&b, &mut buf).unwrap();
+        assert_eq!(buf, chol.solve_vec(&b).unwrap());
+        assert!(chol.solve_vec_into(&[1.0], &mut buf).is_err());
     }
 
     #[test]

@@ -159,6 +159,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Returns a mutable view of the underlying row-major buffer.
+    ///
+    /// Used by the blocked triangular solves, which forward-substitute whole rows in place.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix and returns the underlying row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data

@@ -101,6 +101,34 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_extend_matches_from_scratch(a in spd_strategy(5)) {
+        // Factor the leading 4x4 block, extend by the last row/column, and compare against
+        // the from-scratch factorization of the full 5x5 matrix.
+        let leading = Matrix::from_fn(4, 4, |i, j| a[(i, j)]);
+        let mut incremental = Cholesky::new(&leading).expect("leading block is SPD");
+        let b: Vec<f64> = (0..4).map(|j| a[(4, j)]).collect();
+        incremental.extend(&b, a[(4, 4)]).expect("extension of an SPD matrix is SPD");
+        let full = Cholesky::new(&a).expect("full matrix is SPD");
+        prop_assert!(
+            incremental.factor().max_abs_diff(full.factor()).unwrap() < 1e-8,
+            "extended factor diverged from the from-scratch factor"
+        );
+    }
+
+    #[test]
+    fn blocked_matrix_solve_matches_vector_solves(a in spd_strategy(4), b in vec_strategy(8)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let rhs = Matrix::from_vec(4, 2, b).unwrap();
+        let blocked = chol.solve_matrix(&rhs).unwrap();
+        for j in 0..2 {
+            let x = chol.solve_vec(&rhs.col(j)).unwrap();
+            for i in 0..4 {
+                prop_assert_eq!(blocked[(i, j)], x[i]);
+            }
+        }
+    }
+
+    #[test]
     fn lerp_endpoints(a in vec_strategy(4), b in vec_strategy(4)) {
         let at_zero = vector::lerp(&a, &b, 0.0);
         let at_one = vector::lerp(&a, &b, 1.0);

@@ -56,8 +56,25 @@ pub fn information_gain(
     models: &[GaussianProcess],
     samples: &[ParetoFrontSample],
 ) -> Result<f64> {
+    // Cache the per-objective predictions; they do not depend on the sample.
+    let predictions: Vec<(f64, f64)> = models
+        .iter()
+        .map(|m| m.predict_std(theta))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    Ok(information_gain_from_predictions(&predictions, samples))
+}
+
+/// Evaluates Eq. 9 from pre-computed per-objective posterior `(mean, std)` pairs.
+///
+/// This is the scoring core shared by [`information_gain`] (one candidate, per-point
+/// predictions) and the batched optimizer path, which obtains the predictions for the whole
+/// candidate pool from [`GaussianProcess::predict_batch`] with one blocked solve per model.
+fn information_gain_from_predictions(
+    predictions: &[(f64, f64)],
+    samples: &[ParetoFrontSample],
+) -> f64 {
     assert!(
-        !models.is_empty(),
+        !predictions.is_empty(),
         "at least one objective model is required"
     );
     assert!(
@@ -65,12 +82,6 @@ pub fn information_gain(
         "at least one Pareto-front sample is required"
     );
     let mut total = 0.0;
-    // Cache the per-objective predictions; they do not depend on the sample.
-    let predictions: Vec<(f64, f64)> = models
-        .iter()
-        .map(|m| m.predict_std(theta))
-        .collect::<std::result::Result<Vec<_>, _>>()?;
-
     for sample in samples {
         for (j, (mean, std)) in predictions.iter().enumerate() {
             let best = sample.per_objective_best[j];
@@ -83,7 +94,7 @@ pub fn information_gain(
             total += gamma * pdf / (2.0 * cdf) - cdf.ln();
         }
     }
-    Ok(total / samples.len() as f64)
+    total / samples.len() as f64
 }
 
 /// Configuration of the acquisition maximizer.
@@ -178,31 +189,53 @@ impl AcquisitionOptimizer {
     ) -> Result<Vec<(Vec<f64>, f64)>> {
         assert!(q > 0, "batch size must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut scored: Vec<(Vec<f64>, f64)> =
+
+        // Generate the whole candidate pool up front. The RNG consumption order is identical
+        // to scoring-as-we-go (scoring draws nothing from the stream), so the pool — and with
+        // it the selection — stays a deterministic function of (incumbents, seed) alone.
+        let mut pool: Vec<Vec<f64>> =
             Vec::with_capacity(self.config.random_candidates + self.config.local_candidates);
-
         for _ in 0..self.config.random_candidates {
-            let theta: Vec<f64> = (0..self.dim)
-                .map(|_| rng.gen_range(-self.bound..self.bound))
-                .collect();
-            let value = information_gain(&theta, models, samples)?;
-            scored.push((theta, value));
+            pool.push(
+                (0..self.dim)
+                    .map(|_| rng.gen_range(-self.bound..self.bound))
+                    .collect(),
+            );
         }
-
         if !incumbents.is_empty() {
             let sigma = self.config.local_perturbation * self.bound;
             for i in 0..self.config.local_candidates {
                 let base = &incumbents[i % incumbents.len()];
-                let theta: Vec<f64> = base
-                    .iter()
-                    .map(|v| {
-                        let noise: f64 = rng.gen_range(-1.0..1.0) * sigma;
-                        (v + noise).clamp(-self.bound, self.bound)
-                    })
-                    .collect();
-                let value = information_gain(&theta, models, samples)?;
-                scored.push((theta, value));
+                pool.push(
+                    base.iter()
+                        .map(|v| {
+                            let noise: f64 = rng.gen_range(-1.0..1.0) * sigma;
+                            (v + noise).clamp(-self.bound, self.bound)
+                        })
+                        .collect(),
+                );
             }
+        }
+
+        // Score the pool with one batched posterior solve per objective model (the blocked
+        // O(n²·pool) path) instead of ~pool-size per-candidate triangular solves. The
+        // per-candidate (mean, std) pairs — and therefore every acquisition value — are
+        // bit-identical to the per-point `predict_std` path.
+        let per_model: Vec<Vec<(f64, f64)>> = models
+            .iter()
+            .map(|m| m.predict_batch(&pool))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+
+        let mut predictions: Vec<(f64, f64)> = Vec::with_capacity(models.len());
+        let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(pool.len());
+        for (c, theta) in pool.into_iter().enumerate() {
+            predictions.clear();
+            predictions.extend(per_model.iter().map(|p| {
+                let (mean, variance) = p[c];
+                (mean, variance.sqrt())
+            }));
+            let value = information_gain_from_predictions(&predictions, samples);
+            scored.push((theta, value));
         }
 
         // Stable sort: equal scores keep generation order, so the result is a deterministic
@@ -371,6 +404,23 @@ mod tests {
                 .maximize_batch(&models, &samples, &[vec![0.2]], q, 9)
                 .unwrap();
             assert_eq!(batch[0], single, "q = {q} must not change the argmax");
+        }
+    }
+
+    #[test]
+    fn batched_scores_are_bit_identical_to_per_point_information_gain() {
+        let models = one_d_models();
+        let samples = vec![fake_sample(vec![0.1, 0.1]), fake_sample(vec![0.0, 0.2])];
+        let optimizer = AcquisitionOptimizer::new(1, 3.0, AcquisitionOptimizerConfig::default());
+        let batch = optimizer
+            .maximize_batch(&models, &samples, &[vec![0.3]], 6, 11)
+            .unwrap();
+        for (theta, value) in &batch {
+            let per_point = information_gain(theta, &models, &samples).unwrap();
+            assert_eq!(
+                *value, per_point,
+                "batched score diverged from the per-point path at θ = {theta:?}"
+            );
         }
     }
 

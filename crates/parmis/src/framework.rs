@@ -190,8 +190,10 @@ impl Parmis {
         let mut front: ParetoFront<Vec<f64>> = ParetoFront::new(k);
         let mut stale_iterations = 0usize;
         let mut converged_at = None;
-        let mut kernels: Option<Vec<gp::kernel::Kernel>> = None;
-        let mut noises: Vec<f64> = vec![1e-4; k];
+        // One fitted GP per objective, carried across iterations: on non-hyperopt rounds the
+        // models are advanced incrementally (rank-one Cholesky extension + target swap)
+        // instead of being refit from scratch.
+        let mut model_cache: Option<Vec<GaussianProcess>> = None;
 
         // --- Initial design (Algorithm 1, line 1) -------------------------------------------
         // The candidate parameters are drawn from a single sequential stream (independent of
@@ -226,20 +228,12 @@ impl Parmis {
 
             // Line 3: learn statistical models from the aggregate training data.
             let xs: Vec<Vec<f64>> = history.iter().map(|r| r.theta.clone()).collect();
-            let (models, standardizers) = self.fit_models(
-                &xs,
-                &history,
-                k,
-                dim,
-                bound,
-                iteration,
-                &mut kernels,
-                &mut noises,
-            )?;
+            self.fit_models(&xs, &history, k, dim, bound, iteration, &mut model_cache)?;
+            let models = model_cache.as_deref().expect("fit_models fills the cache");
 
             // Line 4 (part 1): sample Pareto fronts of the model.
             let sampler = ParetoFrontSampler::new(
-                &models,
+                models,
                 bound,
                 cfg.sampling.clone(),
                 cfg.seed ^ (iteration as u64).wrapping_mul(0x9e3779b97f4a7c15),
@@ -252,13 +246,12 @@ impl Parmis {
             let incumbents: Vec<Vec<f64>> = front.tags().into_iter().cloned().collect();
             let optimizer = AcquisitionOptimizer::new(dim, bound, cfg.acquisition.clone());
             let selected = optimizer.maximize_batch(
-                &models,
+                models,
                 &samples,
                 &incumbents,
                 q,
                 cfg.seed ^ (iteration as u64).wrapping_mul(0xB5297A4D),
             )?;
-            drop(standardizers);
 
             // Line 5: evaluate the selected policies on the platform as one batch.
             let thetas: Vec<Vec<f64>> = selected.iter().map(|(theta, _)| theta.clone()).collect();
@@ -356,9 +349,15 @@ impl Parmis {
         Ok(())
     }
 
-    /// Fits one GP per objective on standardized targets. Kernel hyperparameters are selected
-    /// by marginal likelihood every `refit_hyperparameters_every` iterations and reused in
-    /// between.
+    /// Fits one GP per objective on standardized targets, leaving the result in `cache`.
+    ///
+    /// Kernel hyperparameters are selected by marginal likelihood every
+    /// `refit_hyperparameters_every` iterations. In between, the cached models are advanced
+    /// **incrementally**: the kernel matrix grows by one rank-one Cholesky extension per new
+    /// evaluation (`O(n²)` instead of the `O(n³)` from-scratch refit) and the freshly
+    /// re-standardized targets are swapped in with two triangular solves
+    /// ([`GaussianProcess::with_observations_and_targets`]) — the kernel matrix does not
+    /// depend on the targets, so re-standardization never forces a refactorization.
     #[allow(clippy::too_many_arguments)]
     fn fit_models(
         &self,
@@ -368,22 +367,19 @@ impl Parmis {
         dim: usize,
         bound: f64,
         iteration: usize,
-        kernels: &mut Option<Vec<gp::kernel::Kernel>>,
-        noises: &mut [f64],
-    ) -> Result<(Vec<GaussianProcess>, Vec<Standardizer>)> {
+        cache: &mut Option<Vec<GaussianProcess>>,
+    ) -> Result<()> {
         let cfg = &self.config;
-        let mut models = Vec::with_capacity(k);
-        let mut standardizers = Vec::with_capacity(k);
-        let refit = kernels.is_none()
+        let refit = cache.is_none()
             || (iteration.saturating_sub(cfg.initial_samples)) % cfg.refit_hyperparameters_every
                 == 0;
-        let mut new_kernels = Vec::with_capacity(k);
+        let previous = cache.take();
+        let mut models = Vec::with_capacity(k);
 
-        for (j, noise) in noises.iter_mut().enumerate().take(k) {
+        for j in 0..k {
             let raw: Vec<f64> = history.iter().map(|r| r.objectives[j]).collect();
             let mean = linalg::vector::mean(&raw);
             let std = linalg::vector::std_dev(&raw).max(1e-9);
-            standardizers.push((mean, std));
             let ys: Vec<f64> = raw.iter().map(|y| (y - mean) / std).collect();
 
             if refit {
@@ -395,24 +391,33 @@ impl Parmis {
                     refinement_passes: 1,
                 };
                 let fitted = fit_with_hyperopt(xs.to_vec(), ys, &config)?;
-                new_kernels.push(fitted.model.kernel().clone());
-                *noise = fitted.model.noise_variance();
                 models.push(fitted.model);
             } else {
-                let kernel = kernels.as_ref().expect("kernels cached")[j].clone();
-                let model = GaussianProcess::fit(xs.to_vec(), ys, kernel, *noise)?;
+                let prev = &previous.as_ref().expect("cache present when not refitting")[j];
+                let n_prev = prev.len();
+                debug_assert!(n_prev <= xs.len(), "history only ever grows within a run");
+                // One call extends the factor by the new evaluations AND installs the
+                // re-standardized targets for every point, with a single pair of solves.
+                let incremental = prev.with_observations_and_targets(&xs[n_prev..], ys.clone());
+                let model = match incremental {
+                    Ok(model) => model,
+                    // Extremely degenerate geometry can defeat even the jittered fallback
+                    // inside the incremental path; refit from scratch with the cached
+                    // hyperparameters rather than abort the search.
+                    Err(_) => GaussianProcess::fit(
+                        xs.to_vec(),
+                        ys,
+                        prev.kernel().clone(),
+                        prev.noise_variance(),
+                    )?,
+                };
                 models.push(model);
             }
         }
-        if refit {
-            *kernels = Some(new_kernels);
-        }
-        Ok((models, standardizers))
+        *cache = Some(models);
+        Ok(())
     }
 }
-
-/// Per-objective `(mean, std)` pair used to standardize GP training targets.
-type Standardizer = (f64, f64);
 
 /// Lengthscale candidates scaled to the expected pairwise distance of uniform points in the
 /// box `[-bound, bound]^dim`.
