@@ -1,0 +1,86 @@
+//! Cross-scenario matrix runner: every registered scenario under every stock governor.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scenario_matrix -- [--list-scenarios]
+//!     [--scenario <name>] [--scenario-json <path>]
+//! ```
+//!
+//! With no flags the full registry runs and the (energy, exec-time, peak-temp, penalty)
+//! tuple of every (scenario, governor) cell is printed; set `PARMIS_RESULTS_DIR` to also
+//! write `scenario_matrix.json`. `--scenario` narrows the run to one registered scenario
+//! and `--scenario-json` runs a scenario definition loaded from a JSON file — the same
+//! format `Scenario::to_json` emits.
+
+use bench::harness::{run_scenario_matrix, ScenarioSelection};
+use bench::report;
+use soc_sim::scenario;
+
+fn main() {
+    let selection = match ScenarioSelection::from_args() {
+        Ok(selection) => selection,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let scenarios = match selection {
+        ScenarioSelection::List => {
+            report::print_header("scenario registry", "named workload/platform scenarios");
+            report::print_table(
+                "scenarios",
+                &["name", "platform", "workload", "description"],
+                &scenario::registry()
+                    .iter()
+                    .map(|s| {
+                        vec![
+                            s.name.clone(),
+                            s.platform.name().to_string(),
+                            format!("{:?}", s.workload.kind).to_lowercase(),
+                            s.description.clone(),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            return;
+        }
+        ScenarioSelection::Some(scenarios) => scenarios,
+    };
+
+    report::print_header(
+        "scenario matrix",
+        "stock governors across the scenario registry",
+    );
+    let cells = match run_scenario_matrix(&scenarios) {
+        Ok(cells) => cells,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
+    report::print_table(
+        "matrix",
+        &[
+            "scenario",
+            "governor",
+            "time_s",
+            "energy_j",
+            "peak_temp_c",
+            "penalty",
+        ],
+        &cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.scenario.clone(),
+                    c.governor.clone(),
+                    report::fmt(c.execution_time_s),
+                    report::fmt(c.energy_j),
+                    report::fmt(c.peak_temperature_c),
+                    report::fmt(c.constraint_penalty),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    report::write_json("scenario_matrix", &cells);
+}

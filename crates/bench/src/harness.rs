@@ -12,6 +12,8 @@ use parmis::pareto_sampling::ParetoSamplingConfig;
 use policy::training::TrainingConfig;
 use serde::Serialize;
 use soc_sim::apps::Benchmark;
+use soc_sim::governor::default_governors;
+use soc_sim::scenario::{self, Scenario};
 
 /// How much compute an experiment binary is allowed to spend.
 ///
@@ -281,6 +283,147 @@ pub fn phv_summary(
     }
 }
 
+/// Which scenarios a scenario-aware binary should process, parsed from the command line.
+///
+/// `--list-scenarios` lists the registry and exits; `--scenario <name>` selects one
+/// registered scenario; `--scenario-json <path>` loads a scenario definition from a JSON
+/// file (the [`Scenario::to_json`] format); no flag means the full registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSelection {
+    /// Print the registry and exit.
+    List,
+    /// Run exactly these scenarios.
+    Some(Vec<Scenario>),
+}
+
+impl ScenarioSelection {
+    /// Parses the selection from the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown scenario name, an unreadable or
+    /// malformed `--scenario-json` file, a flag without its value, conflicting flags, or a
+    /// misspelled `--scenario…` flag (so a typo cannot silently select the full registry).
+    pub fn from_args() -> Result<Self, String> {
+        Self::from_arg_list(std::env::args().skip(1))
+    }
+
+    /// [`from_args`](Self::from_args) over an explicit argument list (testable core).
+    ///
+    /// Both `--flag value` and `--flag=value` spellings are accepted. Arguments unrelated
+    /// to scenario selection are ignored, so binaries can mix these flags with their own.
+    ///
+    /// # Errors
+    ///
+    /// See [`from_args`](Self::from_args).
+    pub fn from_arg_list(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut name: Option<String> = None;
+        let mut json_path: Option<String> = None;
+        let mut list = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value_for = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            if arg == "--list-scenarios" {
+                list = true;
+            } else if arg == "--scenario" {
+                name = Some(value_for("--scenario")?);
+            } else if let Some(v) = arg.strip_prefix("--scenario=") {
+                name = Some(v.to_string());
+            } else if arg == "--scenario-json" {
+                json_path = Some(value_for("--scenario-json")?);
+            } else if let Some(v) = arg.strip_prefix("--scenario-json=") {
+                json_path = Some(v.to_string());
+            } else if arg.starts_with("--scenario") || arg.starts_with("--list-scenario") {
+                // A near-miss spelling must not silently fall through to "run everything".
+                return Err(format!(
+                    "unrecognized flag `{arg}`; did you mean --scenario, --scenario-json or \
+                     --list-scenarios?"
+                ));
+            }
+        }
+        if list {
+            return Ok(ScenarioSelection::List);
+        }
+        if name.is_some() && json_path.is_some() {
+            return Err("pass either --scenario or --scenario-json, not both".into());
+        }
+        if let Some(name) = name {
+            let scenario = scenario::by_name(&name).ok_or_else(|| {
+                format!("unknown scenario `{name}`; run with --list-scenarios to see the registry")
+            })?;
+            return Ok(ScenarioSelection::Some(vec![scenario]));
+        }
+        if let Some(path) = json_path {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let scenario = Scenario::from_json(&text).map_err(|e| e.to_string())?;
+            return Ok(ScenarioSelection::Some(vec![scenario]));
+        }
+        Ok(ScenarioSelection::Some(scenario::registry()))
+    }
+}
+
+/// One (scenario, governor) cell of the cross-scenario regression matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Governor name.
+    pub governor: String,
+    /// Total execution time in seconds.
+    pub execution_time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Peak junction temperature in °C.
+    pub peak_temperature_c: f64,
+    /// Weighted constraint-violation penalty of the run (zero when all limits are met).
+    pub constraint_penalty: f64,
+}
+
+/// Runs one scenario under every stock governor with a fixed measurement seed, producing
+/// the snapshot tuples the golden regression suite pins down.
+///
+/// # Errors
+///
+/// Returns a message if the scenario's workload fails to build or a run fails.
+pub fn run_scenario_row(scenario: &Scenario) -> Result<Vec<ScenarioCell>, String> {
+    let platform = scenario.platform();
+    let app = scenario
+        .application()
+        .map_err(|e| format!("{}: {e}", scenario.name))?;
+    let mut cells = Vec::new();
+    for mut governor in default_governors(platform.spec()) {
+        let run = platform
+            .run_application(&app, &mut governor, 0)
+            .map_err(|e| format!("{} under {}: {e}", scenario.name, governor.name()))?;
+        cells.push(ScenarioCell {
+            scenario: scenario.name.clone(),
+            governor: run.controller.clone(),
+            execution_time_s: run.execution_time_s,
+            energy_j: run.energy_j,
+            peak_temperature_c: run.peak_temperature_c,
+            constraint_penalty: scenario.constraints.penalty(&run),
+        });
+    }
+    Ok(cells)
+}
+
+/// Runs the full cross-scenario matrix ([`run_scenario_row`] for every given scenario).
+///
+/// # Errors
+///
+/// Propagates the first row failure.
+pub fn run_scenario_matrix(scenarios: &[Scenario]) -> Result<Vec<ScenarioCell>, String> {
+    let mut cells = Vec::new();
+    for scenario in scenarios {
+        cells.extend(run_scenario_row(scenario)?);
+    }
+    Ok(cells)
+}
+
 /// Extracts the non-dominated archive of an arbitrary point set (helper for Fig. 5, where a
 /// global policy set is re-evaluated per application).
 pub fn front_of(points: Vec<Vec<f64>>) -> ParetoFront<()> {
@@ -376,5 +519,73 @@ mod tests {
     fn front_of_filters_dominated_points() {
         let front = front_of(vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0]]);
         assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn scenario_rows_cover_all_governors_and_are_deterministic() {
+        let scenario = scenario::by_name("odroid-qsort-baseline").unwrap();
+        let row = run_scenario_row(&scenario).unwrap();
+        let governors: Vec<&str> = row.iter().map(|c| c.governor.as_str()).collect();
+        assert_eq!(
+            governors,
+            vec!["ondemand", "interactive", "performance", "powersave"]
+        );
+        for cell in &row {
+            assert!(cell.execution_time_s > 0.0);
+            assert!(cell.energy_j > 0.0);
+            assert!(cell.peak_temperature_c >= 25.0);
+            assert_eq!(cell.constraint_penalty, 0.0, "baseline is unconstrained");
+        }
+        let again = run_scenario_row(&scenario).unwrap();
+        for (a, b) in row.iter().zip(&again) {
+            assert_eq!(a.execution_time_s, b.execution_time_s);
+            assert_eq!(a.energy_j, b.energy_j);
+            assert_eq!(a.peak_temperature_c, b.peak_temperature_c);
+        }
+    }
+
+    fn select(args: &[&str]) -> Result<ScenarioSelection, String> {
+        ScenarioSelection::from_arg_list(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn scenario_selection_parses_both_flag_spellings_and_rejects_near_misses() {
+        assert_eq!(select(&["--list-scenarios"]), Ok(ScenarioSelection::List));
+        let by_space = select(&["--scenario", "odroid-qsort-baseline"]).unwrap();
+        let by_equals = select(&["--scenario=odroid-qsort-baseline"]).unwrap();
+        assert_eq!(by_space, by_equals);
+        match by_space {
+            ScenarioSelection::Some(s) => assert_eq!(s[0].name, "odroid-qsort-baseline"),
+            other => panic!("expected one scenario, got {other:?}"),
+        }
+        // No flags: the whole registry.
+        match select(&["--quick"]).unwrap() {
+            ScenarioSelection::Some(s) => assert_eq!(s.len(), scenario::registry().len()),
+            other => panic!("expected full registry, got {other:?}"),
+        }
+        // Misspellings and misuse fail loudly instead of silently running everything.
+        assert!(select(&["--scenaros", "x"]).is_ok(), "unrelated flags pass");
+        assert!(select(&["--scenarios", "x"]).is_err());
+        assert!(select(&["--scenario"]).is_err());
+        assert!(select(&["--scenario", "not-registered"]).is_err());
+        assert!(select(&["--scenario-json"]).is_err());
+        assert!(select(&["--scenario-json", "/nonexistent/path.json"]).is_err());
+        assert!(select(&[
+            "--scenario",
+            "odroid-qsort-baseline",
+            "--scenario-json",
+            "x"
+        ])
+        .is_err());
+        assert!(select(&["--list-scenarioz"]).is_err());
+    }
+
+    #[test]
+    fn scenario_matrix_concatenates_rows_in_registry_order() {
+        let scenarios: Vec<_> = scenario::registry().into_iter().take(2).collect();
+        let cells = run_scenario_matrix(&scenarios).unwrap();
+        assert_eq!(cells.len(), 8);
+        assert!(cells[..4].iter().all(|c| c.scenario == scenarios[0].name));
+        assert!(cells[4..].iter().all(|c| c.scenario == scenarios[1].name));
     }
 }

@@ -6,6 +6,7 @@ use crate::{ParmisError, Result};
 use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
 use soc_sim::apps::Benchmark;
 use soc_sim::platform::{Platform, RunSummary};
+use soc_sim::scenario::{Scenario, ScenarioConstraints};
 use soc_sim::workload::Application;
 use soc_sim::DecisionSpace;
 
@@ -164,6 +165,7 @@ pub struct SocEvaluator {
     architecture: PolicyArchitecture,
     applications: Vec<Application>,
     objectives: Vec<Objective>,
+    constraints: Option<ScenarioConstraints>,
     run_seed: u64,
 }
 
@@ -177,6 +179,38 @@ impl SocEvaluator {
             vec![benchmark.application()],
             objectives,
         )
+    }
+
+    /// Creates an evaluator for a [`Scenario`]: the scenario's platform preset, its
+    /// generated workload, and its [`ScenarioConstraints`] applied as an objective penalty
+    /// (see [`with_constraints`](Self::with_constraints)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::Evaluation`] if the scenario's workload fails to build (e.g.
+    /// an unknown benchmark name in a scenario loaded from JSON).
+    pub fn for_scenario(scenario: &Scenario, objectives: Vec<Objective>) -> Result<Self> {
+        let application = scenario
+            .application()
+            .map_err(|e| ParmisError::Evaluation {
+                reason: format!("scenario {}: {e}", scenario.name),
+            })?;
+        Ok(SocEvaluator::new(
+            scenario.platform(),
+            PolicyArchitecture::paper_default(),
+            vec![application],
+            objectives,
+        )
+        .with_constraints(scenario.constraints))
+    }
+
+    /// Applies scenario constraints: every objective value gets the constraints'
+    /// weighted relative-violation [`penalty`](ScenarioConstraints::penalty) added, so the
+    /// search is steered towards configurations that satisfy the scenario without changing
+    /// the objective set. A penalty of zero (all limits met) leaves values untouched.
+    pub fn with_constraints(mut self, constraints: ScenarioConstraints) -> Self {
+        self.constraints = Some(constraints);
+        self
     }
 
     /// Creates an evaluator from explicit components. `applications` may contain one
@@ -195,6 +229,7 @@ impl SocEvaluator {
             architecture,
             applications,
             objectives,
+            constraints: None,
             run_seed: 17,
         }
     }
@@ -283,6 +318,20 @@ impl PolicyEvaluator for SocEvaluator {
         }
         for a in acc.iter_mut() {
             *a /= summaries.len() as f64;
+        }
+        // Scenario constraints enter as an additive penalty on every objective (zero when
+        // every limit is met), averaged across applications like the objectives themselves.
+        if let Some(constraints) = &self.constraints {
+            let penalty = summaries
+                .iter()
+                .map(|s| constraints.penalty(s))
+                .sum::<f64>()
+                / summaries.len() as f64;
+            if penalty > 0.0 {
+                for a in acc.iter_mut() {
+                    *a += penalty;
+                }
+            }
         }
         Ok(acc)
     }
@@ -408,6 +457,40 @@ mod tests {
         let b = noisy.evaluate(&theta).unwrap();
         assert_ne!(a, b);
         assert!((a[0] - b[0]).abs() / a[0] < 0.1);
+    }
+
+    #[test]
+    fn scenario_evaluator_applies_the_constraint_penalty_additively() {
+        let scenario = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+        let constrained =
+            SocEvaluator::for_scenario(&scenario, Objective::TIME_ENERGY.to_vec()).unwrap();
+        // The same platform/workload without constraints is the baseline.
+        let free = SocEvaluator::new(
+            scenario.platform(),
+            PolicyArchitecture::paper_default(),
+            vec![scenario.application().unwrap()],
+            Objective::TIME_ENERGY.to_vec(),
+        );
+        // An all-out policy bias is the most likely to violate an 80 C limit; either way the
+        // penalized values must be >= the raw ones with an identical offset on both axes.
+        let theta = vec![0.5; constrained.parameter_dim()];
+        let hot = constrained.evaluate(&theta).unwrap();
+        let raw = free.evaluate(&theta).unwrap();
+        let d0 = hot[0] - raw[0];
+        let d1 = hot[1] - raw[1];
+        assert!(d0 >= 0.0 && d1 >= 0.0);
+        assert!(
+            (d0 - d1).abs() < 1e-9,
+            "penalty must shift every objective equally"
+        );
+
+        // An unsatisfiable-scenario build error surfaces as an evaluation error.
+        let mut broken = scenario.clone();
+        broken.workload.benchmarks[0] = "nope".into();
+        assert!(matches!(
+            SocEvaluator::for_scenario(&broken, Objective::TIME_ENERGY.to_vec()),
+            Err(ParmisError::Evaluation { .. })
+        ));
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum Objective {
     /// Average power in watts (minimized). Not used by the paper's headline results but
     /// handy for ablations and examples.
     AveragePower,
+    /// Peak junction temperature in °C (minimized). Pairs with execution time for
+    /// thermal-aware scenario optimization, where staying cool is itself a design goal.
+    PeakTemperature,
 }
 
 impl Objective {
@@ -28,6 +31,9 @@ impl Objective {
     pub const TIME_ENERGY: [Objective; 2] = [Objective::ExecutionTime, Objective::Energy];
     /// Execution time and PPW, the "complex objective" experiment of §V-E.
     pub const TIME_PPW: [Objective; 2] = [Objective::ExecutionTime, Objective::PerformancePerWatt];
+    /// Execution time and peak temperature, the thermal-aware scenario trade-off.
+    pub const TIME_PEAK_TEMP: [Objective; 2] =
+        [Objective::ExecutionTime, Objective::PeakTemperature];
 
     /// Short name used in reports and figures.
     pub fn name(&self) -> &'static str {
@@ -36,6 +42,7 @@ impl Objective {
             Objective::Energy => "energy_j",
             Objective::PerformancePerWatt => "ppw",
             Objective::AveragePower => "average_power_w",
+            Objective::PeakTemperature => "peak_temperature_c",
         }
     }
 
@@ -46,6 +53,7 @@ impl Objective {
             Objective::Energy => summary.energy_j,
             Objective::PerformancePerWatt => -summary.ppw,
             Objective::AveragePower => summary.average_power_w,
+            Objective::PeakTemperature => summary.peak_temperature_c,
         }
     }
 
@@ -96,6 +104,7 @@ mod tests {
             energy_j: 5.0,
             average_power_w: 2.5,
             ppw: 0.8,
+            peak_temperature_c: 61.5,
             epochs: Vec::new(),
         }
     }
@@ -107,6 +116,12 @@ mod tests {
         assert_eq!(Objective::Energy.value_from(&s), 5.0);
         assert_eq!(Objective::PerformancePerWatt.value_from(&s), -0.8);
         assert_eq!(Objective::AveragePower.value_from(&s), 2.5);
+        assert_eq!(Objective::PeakTemperature.value_from(&s), 61.5);
+        assert!(!Objective::PeakTemperature.is_maximized());
+        assert_eq!(
+            objective_vector(&Objective::TIME_PEAK_TEMP, &s),
+            vec![2.0, 61.5]
+        );
     }
 
     #[test]

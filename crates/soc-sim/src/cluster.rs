@@ -90,6 +90,66 @@ impl ClusterParams {
         }
     }
 
+    /// Big cluster of the asymmetric hexa-core preset: two wide out-of-order cores
+    /// (Cortex-A76-like), 500 MHz – 2.4 GHz in 100 MHz steps (20 OPPs), peak IPC ≈ 2.2.
+    pub fn hexa_big() -> Self {
+        ClusterParams {
+            kind: ClusterKind::Big,
+            core_count: 2,
+            opps: build_opps(500, 2400, 100, 0.80, 1.30),
+            peak_ipc: 2.2,
+            capacitance_nf: 0.55,
+            leakage_w_per_v2: 0.11,
+            miss_stall_overhead_cycles: 5.0,
+            branch_miss_penalty_cycles: 14.0,
+        }
+    }
+
+    /// Little cluster of the asymmetric hexa-core preset: four efficiency cores
+    /// (Cortex-A55-like), 200 MHz – 1.6 GHz in 100 MHz steps (15 OPPs), peak IPC ≈ 1.1.
+    pub fn hexa_little() -> Self {
+        ClusterParams {
+            kind: ClusterKind::Little,
+            core_count: 4,
+            opps: build_opps(200, 1600, 100, 0.75, 1.15),
+            peak_ipc: 1.1,
+            capacitance_nf: 0.10,
+            leakage_w_per_v2: 0.018,
+            miss_stall_overhead_cycles: 12.0,
+            branch_miss_penalty_cycles: 8.0,
+        }
+    }
+
+    /// "Big" cluster of the wearable preset: one small application core, 300 MHz – 1.1 GHz
+    /// in 100 MHz steps (9 OPPs).
+    pub fn wearable_big() -> Self {
+        ClusterParams {
+            kind: ClusterKind::Big,
+            core_count: 1,
+            opps: build_opps(300, 1100, 100, 0.70, 1.05),
+            peak_ipc: 1.2,
+            capacitance_nf: 0.18,
+            leakage_w_per_v2: 0.03,
+            miss_stall_overhead_cycles: 8.0,
+            branch_miss_penalty_cycles: 12.0,
+        }
+    }
+
+    /// Little cluster of the wearable preset: two in-order efficiency cores, 100 MHz –
+    /// 600 MHz in 100 MHz steps (6 OPPs).
+    pub fn wearable_little() -> Self {
+        ClusterParams {
+            kind: ClusterKind::Little,
+            core_count: 2,
+            opps: build_opps(100, 600, 100, 0.65, 0.90),
+            peak_ipc: 0.7,
+            capacitance_nf: 0.05,
+            leakage_w_per_v2: 0.008,
+            miss_stall_overhead_cycles: 16.0,
+            branch_miss_penalty_cycles: 6.0,
+        }
+    }
+
     /// Number of OPPs (frequency levels) supported by the cluster.
     pub fn frequency_levels(&self) -> usize {
         self.opps.len()
@@ -142,18 +202,27 @@ impl ClusterParams {
 
 /// Builds an OPP table from `min..=max` MHz in `step` MHz increments with a voltage curve that
 /// rises slightly super-linearly from `v_min` to `v_max`, approximating published Exynos 5422
-/// DVFS tables.
-fn build_opps(
+/// DVFS tables. A degenerate `min == max` range yields a single OPP at `v_min`, and a zero
+/// `step_mhz` is treated as 1 (rather than looping forever). Public so custom platform
+/// definitions (and tests) can synthesize their own tables.
+pub fn build_opps(
     min_mhz: u32,
     max_mhz: u32,
     step_mhz: u32,
     v_min: f64,
     v_max: f64,
 ) -> Vec<OperatingPoint> {
+    let step_mhz = step_mhz.max(1);
     let mut opps = Vec::new();
     let mut f = min_mhz;
     while f <= max_mhz {
-        let t = (f - min_mhz) as f64 / (max_mhz - min_mhz) as f64;
+        // Degenerate single-OPP tables (min == max) would otherwise divide by zero and
+        // produce a NaN voltage.
+        let t = if max_mhz > min_mhz {
+            (f - min_mhz) as f64 / (max_mhz - min_mhz) as f64
+        } else {
+            0.0
+        };
         // Quadratic blend: voltage rises faster near the top of the frequency range.
         let voltage = v_min + (v_max - v_min) * (0.45 * t + 0.55 * t * t);
         opps.push(OperatingPoint {
@@ -234,6 +303,20 @@ mod tests {
         assert_eq!(little.nearest_frequency(5000), 1400);
         assert_eq!(little.nearest_frequency(250), 200); // ties resolve downward
         assert_eq!(little.nearest_frequency(260), 300);
+    }
+
+    #[test]
+    fn build_opps_handles_degenerate_ranges_and_steps() {
+        // min == max: one OPP, finite voltage (regression: used to divide by zero).
+        let single = build_opps(1000, 1000, 100, 0.9, 1.1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].frequency_mhz, 1000);
+        assert!(single[0].voltage_v.is_finite());
+        assert_eq!(single[0].voltage_v, 0.9);
+        // step == 0: clamped to 1 instead of looping forever.
+        let stepped = build_opps(100, 103, 0, 0.8, 0.9);
+        assert_eq!(stepped.len(), 4);
+        assert_eq!(stepped.last().unwrap().frequency_mhz, 103);
     }
 
     #[test]

@@ -95,6 +95,25 @@ impl DecisionSpace {
         }
     }
 
+    /// Builds the decision space of the asymmetric hexa-core preset
+    /// (3 × 4 × 20 × 15 = 3 600 configurations).
+    pub fn hexa_asym() -> Self {
+        DecisionSpace {
+            big: ClusterParams::hexa_big(),
+            little: ClusterParams::hexa_little(),
+            min_little_cores: 1,
+        }
+    }
+
+    /// Builds the decision space of the wearable preset (2 × 2 × 9 × 6 = 216 configurations).
+    pub fn wearable() -> Self {
+        DecisionSpace {
+            big: ClusterParams::wearable_big(),
+            little: ClusterParams::wearable_little(),
+            min_little_cores: 1,
+        }
+    }
+
     /// Builds a decision space from explicit cluster parameters.
     ///
     /// `min_little_cores` is the number of Little cores that must always stay online (1 on the

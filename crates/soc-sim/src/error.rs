@@ -25,6 +25,11 @@ pub enum SocError {
         /// The rejected value.
         value: f64,
     },
+    /// A scenario definition could not be resolved or parsed.
+    Scenario {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SocError {
@@ -37,6 +42,7 @@ impl fmt::Display for SocError {
             SocError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
             }
+            SocError::Scenario { reason } => write!(f, "invalid scenario: {reason}"),
         }
     }
 }

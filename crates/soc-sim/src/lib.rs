@@ -16,10 +16,17 @@
 //! * the **hardware-counter features** of Table I regenerated every decision epoch
 //!   ([`counters`]),
 //! * twelve **synthetic applications** that mirror the phase behaviour of the paper's
-//!   benchmarks ([`apps`], [`workload`]),
-//! * the four stock **Linux governors** used as baselines ([`governor`]), and
+//!   benchmarks ([`apps`], [`workload`]), plus deterministic **workload generators**
+//!   (bursty, periodic, io-idle, multi-app interleave) for scenario diversity,
+//! * the four stock **Linux governors** used as baselines ([`governor`]),
 //! * a **platform runner** that executes an application under any [`DrmController`] and
-//!   reports execution time, energy and PPW ([`platform`]).
+//!   reports execution time, energy, PPW and peak temperature ([`platform`]), with a
+//!   lumped-RC **thermal model** (optional per-cluster junction refinement, [`thermal`])
+//!   and **DVFS transition costs** (latency + energy, [`TransitionModel`]), and
+//! * a **scenario registry** of named (platform, workload, constraints) triples with
+//!   lossless JSON round-tripping ([`scenario`]) — the regression axis of the cross-
+//!   scenario golden matrix. Besides the Exynos-5422 preset there are asymmetric
+//!   hexa-core and wearable-class platforms ([`SocSpec::hexa_asym`], [`SocSpec::wearable`]).
 //!
 //! # Quick start
 //!
@@ -51,12 +58,16 @@ pub mod governor;
 pub mod perf;
 pub mod platform;
 pub mod power;
+pub mod scenario;
+pub mod thermal;
 pub mod workload;
 
 pub use config::{DecisionSpace, DrmDecision};
 pub use counters::CounterSnapshot;
 pub use error::SocError;
 pub use platform::{DrmController, EpochResult, Platform, RunSummary, SocSpec, TransitionModel};
+pub use scenario::Scenario;
+pub use thermal::{PerClusterThermal, ThermalModel, ThermalState};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SocError>;
@@ -84,5 +95,10 @@ mod thread_safety {
         assert_worker_shareable::<CounterSnapshot>();
         assert_worker_shareable::<RunSummary>();
         assert_worker_shareable::<EpochResult>();
+        assert_worker_shareable::<Scenario>();
+        assert_worker_shareable::<scenario::WorkloadSpec>();
+        assert_worker_shareable::<scenario::ScenarioConstraints>();
+        assert_worker_shareable::<ThermalModel>();
+        assert_worker_shareable::<ThermalState>();
     }
 }

@@ -17,15 +17,24 @@ use serde::{Deserialize, Serialize};
 ///
 /// Changing a cluster's frequency requires re-locking the PLL and re-settling the voltage
 /// rail (hundreds of microseconds on the Exynos 5422); turning cores on or off goes through
-/// the Linux hotplug path and costs milliseconds. Controllers that thrash between
-/// configurations — notably per-epoch greedy oracles that ignore switching costs — pay for it
-/// here, exactly as they would on the real board.
+/// the Linux hotplug path and costs milliseconds. On top of the latency, each transition can
+/// charge an energy penalty (rail re-regulation, cache flush + state migration on hotplug).
+/// Controllers that thrash between configurations — notably per-epoch greedy oracles that
+/// ignore switching costs — pay for it here, exactly as they would on the real board.
+///
+/// The energy penalties default to **zero** so that platforms which predate them (and every
+/// committed golden result) keep bit-identical energy totals; the newer platform presets
+/// opt in with non-zero values.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TransitionModel {
     /// Time cost of changing one cluster's frequency, in milliseconds.
     pub freq_switch_ms: f64,
     /// Time cost per core brought online or taken offline, in milliseconds.
     pub hotplug_ms_per_core: f64,
+    /// Energy cost of changing one cluster's frequency, in millijoules.
+    pub freq_switch_energy_mj: f64,
+    /// Energy cost per core brought online or taken offline, in millijoules.
+    pub hotplug_energy_mj_per_core: f64,
 }
 
 impl Default for TransitionModel {
@@ -33,24 +42,37 @@ impl Default for TransitionModel {
         TransitionModel {
             freq_switch_ms: 0.2,
             hotplug_ms_per_core: 2.0,
+            freq_switch_energy_mj: 0.0,
+            hotplug_energy_mj_per_core: 0.0,
         }
     }
 }
 
 impl TransitionModel {
+    /// Number of cluster-frequency changes and core on/off transitions between two decisions.
+    fn switch_counts(previous: &DrmDecision, next: &DrmDecision) -> (u32, u32) {
+        let freq_changes = u32::from(previous.big_freq_mhz != next.big_freq_mhz)
+            + u32::from(previous.little_freq_mhz != next.little_freq_mhz);
+        let core_changes = u32::from(previous.big_cores.abs_diff(next.big_cores))
+            + u32::from(previous.little_cores.abs_diff(next.little_cores));
+        (freq_changes, core_changes)
+    }
+
     /// Extra wall-clock seconds incurred when switching from `previous` to `next`.
     pub fn switch_time_s(&self, previous: &DrmDecision, next: &DrmDecision) -> f64 {
-        let mut ms = 0.0;
-        if previous.big_freq_mhz != next.big_freq_mhz {
-            ms += self.freq_switch_ms;
-        }
-        if previous.little_freq_mhz != next.little_freq_mhz {
-            ms += self.freq_switch_ms;
-        }
-        let core_changes = previous.big_cores.abs_diff(next.big_cores)
-            + previous.little_cores.abs_diff(next.little_cores);
-        ms += self.hotplug_ms_per_core * core_changes as f64;
+        let (freq_changes, core_changes) = TransitionModel::switch_counts(previous, next);
+        let ms = self.freq_switch_ms * freq_changes as f64
+            + self.hotplug_ms_per_core * core_changes as f64;
         ms / 1e3
+    }
+
+    /// Extra joules drawn when switching from `previous` to `next` (zero with the default
+    /// penalties).
+    pub fn switch_energy_j(&self, previous: &DrmDecision, next: &DrmDecision) -> f64 {
+        let (freq_changes, core_changes) = TransitionModel::switch_counts(previous, next);
+        let mj = self.freq_switch_energy_mj * freq_changes as f64
+            + self.hotplug_energy_mj_per_core * core_changes as f64;
+        mj / 1e3
     }
 }
 
@@ -76,6 +98,79 @@ impl SocSpec {
             power_model: PowerModel::default(),
             transition_model: TransitionModel::default(),
             thermal_model: ThermalModel::default(),
+            measurement_noise: 0.01,
+        }
+    }
+
+    /// An asymmetric big.LITTLE SoC in the style of a mid-2020s phone part: two fast
+    /// out-of-order cores plus four efficiency cores, with per-cluster junction tracking,
+    /// hottest-junction throttling and non-zero DVFS transition energy.
+    pub fn hexa_asym() -> Self {
+        SocSpec {
+            decision_space: DecisionSpace::hexa_asym(),
+            perf_model: PerfModel::default(),
+            power_model: PowerModel {
+                mem_base_power_w: 0.15,
+                mem_energy_per_access_nj: 5.0,
+                soc_base_power_w: 0.25,
+            },
+            transition_model: TransitionModel {
+                freq_switch_ms: 0.15,
+                hotplug_ms_per_core: 1.5,
+                freq_switch_energy_mj: 0.8,
+                hotplug_energy_mj_per_core: 6.0,
+            },
+            thermal_model: crate::thermal::ThermalModel {
+                ambient_c: 25.0,
+                resistance_c_per_w: 9.5,
+                time_constant_s: 1.6,
+                leakage_per_degree: 0.005,
+                throttle_trip_c: 82.0,
+                throttle_big_freq_mhz: 1400,
+                per_cluster: Some(crate::thermal::PerClusterThermal::default()),
+            },
+            measurement_noise: 0.01,
+        }
+    }
+
+    /// A wearable-class low-power SoC: one small application core plus two efficiency cores,
+    /// a tiny package with a skin-temperature-driven trip point, Little-cluster throttling
+    /// and comparatively expensive DVFS transitions.
+    pub fn wearable() -> Self {
+        SocSpec {
+            decision_space: DecisionSpace::wearable(),
+            perf_model: PerfModel {
+                dram_latency_ns: 120.0,
+                parallel_sync_overhead: 0.05,
+                row_miss_fraction: 0.35,
+            },
+            power_model: PowerModel {
+                mem_base_power_w: 0.02,
+                mem_energy_per_access_nj: 4.0,
+                soc_base_power_w: 0.03,
+            },
+            transition_model: TransitionModel {
+                freq_switch_ms: 0.5,
+                hotplug_ms_per_core: 3.0,
+                freq_switch_energy_mj: 0.3,
+                hotplug_energy_mj_per_core: 2.0,
+            },
+            thermal_model: crate::thermal::ThermalModel {
+                ambient_c: 25.0,
+                resistance_c_per_w: 45.0,
+                time_constant_s: 1.2,
+                leakage_per_degree: 0.006,
+                throttle_trip_c: 38.0,
+                throttle_big_freq_mhz: 600,
+                per_cluster: Some(crate::thermal::PerClusterThermal {
+                    big_resistance_c_per_w: 6.0,
+                    little_resistance_c_per_w: 3.0,
+                    cluster_time_constant_s: 0.3,
+                    hysteresis_c: 2.0,
+                    throttle_little: true,
+                    throttle_little_freq_mhz: 400,
+                }),
+            },
             measurement_noise: 0.01,
         }
     }
@@ -191,6 +286,14 @@ pub struct EpochResult {
     pub energy_j: f64,
     /// Average power in watts.
     pub power_w: f64,
+    /// Big-cluster rail share of `power_w`, in watts (drives the per-cluster thermal model).
+    pub big_power_w: f64,
+    /// Little-cluster rail share of `power_w`, in watts.
+    pub little_power_w: f64,
+    /// Hottest tracked junction temperature at the end of the epoch, in °C. Standalone
+    /// [`Platform::run_epoch`] calls report the ambient temperature; the full application
+    /// runner overwrites it with the evolving thermal trajectory.
+    pub temperature_c: f64,
     /// Hardware counters observed for this epoch.
     pub counters: CounterSnapshot,
 }
@@ -210,6 +313,8 @@ pub struct RunSummary {
     pub average_power_w: f64,
     /// Performance-per-watt: giga-instructions per second per watt (equivalently GI/J).
     pub ppw: f64,
+    /// Hottest junction temperature reached at any epoch boundary during the run, in °C.
+    pub peak_temperature_c: f64,
     /// Per-epoch details, in execution order.
     pub epochs: Vec<EpochResult>,
 }
@@ -239,6 +344,20 @@ impl Platform {
     pub fn odroid_xu3() -> Self {
         Platform {
             spec: SocSpec::exynos5422(),
+        }
+    }
+
+    /// Creates the asymmetric hexa-core platform preset ([`SocSpec::hexa_asym`]).
+    pub fn hexa_asym() -> Self {
+        Platform {
+            spec: SocSpec::hexa_asym(),
+        }
+    }
+
+    /// Creates the wearable-class platform preset ([`SocSpec::wearable`]).
+    pub fn wearable() -> Self {
+        Platform {
+            spec: SocSpec::wearable(),
         }
     }
 
@@ -282,6 +401,9 @@ impl Platform {
             time_s: perf.time_s,
             energy_j: power_w * perf.time_s,
             power_w,
+            big_power_w: power.big_w,
+            little_power_w: power.little_w,
+            temperature_c: self.spec.thermal_model().ambient_c,
             counters,
         })
     }
@@ -318,29 +440,30 @@ impl Platform {
         let mut total_energy = 0.0;
         let mut total_instructions = 0.0;
         let thermal = *self.spec.thermal_model();
-        let mut temperature_c = thermal.ambient_c;
+        let mut thermal_state = thermal.initial_state();
+        let mut peak_temperature_c = thermal_state.hottest_c();
 
         for phase in &app.epochs {
             let requested = controller.decide(&counters, &previous);
-            // Thermal throttling: while the package is above the trip point the Big cluster
-            // cannot exceed the throttle ceiling, regardless of what the controller asked for.
-            let mut decision = requested;
-            if thermal.is_throttling(temperature_c)
-                && decision.big_freq_mhz > thermal.throttle_big_freq_mhz
-            {
-                decision.big_freq_mhz = self
-                    .spec
-                    .big_cluster()
-                    .nearest_frequency(thermal.throttle_big_freq_mhz);
-            }
+            // Thermal throttling: while the throttle is engaged the clusters cannot exceed
+            // their ceilings, regardless of what the controller asked for.
+            let throttling = thermal.throttles(&thermal_state);
+            let decision = thermal.cap_decision(
+                throttling,
+                &requested,
+                self.spec.big_cluster(),
+                self.spec.little_cluster(),
+            );
             let mut result = self.run_epoch(&decision, phase)?;
             // Temperature-dependent leakage inflates the measured power.
-            let leakage_scale = thermal.leakage_multiplier(temperature_c);
+            let leakage_scale = thermal.leakage_multiplier(thermal_state.die_c);
             result.power_w *= leakage_scale;
+            result.big_power_w *= leakage_scale;
+            result.little_power_w *= leakage_scale;
             result.counters.total_chip_power_w = result.power_w;
             result.energy_j = result.time_s * result.power_w;
-            // Pay the DVFS / hotplug switching cost for changing the configuration; the extra
-            // time is spent at the new configuration's power level.
+            // Pay the DVFS / hotplug switching latency for changing the configuration; the
+            // extra time is spent at the new configuration's power level.
             let switch_s = self
                 .spec
                 .transition_model()
@@ -354,13 +477,34 @@ impl Platform {
                 let power_factor: f64 = dist.sample(&mut rng);
                 result.time_s *= time_factor;
                 result.power_w *= power_factor;
+                result.big_power_w *= power_factor;
+                result.little_power_w *= power_factor;
                 result.energy_j = result.time_s * result.power_w;
                 result.counters.total_chip_power_w = result.power_w;
+            }
+            // Switch *energy* penalties (zero on platforms that predate them) are drawn by
+            // the rails during the transition itself, outside the measurement-noise model.
+            let switch_j = self
+                .spec
+                .transition_model()
+                .switch_energy_j(&previous, &decision);
+            if switch_j > 0.0 {
+                result.energy_j += switch_j;
             }
             total_time += result.time_s;
             total_energy += result.energy_j;
             total_instructions += phase.instructions;
-            temperature_c = thermal.step(temperature_c, result.power_w, result.time_s);
+            thermal_state = thermal.advance(
+                &thermal_state,
+                result.big_power_w,
+                result.little_power_w,
+                result.power_w,
+                result.time_s,
+            );
+            result.temperature_c = thermal_state.hottest_c();
+            if result.temperature_c > peak_temperature_c {
+                peak_temperature_c = result.temperature_c;
+            }
             counters = result.counters;
             previous = decision;
             epochs.push(result);
@@ -386,6 +530,7 @@ impl Platform {
             energy_j: total_energy,
             average_power_w,
             ppw,
+            peak_temperature_c,
             epochs,
         })
     }

@@ -34,68 +34,9 @@ impl Default for PowerModel {
     }
 }
 
-/// First-order RC thermal model of the SoC package.
-///
-/// The Exynos 5422 is famously thermally limited: sustained operation of the A15 cluster at
-/// its top frequencies heats the package past the throttling trip point within seconds.
-/// The model tracks one lumped package temperature, driven by total chip power through a
-/// thermal resistance and a first-order time constant. Two effects feed back into the run:
-/// leakage power grows with temperature, and the Big cluster is throttled to a ceiling
-/// frequency while the package is above the trip temperature. Per-epoch profiling (as used by
-/// the imitation-learning Oracle and the per-epoch RL reward) does not observe these
-/// cross-epoch effects — exactly as on the real board.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ThermalModel {
-    /// Ambient temperature in °C.
-    pub ambient_c: f64,
-    /// Junction-to-ambient thermal resistance in °C per watt.
-    pub resistance_c_per_w: f64,
-    /// First-order thermal time constant in seconds.
-    pub time_constant_s: f64,
-    /// Fractional increase of total chip power per °C above ambient (leakage growth).
-    pub leakage_per_degree: f64,
-    /// Package temperature above which the Big cluster is throttled.
-    pub throttle_trip_c: f64,
-    /// Maximum Big-cluster frequency while throttled, in MHz.
-    pub throttle_big_freq_mhz: u32,
-}
-
-impl Default for ThermalModel {
-    fn default() -> Self {
-        ThermalModel {
-            ambient_c: 25.0,
-            resistance_c_per_w: 8.0,
-            time_constant_s: 2.0,
-            leakage_per_degree: 0.004,
-            throttle_trip_c: 80.0,
-            throttle_big_freq_mhz: 1200,
-        }
-    }
-}
-
-impl ThermalModel {
-    /// Steady-state package temperature for a constant power draw.
-    pub fn steady_state_c(&self, power_w: f64) -> f64 {
-        self.ambient_c + self.resistance_c_per_w * power_w
-    }
-
-    /// Advances the package temperature by `dt_s` seconds at a constant power draw.
-    pub fn step(&self, temperature_c: f64, power_w: f64, dt_s: f64) -> f64 {
-        let target = self.steady_state_c(power_w);
-        let alpha = 1.0 - (-dt_s / self.time_constant_s.max(1e-9)).exp();
-        temperature_c + alpha * (target - temperature_c)
-    }
-
-    /// Multiplier applied to total chip power to account for temperature-dependent leakage.
-    pub fn leakage_multiplier(&self, temperature_c: f64) -> f64 {
-        1.0 + self.leakage_per_degree * (temperature_c - self.ambient_c).max(0.0)
-    }
-
-    /// Returns `true` if the Big cluster must be throttled at this temperature.
-    pub fn is_throttling(&self, temperature_c: f64) -> bool {
-        temperature_c > self.throttle_trip_c
-    }
-}
+// The thermal model grew its own module; the re-export keeps the long-standing
+// `soc_sim::power::ThermalModel` import path working.
+pub use crate::thermal::ThermalModel;
 
 /// Average power over one epoch, broken down per rail (as the Odroid sensors report it).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -329,36 +270,6 @@ mod tests {
             e_little < e_perf,
             "little-cluster configuration should be more energy efficient ({e_little} vs {e_perf})"
         );
-    }
-
-    #[test]
-    fn thermal_model_heats_towards_steady_state_and_throttles() {
-        let thermal = ThermalModel::default();
-        assert_eq!(thermal.steady_state_c(0.0), 25.0);
-        assert!((thermal.steady_state_c(10.0) - 105.0).abs() < 1e-12);
-
-        // Temperature rises monotonically towards (but never beyond) the steady state.
-        let mut t = thermal.ambient_c;
-        let mut previous = t;
-        for _ in 0..50 {
-            t = thermal.step(t, 10.0, 0.25);
-            assert!(t >= previous);
-            assert!(t <= thermal.steady_state_c(10.0) + 1e-9);
-            previous = t;
-        }
-        assert!(t > 95.0, "sustained 10 W should approach 105 C, got {t}");
-        assert!(thermal.is_throttling(t));
-        assert!(!thermal.is_throttling(60.0));
-        assert!(thermal.is_throttling(thermal.throttle_trip_c + 1.0));
-
-        // Cooling works the same way in reverse.
-        let cooled = thermal.step(t, 1.0, 5.0);
-        assert!(cooled < t);
-
-        // Leakage multiplier grows with temperature and is 1 at ambient.
-        assert_eq!(thermal.leakage_multiplier(25.0), 1.0);
-        assert!(thermal.leakage_multiplier(85.0) > 1.2);
-        assert_eq!(thermal.leakage_multiplier(10.0), 1.0);
     }
 
     #[test]

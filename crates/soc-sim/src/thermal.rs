@@ -1,0 +1,393 @@
+//! Lumped-RC thermal model of the SoC package with an optional per-cluster refinement.
+//!
+//! # Package model
+//!
+//! The die is modelled as a single thermal capacitance coupled to ambient through a thermal
+//! resistance `R` (first-order RC). A constant power draw `P` drives the package temperature
+//! `T` towards the steady state
+//!
+//! ```text
+//! T_ss = T_ambient + R · P
+//! ```
+//!
+//! with the exact first-order step over an epoch of duration `Δt`:
+//!
+//! ```text
+//! T' = T + (1 − e^(−Δt/τ)) · (T_ss − T)
+//! ```
+//!
+//! Default constants (Exynos-5422-like): `T_ambient = 25 °C`, `R = 8 °C/W`, `τ = 2 s`.
+//! Two effects feed back into a run: **leakage** grows by `leakage_per_degree` (default
+//! 0.4 %/°C) above ambient, and the Big cluster is **throttled** to
+//! `throttle_big_freq_mhz` (default 1200 MHz) while the package is above
+//! `throttle_trip_c` (default 80 °C).
+//!
+//! # Per-cluster refinement ([`PerClusterThermal`])
+//!
+//! When [`ThermalModel::per_cluster`] is set, each cluster additionally tracks a local
+//! junction temperature riding on top of the die temperature:
+//!
+//! ```text
+//! T_cluster_ss = T_die + R_cluster · P_cluster
+//! ```
+//!
+//! advanced with its own (faster) time constant. Throttling then trips on the *hottest*
+//! junction, latches with a configurable hysteresis band, and can optionally cap the Little
+//! cluster too. The refinement is **off by default** (`per_cluster: None`): with it
+//! disabled, trajectories and throttling decisions are bit-identical to the original lumped
+//! model, which keeps all pre-existing simulation results stable.
+
+use crate::cluster::ClusterParams;
+use crate::config::DrmDecision;
+use serde::{Deserialize, Serialize};
+
+/// First-order RC thermal model of the SoC package.
+///
+/// The Exynos 5422 is famously thermally limited: sustained operation of the A15 cluster at
+/// its top frequencies heats the package past the throttling trip point within seconds.
+/// The model tracks one lumped package temperature, driven by total chip power through a
+/// thermal resistance and a first-order time constant (see the [module docs](self) for the
+/// equations). Per-epoch profiling (as used by the imitation-learning Oracle and the
+/// per-epoch RL reward) does not observe these cross-epoch effects — exactly as on the real
+/// board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient temperature in °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance in °C per watt.
+    pub resistance_c_per_w: f64,
+    /// First-order thermal time constant in seconds.
+    pub time_constant_s: f64,
+    /// Fractional increase of total chip power per °C above ambient (leakage growth).
+    pub leakage_per_degree: f64,
+    /// Package temperature above which the Big cluster is throttled.
+    pub throttle_trip_c: f64,
+    /// Maximum Big-cluster frequency while throttled, in MHz.
+    pub throttle_big_freq_mhz: u32,
+    /// Optional per-cluster junction refinement. `None` (the default) reproduces the
+    /// original lumped behaviour bit for bit.
+    pub per_cluster: Option<PerClusterThermal>,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            ambient_c: 25.0,
+            resistance_c_per_w: 8.0,
+            time_constant_s: 2.0,
+            leakage_per_degree: 0.004,
+            throttle_trip_c: 80.0,
+            throttle_big_freq_mhz: 1200,
+            per_cluster: None,
+        }
+    }
+}
+
+/// Per-cluster refinement of the package model: cluster-local junction temperatures, hottest-
+/// junction throttling with hysteresis, and an optional Little-cluster cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerClusterThermal {
+    /// Junction-to-die thermal resistance of the Big cluster in °C per watt.
+    pub big_resistance_c_per_w: f64,
+    /// Junction-to-die thermal resistance of the Little cluster in °C per watt.
+    pub little_resistance_c_per_w: f64,
+    /// Time constant of the cluster-local hotspots in seconds (much faster than the package).
+    pub cluster_time_constant_s: f64,
+    /// Hysteresis band in °C: once tripped, throttling persists until the hottest junction
+    /// cools below `throttle_trip_c − hysteresis_c`.
+    pub hysteresis_c: f64,
+    /// Whether the Little cluster is also capped while throttling.
+    pub throttle_little: bool,
+    /// Maximum Little-cluster frequency while throttled, in MHz (only used when
+    /// `throttle_little` is set).
+    pub throttle_little_freq_mhz: u32,
+}
+
+impl Default for PerClusterThermal {
+    fn default() -> Self {
+        PerClusterThermal {
+            big_resistance_c_per_w: 2.5,
+            little_resistance_c_per_w: 1.0,
+            cluster_time_constant_s: 0.35,
+            hysteresis_c: 3.0,
+            throttle_little: false,
+            throttle_little_freq_mhz: 1000,
+        }
+    }
+}
+
+/// Instantaneous thermal state carried across decision epochs by the platform runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    /// Lumped die (package) temperature in °C.
+    pub die_c: f64,
+    /// Big-cluster junction temperature in °C (equals `die_c` in lumped mode).
+    pub big_c: f64,
+    /// Little-cluster junction temperature in °C (equals `die_c` in lumped mode).
+    pub little_c: f64,
+    /// Latched throttle flag (only meaningful in per-cluster mode, where trips have
+    /// hysteresis; lumped mode recomputes throttling from `die_c` every epoch).
+    pub throttling: bool,
+}
+
+impl ThermalState {
+    /// The hottest tracked junction in °C.
+    pub fn hottest_c(&self) -> f64 {
+        self.die_c.max(self.big_c).max(self.little_c)
+    }
+}
+
+impl ThermalModel {
+    /// Steady-state package temperature for a constant power draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.resistance_c_per_w * power_w
+    }
+
+    /// Advances the package temperature by `dt_s` seconds at a constant power draw.
+    pub fn step(&self, temperature_c: f64, power_w: f64, dt_s: f64) -> f64 {
+        let target = self.steady_state_c(power_w);
+        let alpha = 1.0 - (-dt_s / self.time_constant_s.max(1e-9)).exp();
+        temperature_c + alpha * (target - temperature_c)
+    }
+
+    /// Multiplier applied to total chip power to account for temperature-dependent leakage.
+    pub fn leakage_multiplier(&self, temperature_c: f64) -> f64 {
+        1.0 + self.leakage_per_degree * (temperature_c - self.ambient_c).max(0.0)
+    }
+
+    /// Returns `true` if the Big cluster must be throttled at this package temperature
+    /// (lumped-mode criterion).
+    pub fn is_throttling(&self, temperature_c: f64) -> bool {
+        temperature_c > self.throttle_trip_c
+    }
+
+    /// The state a cold platform starts from: everything at ambient, not throttling.
+    pub fn initial_state(&self) -> ThermalState {
+        ThermalState {
+            die_c: self.ambient_c,
+            big_c: self.ambient_c,
+            little_c: self.ambient_c,
+            throttling: false,
+        }
+    }
+
+    /// Advances the thermal state across one epoch of duration `dt_s` during which the
+    /// clusters drew `big_w`/`little_w` and the whole chip drew `total_w` watts.
+    ///
+    /// In lumped mode (`per_cluster: None`) this is exactly [`step`](Self::step) applied to
+    /// the die temperature, with the cluster junctions mirroring the die. In per-cluster
+    /// mode each junction relaxes towards `die + R_cluster · P_cluster` with the cluster
+    /// time constant, and the latched throttle flag is updated with hysteresis on the
+    /// hottest junction.
+    pub fn advance(
+        &self,
+        state: &ThermalState,
+        big_w: f64,
+        little_w: f64,
+        total_w: f64,
+        dt_s: f64,
+    ) -> ThermalState {
+        let die_c = self.step(state.die_c, total_w, dt_s);
+        match &self.per_cluster {
+            None => ThermalState {
+                die_c,
+                big_c: die_c,
+                little_c: die_c,
+                throttling: self.is_throttling(die_c),
+            },
+            Some(pc) => {
+                let alpha = 1.0 - (-dt_s / pc.cluster_time_constant_s.max(1e-9)).exp();
+                let big_target = die_c + pc.big_resistance_c_per_w * big_w;
+                let little_target = die_c + pc.little_resistance_c_per_w * little_w;
+                let big_c = state.big_c + alpha * (big_target - state.big_c);
+                let little_c = state.little_c + alpha * (little_target - state.little_c);
+                let hottest = die_c.max(big_c).max(little_c);
+                let throttling = if hottest > self.throttle_trip_c {
+                    true
+                } else if hottest < self.throttle_trip_c - pc.hysteresis_c.max(0.0) {
+                    false
+                } else {
+                    state.throttling
+                };
+                ThermalState {
+                    die_c,
+                    big_c,
+                    little_c,
+                    throttling,
+                }
+            }
+        }
+    }
+
+    /// Whether the next epoch must run throttled, given the state at the epoch boundary.
+    pub fn throttles(&self, state: &ThermalState) -> bool {
+        match &self.per_cluster {
+            None => self.is_throttling(state.die_c),
+            Some(_) => state.throttling,
+        }
+    }
+
+    /// Applies the throttle caps to a requested decision (identity when not throttling).
+    ///
+    /// The Big cluster is clamped to the nearest supported frequency at or near
+    /// `throttle_big_freq_mhz`; in per-cluster mode with `throttle_little` set, the Little
+    /// cluster is clamped analogously.
+    pub fn cap_decision(
+        &self,
+        throttling: bool,
+        requested: &DrmDecision,
+        big: &ClusterParams,
+        little: &ClusterParams,
+    ) -> DrmDecision {
+        if !throttling {
+            return *requested;
+        }
+        let mut decision = *requested;
+        if decision.big_freq_mhz > self.throttle_big_freq_mhz {
+            decision.big_freq_mhz = big.nearest_frequency(self.throttle_big_freq_mhz);
+        }
+        if let Some(pc) = &self.per_cluster {
+            if pc.throttle_little && decision.little_freq_mhz > pc.throttle_little_freq_mhz {
+                decision.little_freq_mhz = little.nearest_frequency(pc.throttle_little_freq_mhz);
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_model_heats_towards_steady_state_and_throttles() {
+        let thermal = ThermalModel::default();
+        assert_eq!(thermal.steady_state_c(0.0), 25.0);
+        assert!((thermal.steady_state_c(10.0) - 105.0).abs() < 1e-12);
+
+        // Temperature rises monotonically towards (but never beyond) the steady state.
+        let mut t = thermal.ambient_c;
+        let mut previous = t;
+        for _ in 0..50 {
+            t = thermal.step(t, 10.0, 0.25);
+            assert!(t >= previous);
+            assert!(t <= thermal.steady_state_c(10.0) + 1e-9);
+            previous = t;
+        }
+        assert!(t > 95.0, "sustained 10 W should approach 105 C, got {t}");
+        assert!(thermal.is_throttling(t));
+        assert!(!thermal.is_throttling(60.0));
+        assert!(thermal.is_throttling(thermal.throttle_trip_c + 1.0));
+
+        // Cooling works the same way in reverse.
+        let cooled = thermal.step(t, 1.0, 5.0);
+        assert!(cooled < t);
+
+        // Leakage multiplier grows with temperature and is 1 at ambient.
+        assert_eq!(thermal.leakage_multiplier(25.0), 1.0);
+        assert!(thermal.leakage_multiplier(85.0) > 1.2);
+        assert_eq!(thermal.leakage_multiplier(10.0), 1.0);
+    }
+
+    #[test]
+    fn lumped_advance_matches_plain_step_exactly() {
+        let thermal = ThermalModel::default();
+        let mut state = thermal.initial_state();
+        let mut reference = thermal.ambient_c;
+        for i in 0..40 {
+            let p = 3.0 + (i % 5) as f64;
+            state = thermal.advance(&state, 0.7 * p, 0.1 * p, p, 0.2);
+            reference = thermal.step(reference, p, 0.2);
+            assert_eq!(
+                state.die_c, reference,
+                "lumped advance must be bit-identical"
+            );
+            assert_eq!(state.big_c, state.die_c);
+            assert_eq!(state.little_c, state.die_c);
+            assert_eq!(state.throttling, thermal.is_throttling(reference));
+        }
+    }
+
+    #[test]
+    fn per_cluster_junctions_ride_above_the_die_and_latch_with_hysteresis() {
+        let thermal = ThermalModel {
+            per_cluster: Some(PerClusterThermal {
+                hysteresis_c: 5.0,
+                ..PerClusterThermal::default()
+            }),
+            ..ThermalModel::default()
+        };
+        let mut state = thermal.initial_state();
+        // Heat up with a Big-heavy power split: the Big junction must lead the die.
+        for _ in 0..200 {
+            state = thermal.advance(&state, 6.0, 0.3, 8.0, 0.25);
+        }
+        assert!(
+            state.big_c > state.die_c + 5.0,
+            "big junction should run hot"
+        );
+        assert!(state.little_c > state.die_c && state.little_c < state.big_c);
+        assert!(state.throttling, "sustained 8 W must trip the throttle");
+        assert!(thermal.throttles(&state));
+
+        // Cool until just inside the hysteresis band: still latched.
+        let mut cooling = state;
+        while cooling.hottest_c() > thermal.throttle_trip_c - 1.0 {
+            cooling = thermal.advance(&cooling, 0.1, 0.05, 0.3, 0.25);
+        }
+        assert!(
+            cooling.throttling,
+            "within the hysteresis band the latch must hold"
+        );
+        // Cool past the band: released.
+        while cooling.hottest_c() > thermal.throttle_trip_c - 5.5 {
+            cooling = thermal.advance(&cooling, 0.1, 0.05, 0.3, 0.25);
+        }
+        assert!(
+            !cooling.throttling,
+            "below trip - hysteresis the latch opens"
+        );
+    }
+
+    #[test]
+    fn cap_decision_clamps_only_what_throttling_demands() {
+        let big = ClusterParams::exynos5422_big();
+        let little = ClusterParams::exynos5422_little();
+        let requested = DrmDecision {
+            big_cores: 4,
+            little_cores: 4,
+            big_freq_mhz: 2000,
+            little_freq_mhz: 1400,
+        };
+        let lumped = ThermalModel::default();
+        assert_eq!(
+            lumped.cap_decision(false, &requested, &big, &little),
+            requested
+        );
+        let capped = lumped.cap_decision(true, &requested, &big, &little);
+        assert_eq!(capped.big_freq_mhz, 1200);
+        assert_eq!(
+            capped.little_freq_mhz, 1400,
+            "lumped mode never caps Little"
+        );
+
+        let both = ThermalModel {
+            per_cluster: Some(PerClusterThermal {
+                throttle_little: true,
+                throttle_little_freq_mhz: 800,
+                ..PerClusterThermal::default()
+            }),
+            ..ThermalModel::default()
+        };
+        let capped = both.cap_decision(true, &requested, &big, &little);
+        assert_eq!(capped.big_freq_mhz, 1200);
+        assert_eq!(capped.little_freq_mhz, 800);
+        // Requests already below the caps pass through untouched.
+        let modest = DrmDecision {
+            big_freq_mhz: 1000,
+            little_freq_mhz: 600,
+            ..requested
+        };
+        assert_eq!(both.cap_decision(true, &modest, &big, &little), modest);
+    }
+}

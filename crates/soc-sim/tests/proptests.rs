@@ -3,9 +3,21 @@
 use proptest::prelude::*;
 use soc_sim::cluster::ClusterParams;
 use soc_sim::config::{DecisionSpace, DrmDecision};
+use soc_sim::counters::CounterSnapshot;
 use soc_sim::perf::PerfModel;
+use soc_sim::platform::{DrmController, Platform};
 use soc_sim::power::{PowerModel, ThermalModel};
-use soc_sim::workload::PhaseSpec;
+use soc_sim::scenario::{self, Scenario};
+use soc_sim::workload::{ApplicationBuilder, PhaseSpec};
+
+/// A controller pinning one fixed decision (test helper).
+struct Fixed(DrmDecision);
+
+impl DrmController for Fixed {
+    fn decide(&mut self, _: &CounterSnapshot, _: &DrmDecision) -> DrmDecision {
+        self.0
+    }
+}
 
 /// Strategy producing an arbitrary valid decision of the Exynos 5422 space.
 fn decision_strategy() -> impl Strategy<Value = DrmDecision> {
@@ -105,6 +117,137 @@ proptest! {
         let energy = power.epoch_energy(&big, &little, &d, &phase, &perf);
         prop_assert!((energy - breakdown.total_w() * perf.time_s).abs() < 1e-9);
         prop_assert!(breakdown.total_w() > 0.0);
+    }
+
+    #[test]
+    fn power_and_energy_are_nonnegative_and_monotone_in_frequency_at_fixed_work(
+        phase in phase_strategy(),
+        cores in 1u8..=4,
+        util in 0.0f64..=1.0,
+        level in 0usize..18,
+    ) {
+        // Cluster power at a fixed utilization and core count never decreases when only the
+        // frequency (and its rail voltage) rises.
+        let big = ClusterParams::exynos5422_big();
+        let power = PowerModel::default();
+        let lo_mhz = big.opp_at_level(level).frequency_mhz;
+        let hi_mhz = big.opp_at_level(level + 1).frequency_mhz;
+        let p_lo = power.cluster_power(&big, lo_mhz, cores, util);
+        let p_hi = power.cluster_power(&big, hi_mhz, cores, util);
+        prop_assert!(p_lo >= 0.0 && p_hi >= 0.0);
+        prop_assert!(p_hi + 1e-12 >= p_lo, "power fell from {p_lo} to {p_hi} W");
+
+        // Whole-epoch energy for the same fixed work is non-negative at every frequency.
+        let little = ClusterParams::exynos5422_little();
+        let space = DecisionSpace::exynos5422();
+        let d = space.decision_from_knob_indices([cores as usize, 2, level, 6]);
+        let perf = PerfModel::default().run_epoch(&big, &little, &d, &phase);
+        let energy = power.epoch_energy(&big, &little, &d, &phase, &perf);
+        prop_assert!(energy >= 0.0 && energy.is_finite());
+    }
+
+    #[test]
+    fn counters_conserve_instructions_across_epochs(
+        d in decision_strategy(),
+        epochs in 3usize..20,
+        seed in 0u64..1000,
+    ) {
+        // Whatever the configuration, noise seed or thermal trajectory, the retired
+        // instructions reported by the per-epoch counters sum to exactly the work the
+        // application carried in.
+        let platform = Platform::odroid_xu3();
+        let app = ApplicationBuilder::new("conserve")
+            .phase(PhaseSpec {
+                name: "p".into(),
+                instructions: 60e6,
+                parallel_fraction: 0.5,
+                memory_refs_per_instr: 0.25,
+                l2_miss_rate: 0.04,
+                branch_fraction: 0.1,
+                branch_miss_rate: 0.05,
+                ilp_scale: 0.85,
+            }, epochs)
+            .jitter(0.2)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let run = platform.run_application(&app, &mut Fixed(d), seed).unwrap();
+        let retired: f64 = run.epochs.iter().map(|e| e.counters.instructions_retired).sum();
+        let carried = app.total_instructions();
+        prop_assert!(
+            (retired - carried).abs() / carried < 1e-9,
+            "counters retired {retired} of {carried} instructions"
+        );
+    }
+
+    #[test]
+    fn thermal_trajectory_stays_bounded_and_respects_the_throttle_cap(
+        level in 10usize..19,
+        epochs in 20usize..60,
+        seed in 0u64..100,
+    ) {
+        // Run a hot fixed configuration end to end: the recorded temperature may never
+        // exceed the steady state of the hottest observed power draw, and any epoch that
+        // starts throttled must run at or below the Big throttle ceiling.
+        let platform = Platform::odroid_xu3();
+        let thermal = *platform.spec().thermal_model();
+        let space = platform.spec().decision_space().clone();
+        let d = space.decision_from_knob_indices([4, 3, level, 12]);
+        let app = ApplicationBuilder::new("hot")
+            .phase(PhaseSpec {
+                name: "burn".into(),
+                instructions: 120e6,
+                parallel_fraction: 0.9,
+                memory_refs_per_instr: 0.1,
+                l2_miss_rate: 0.01,
+                branch_fraction: 0.05,
+                branch_miss_rate: 0.02,
+                ilp_scale: 0.95,
+            }, epochs)
+            .jitter(0.05)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let run = platform.run_application(&app, &mut Fixed(d), seed).unwrap();
+        let max_power = run.epochs.iter().map(|e| e.power_w).fold(0.0, f64::max);
+        let ceiling = thermal.steady_state_c(max_power) + 1e-9;
+        prop_assert!(run.peak_temperature_c <= ceiling);
+        prop_assert!(run.peak_temperature_c >= thermal.ambient_c);
+        let mut previous_temp = thermal.ambient_c;
+        for epoch in &run.epochs {
+            prop_assert!(epoch.temperature_c <= ceiling && epoch.temperature_c.is_finite());
+            if thermal.is_throttling(previous_temp) {
+                prop_assert!(
+                    epoch.decision.big_freq_mhz <= thermal.throttle_big_freq_mhz,
+                    "epoch starting at {previous_temp} C ran the Big cluster at {} MHz",
+                    epoch.decision.big_freq_mhz
+                );
+            }
+            previous_temp = epoch.temperature_c;
+        }
+    }
+
+    #[test]
+    fn scenario_serde_round_trip_is_lossless(
+        index in 0usize..14,
+        thermal_limit in 30.0f64..120.0,
+        power_budget in 0.05f64..8.0,
+        deadline in 0.5f64..60.0,
+        weight in 0.0f64..10.0,
+        mask in 0u8..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Start from a registered scenario, scramble every constraint and the workload seed
+        // with arbitrary floats/ints, and demand bit-exact JSON round-tripping.
+        let registry = scenario::registry();
+        let mut s = registry[index % registry.len()].clone();
+        s.constraints.thermal_limit_c = (mask & 1 != 0).then_some(thermal_limit);
+        s.constraints.power_budget_w = (mask & 2 != 0).then_some(power_budget);
+        s.constraints.deadline_s = (mask & 4 != 0).then_some(deadline);
+        s.constraints.penalty_weight = weight;
+        s.workload.seed = seed;
+        let back = Scenario::from_json(&s.to_json()).expect("round-trip parses");
+        prop_assert_eq!(back, s);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use moo::hypervolume::{common_reference_point, hypervolume};
 use parmis::evaluation::SocEvaluator;
 use parmis::framework::Parmis;
 use parmis::objective::Objective;
-use parmis_repro::{example_parmis_config, example_sweep_config};
+use parmis_repro::{example_parmis_config, example_sweep_config, sized};
 use soc_sim::apps::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // PaRMIS front.
     let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.clone());
-    let outcome = Parmis::new(example_parmis_config(30, 11)).run(&evaluator)?;
+    let outcome = Parmis::new(example_parmis_config(sized(30, 8), 11)).run(&evaluator)?;
     let parmis_points = outcome.front.objective_values();
     println!("PaRMIS found {} Pareto policies", parmis_points.len());
 

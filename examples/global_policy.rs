@@ -10,11 +10,12 @@ use moo::ParetoFront;
 use parmis::evaluation::{GlobalEvaluator, PolicyEvaluator, SocEvaluator};
 use parmis::framework::Parmis;
 use parmis::objective::Objective;
-use parmis_repro::example_parmis_config;
+use parmis_repro::{example_parmis_config, quick_mode, sized};
 use soc_sim::apps::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let benchmarks = [Benchmark::Sha, Benchmark::Kmeans, Benchmark::StringSearch];
+    let all = [Benchmark::Sha, Benchmark::Kmeans, Benchmark::StringSearch];
+    let benchmarks = if quick_mode() { &all[..2] } else { &all[..] };
     let objectives = Objective::TIME_ENERGY.to_vec();
     println!(
         "training one global policy set over: {}",
@@ -26,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // One search over the whole application set.
-    let global = GlobalEvaluator::for_benchmarks(&benchmarks, objectives.clone());
-    let global_outcome = Parmis::new(example_parmis_config(26, 31)).run(&global)?;
+    let global = GlobalEvaluator::for_benchmarks(benchmarks, objectives.clone());
+    let global_outcome = Parmis::new(example_parmis_config(sized(26, 6), 31)).run(&global)?;
     println!(
         "global search: {} evaluations, {} Pareto policies (dimension d = {})",
         global_outcome.history.len(),
@@ -35,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         global.parameter_dim()
     );
 
-    for benchmark in benchmarks {
+    for &benchmark in benchmarks {
         // Score every global Pareto policy on this application.
         let mut per_app_front = ParetoFront::new(2);
         for theta in global_outcome.front.tags() {
@@ -46,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Application-specific search with the same budget, for reference.
         let app_eval = SocEvaluator::for_benchmark(benchmark, objectives.clone());
-        let app_outcome = Parmis::new(example_parmis_config(26, 37)).run(&app_eval)?;
+        let app_outcome = Parmis::new(example_parmis_config(sized(26, 6), 37)).run(&app_eval)?;
         let app_points = app_outcome.front.objective_values();
 
         let reference = common_reference_point(&[&global_points, &app_points], 0.05);

@@ -6,6 +6,7 @@
 //! cargo run --release --example governor_comparison
 //! ```
 
+use parmis_repro::quick_mode;
 use soc_sim::apps::Benchmark;
 use soc_sim::config::DrmDecision;
 use soc_sim::governor::{default_governors, UserspaceGovernor};
@@ -18,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "benchmark", "governor", "time [s]", "energy [J]", "power [W]", "PPW"
     );
 
-    for benchmark in Benchmark::ALL {
+    let benchmarks: &[Benchmark] = if quick_mode() {
+        &Benchmark::ALL[..3]
+    } else {
+        &Benchmark::ALL[..]
+    };
+    for &benchmark in benchmarks {
         let app = benchmark.application();
         // The four kernel governors...
         for mut governor in default_governors(platform.spec()) {

@@ -8,7 +8,7 @@
 use parmis::evaluation::SocEvaluator;
 use parmis::framework::Parmis;
 use parmis::objective::{reporting_vector, Objective};
-use parmis_repro::example_parmis_config;
+use parmis_repro::{example_parmis_config, sized};
 use soc_sim::apps::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("optimizing (execution time, PPW) for {}", benchmark);
 
     let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.clone());
-    let outcome = Parmis::new(example_parmis_config(30, 21)).run(&evaluator)?;
+    let outcome = Parmis::new(example_parmis_config(sized(30, 8), 21)).run(&evaluator)?;
 
     println!(
         "\n{} Pareto-frontier policies (from {} evaluations):",

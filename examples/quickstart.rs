@@ -8,7 +8,7 @@
 use parmis::evaluation::SocEvaluator;
 use parmis::framework::Parmis;
 use parmis::objective::Objective;
-use parmis_repro::example_parmis_config;
+use parmis_repro::{example_parmis_config, sized};
 use soc_sim::apps::Benchmark;
 use soc_sim::platform::Platform;
 
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Offline phase: run the information-theoretic search for Pareto-frontier policies.
     let evaluator = SocEvaluator::for_benchmark(benchmark, objectives);
-    let outcome = Parmis::new(example_parmis_config(30, 7)).run(&evaluator)?;
+    let outcome = Parmis::new(example_parmis_config(sized(30, 8), 7)).run(&evaluator)?;
     println!(
         "evaluated {} candidate policies, found {} Pareto-frontier policies (PHV {:.3})",
         outcome.history.len(),

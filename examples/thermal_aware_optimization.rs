@@ -1,0 +1,65 @@
+//! Thermal-aware optimization: run PaRMIS on a registered thermal scenario, trading
+//! execution time against peak junction temperature under the scenario's constraint
+//! penalty — the scenario-engine workflow end to end (registry lookup, JSON round-trip,
+//! constraint-scoped objectives).
+//!
+//! ```text
+//! cargo run --release --example thermal_aware_optimization
+//! ```
+
+use parmis::evaluation::SocEvaluator;
+use parmis::framework::Parmis;
+use parmis::objective::Objective;
+use parmis_repro::{example_parmis_config, sized};
+use soc_sim::scenario::{self, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick the thermally limited scenario from the registry; a real deployment could
+    //    load the same definition from a JSON file instead (the two are interchangeable).
+    let scenario = scenario::by_name("odroid-pca-thermal").expect("registered scenario");
+    let reloaded = Scenario::from_json(&scenario.to_json())?;
+    assert_eq!(reloaded, scenario, "scenario JSON round-trip is lossless");
+    println!(
+        "scenario {}: {} (thermal limit {:?} C)",
+        scenario.name, scenario.description, scenario.constraints.thermal_limit_c
+    );
+
+    // 2. Offline phase: optimize (execution time, peak temperature) with the scenario's
+    //    thermal-violation penalty steering the search towards compliant policies.
+    let objectives = Objective::TIME_PEAK_TEMP.to_vec();
+    let evaluator = SocEvaluator::for_scenario(&scenario, objectives)?;
+    let outcome = Parmis::new(example_parmis_config(sized(30, 8), 41)).run(&evaluator)?;
+    println!(
+        "evaluated {} policies, kept {} on the Pareto front (PHV {:.3})",
+        outcome.history.len(),
+        outcome.front.len(),
+        outcome.final_phv()
+    );
+
+    // 3. Re-run every front policy and report which ones actually satisfy the limit.
+    let platform = scenario.platform();
+    let app = scenario.application()?;
+    let limit = scenario
+        .constraints
+        .thermal_limit_c
+        .unwrap_or(f64::INFINITY);
+    let mut compliant = 0usize;
+    println!("{:>10} {:>12} {:>10}", "time [s]", "peak T [C]", "ok?");
+    for theta in outcome.front.tags() {
+        let mut policy = evaluator.policy_for(theta).with_name("thermal-aware");
+        let run = platform.run_application(&app, &mut policy, 123)?;
+        let ok = scenario.constraints.is_satisfied(&run);
+        compliant += usize::from(ok);
+        println!(
+            "{:>10.2} {:>12.1} {:>10}",
+            run.execution_time_s,
+            run.peak_temperature_c,
+            if ok { "yes" } else { "VIOLATES" }
+        );
+    }
+    println!(
+        "\n{compliant}/{} front policies respect the {limit:.0} C limit",
+        outcome.front.len()
+    );
+    Ok(())
+}

@@ -13,6 +13,26 @@ use parmis::acquisition::AcquisitionOptimizerConfig;
 use parmis::framework::ParmisConfig;
 use parmis::pareto_sampling::ParetoSamplingConfig;
 
+/// `true` when `PARMIS_QUICK` is set to anything but `0`.
+///
+/// The examples-smoke test suite (`tests/examples_smoke.rs`) sets the variable so every
+/// example binary finishes in seconds; interactive runs keep the full budgets.
+pub fn quick_mode() -> bool {
+    std::env::var("PARMIS_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Picks `full` normally and `quick` under [`quick_mode`] — the one-liner the examples use
+/// to shrink their iteration budgets for smoke testing.
+pub fn sized(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
 /// A PaRMIS configuration sized for interactive examples and integration tests: it finishes
 /// in seconds while still showing model-guided improvement over the initial random design.
 pub fn example_parmis_config(max_iterations: usize, seed: u64) -> ParmisConfig {
@@ -40,19 +60,21 @@ pub fn example_parmis_config(max_iterations: usize, seed: u64) -> ParmisConfig {
     }
 }
 
-/// A baseline sweep configuration sized for examples: three scalarizations, short training.
+/// A baseline sweep configuration sized for examples: three scalarizations, short training
+/// (two scalarizations and minimal training under [`quick_mode`]).
 pub fn example_sweep_config(seed: u64) -> baselines::sweep::SweepConfig {
+    let quick = quick_mode();
     baselines::sweep::SweepConfig {
-        weight_count: 3,
+        weight_count: if quick { 2 } else { 3 },
         rl: baselines::RlConfig {
-            episodes: 6,
+            episodes: if quick { 2 } else { 6 },
             seed,
             ..Default::default()
         },
         il: baselines::IlConfig {
-            oracle_stride: 61,
+            oracle_stride: if quick { 247 } else { 61 },
             training: policy::training::TrainingConfig {
-                epochs: 20,
+                epochs: if quick { 5 } else { 20 },
                 learning_rate: 0.06,
                 seed,
             },

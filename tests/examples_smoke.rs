@@ -1,0 +1,63 @@
+//! Smoke test for every `examples/` binary: each one is built and run with `PARMIS_QUICK=1`
+//! (which every example honours by shrinking its iteration budgets), so examples can no
+//! longer silently rot while the library moves on. The list below is cross-checked against
+//! the `examples/` directory, so adding an example without wiring it in here fails too.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "governor_comparison",
+    "energy_performance_tradeoff",
+    "ppw_optimization",
+    "global_policy",
+    "thermal_aware_optimization",
+];
+
+#[test]
+fn example_list_is_complete() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk,
+        listed,
+        "examples/ and the smoke-test list diverged; update EXAMPLES in {}",
+        file!()
+    );
+}
+
+#[test]
+fn every_example_runs_under_quick_budgets() {
+    // `cargo test` sets CARGO to the toolchain binary driving this build; running the
+    // examples through it reuses the already-built debug artifacts.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for name in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .env("PARMIS_QUICK", "1")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {name} produced no output"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-scenario golden regression suite.
+//!
+//! Every registered scenario runs under all four stock governors for its (short) horizon,
+//! and the resulting (execution time, energy, peak temperature) tuples are compared against
+//! the committed goldens in `tests/goldens/scenario_matrix.json`. Any change to the
+//! simulator's physics, the governors, the workload generators or the platform presets that
+//! shifts an observable shows up here as a concrete per-cell diff.
+//!
+//! Regenerating after an *intentional* model change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test scenario_matrix
+//! ```
+//!
+//! then commit the refreshed JSON together with the change. On mismatch the suite writes
+//! the full diff to `target/scenario-matrix-diff.json` (uploaded as a CI artifact) before
+//! failing, so triage never requires rerunning locally.
+
+use bench::harness::{run_scenario_matrix, ScenarioCell};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+
+/// The snapshot of one (scenario, governor) cell committed to the goldens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenCell {
+    scenario: String,
+    governor: String,
+    execution_time_s: f64,
+    energy_j: f64,
+    peak_temperature_c: f64,
+}
+
+impl From<&ScenarioCell> for GoldenCell {
+    fn from(cell: &ScenarioCell) -> Self {
+        GoldenCell {
+            scenario: cell.scenario.clone(),
+            governor: cell.governor.clone(),
+            execution_time_s: cell.execution_time_s,
+            energy_j: cell.energy_j,
+            peak_temperature_c: cell.peak_temperature_c,
+        }
+    }
+}
+
+/// One observed divergence, written to the diff artifact.
+#[derive(Debug, Serialize)]
+struct GoldenDiff {
+    scenario: String,
+    governor: String,
+    field: String,
+    golden: f64,
+    actual: f64,
+    relative_error: f64,
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("scenario_matrix.json")
+}
+
+fn diff_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("scenario-matrix-diff.json")
+}
+
+/// Relative tolerance: results are deterministic, but `exp`/`sin` may differ by an ulp or
+/// two across libm builds, so demand agreement to one part in a million rather than bits.
+const REL_TOL: f64 = 1e-6;
+
+fn rel_err(golden: f64, actual: f64) -> f64 {
+    (actual - golden).abs() / golden.abs().max(1e-12)
+}
+
+#[test]
+fn scenario_matrix_matches_committed_goldens() {
+    let cells = run_scenario_matrix(&soc_sim::scenario::registry())
+        .expect("every registered scenario must run under every stock governor");
+    let actual: Vec<GoldenCell> = cells.iter().map(GoldenCell::from).collect();
+    assert!(
+        actual.len() >= 12 * 4,
+        "expected >=12 scenarios x 4 governors, got {} cells",
+        actual.len()
+    );
+
+    if std::env::var("UPDATE_GOLDENS")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        let json = serde_json::to_string_pretty(&actual).expect("golden cells serialize");
+        fs::create_dir_all(golden_path().parent().unwrap()).expect("create goldens dir");
+        fs::write(golden_path(), json + "\n").expect("write goldens");
+        println!(
+            "regenerated {} with {} cells",
+            golden_path().display(),
+            actual.len()
+        );
+        return;
+    }
+
+    let text = fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing goldens ({e}); run `UPDATE_GOLDENS=1 cargo test --test scenario_matrix` \
+             and commit {}",
+            golden_path().display()
+        )
+    });
+    let golden: Vec<GoldenCell> = serde_json::from_str(&text).expect("goldens parse");
+
+    let mut diffs: Vec<GoldenDiff> = Vec::new();
+    if golden.len() != actual.len() {
+        diffs.push(GoldenDiff {
+            scenario: "<matrix>".into(),
+            governor: "<shape>".into(),
+            field: "cell_count".into(),
+            golden: golden.len() as f64,
+            actual: actual.len() as f64,
+            relative_error: f64::INFINITY,
+        });
+    }
+    for (g, a) in golden.iter().zip(&actual) {
+        if g.scenario != a.scenario || g.governor != a.governor {
+            diffs.push(GoldenDiff {
+                scenario: a.scenario.clone(),
+                governor: a.governor.clone(),
+                field: format!("cell order (golden has {}/{})", g.scenario, g.governor),
+                golden: f64::NAN,
+                actual: f64::NAN,
+                relative_error: f64::INFINITY,
+            });
+            continue;
+        }
+        for (field, gv, av) in [
+            ("execution_time_s", g.execution_time_s, a.execution_time_s),
+            ("energy_j", g.energy_j, a.energy_j),
+            (
+                "peak_temperature_c",
+                g.peak_temperature_c,
+                a.peak_temperature_c,
+            ),
+        ] {
+            let relative_error = rel_err(gv, av);
+            if relative_error > REL_TOL {
+                diffs.push(GoldenDiff {
+                    scenario: g.scenario.clone(),
+                    governor: g.governor.clone(),
+                    field: field.to_string(),
+                    golden: gv,
+                    actual: av,
+                    relative_error,
+                });
+            }
+        }
+    }
+
+    if !diffs.is_empty() {
+        // NaN placeholders cannot be serialized by the vendored serde_json; strip them to 0.
+        for d in diffs.iter_mut() {
+            if d.golden.is_nan() {
+                d.golden = 0.0;
+                d.actual = 0.0;
+            }
+            if d.relative_error.is_infinite() {
+                d.relative_error = f64::MAX;
+            }
+        }
+        if let Ok(json) = serde_json::to_string_pretty(&diffs) {
+            let _ = fs::create_dir_all(diff_path().parent().unwrap());
+            let _ = fs::write(diff_path(), json);
+        }
+        panic!(
+            "{} scenario-matrix cell(s) diverged from the goldens (full diff at {}); first: \
+             {} under {} field {} golden {} actual {}. If the change is intentional, \
+             regenerate with UPDATE_GOLDENS=1.",
+            diffs.len(),
+            diff_path().display(),
+            diffs[0].scenario,
+            diffs[0].governor,
+            diffs[0].field,
+            diffs[0].golden,
+            diffs[0].actual,
+        );
+    }
+}
+
+#[test]
+fn goldens_cover_every_registered_scenario() {
+    if !golden_path().exists() {
+        // First generation happens via UPDATE_GOLDENS in the test above.
+        return;
+    }
+    let text = fs::read_to_string(golden_path()).expect("read goldens");
+    let golden: Vec<GoldenCell> = serde_json::from_str(&text).expect("goldens parse");
+    for scenario in soc_sim::scenario::names() {
+        let rows = golden.iter().filter(|c| c.scenario == scenario).count();
+        assert_eq!(
+            rows, 4,
+            "scenario {scenario} must have one golden cell per stock governor \
+             (regenerate with UPDATE_GOLDENS=1)"
+        );
+    }
+}

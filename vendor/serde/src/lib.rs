@@ -2,9 +2,10 @@
 //!
 //! The build environment has no crates.io access, so this crate provides the minimal
 //! serialization machinery the workspace needs: a [`Value`] tree, a [`Serialize`] trait that
-//! lowers any supported type into it, a [`Deserialize`] marker trait, and `derive` macros for
-//! both (re-exported from the companion `serde_derive` proc-macro crate). The vendored
-//! `serde_json` crate renders [`Value`] trees as JSON text.
+//! lowers any supported type into it, a [`Deserialize`] trait that lifts a [`Value`] tree
+//! back into a typed value, and `derive` macros for both (re-exported from the companion
+//! `serde_derive` proc-macro crate). The vendored `serde_json` crate renders [`Value`] trees
+//! as JSON text and parses JSON text back into them.
 //!
 //! Supported derive input is deliberately narrow — structs with named fields and enums with
 //! unit variants — which covers every derive in this repository.
@@ -39,17 +40,158 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short human-readable name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Returns the value stored under `key` if `self` is an object containing it, and
+    /// [`Value::Null`] otherwise. Missing fields therefore deserialize like explicit `null`s,
+    /// which is what lets `Option` fields be omitted from JSON documents.
+    pub fn field(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
 /// Types that can lower themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Produces the [`Value`] representation of `self`.
     fn to_json_value(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`.
-///
-/// Nothing in the workspace deserializes at run time yet; the derive exists so that shared
-/// model types can keep their upstream-compatible `#[derive(Serialize, Deserialize)]` spelling.
-pub trait Deserialize: Sized {}
+/// Error produced when a [`Value`] tree does not match the shape a type expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// Creates a type-mismatch error naming what was expected and what was found.
+    pub fn unexpected(expected: &str, found: &Value) -> Self {
+        DeError(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// Wraps the error with the struct field it occurred in.
+    pub fn in_field(self, type_name: &str, field: &str) -> Self {
+        DeError(format!("{type_name}.{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can reconstruct themselves from a [`Value`] tree (the stub's analogue of
+/// upstream `serde::Deserialize`, with [`Value`] playing the role of the data format).
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`], validating shape and numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if the value's shape or range does not match `Self`.
+    fn from_json_value(value: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, DeError> {
+                let (i, u) = match value {
+                    Value::Int(i) => (Some(*i), None),
+                    Value::UInt(u) => (None, Some(*u)),
+                    other => return Err(DeError::unexpected(stringify!($t), other)),
+                };
+                if let Some(i) = i {
+                    <$t>::try_from(i)
+                        .map_err(|_| DeError::new(format!("{i} out of range for {}", stringify!($t))))
+                } else {
+                    let u = u.expect("one of the two is set");
+                    <$t>::try_from(u)
+                        .map_err(|_| DeError::new(format!("{u} out of range for {}", stringify!($t))))
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(value).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::unexpected("array", other)),
+        }
+    }
+}
 
 macro_rules! impl_serialize_int {
     ($($t:ty),*) => {$(
@@ -219,5 +361,64 @@ mod tests {
         );
         fn assert_deserialize<T: Deserialize>() {}
         assert_deserialize::<Report>();
+    }
+
+    #[test]
+    fn derived_types_round_trip_through_value() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Kind {
+            Big,
+            Little,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Report {
+            name: String,
+            kind: Kind,
+            count: u32,
+            offset: i16,
+            scale: Option<f64>,
+            values: Vec<f64>,
+        }
+
+        let report = Report {
+            name: "qsort".into(),
+            kind: Kind::Little,
+            count: 7,
+            offset: -3,
+            scale: None,
+            values: vec![1.5, -2.25],
+        };
+        let back = Report::from_json_value(&report.to_json_value()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn deserialization_reports_shape_and_range_errors() {
+        assert!(u8::from_json_value(&Value::Int(300)).is_err());
+        assert!(u8::from_json_value(&Value::Int(-1)).is_err());
+        assert_eq!(u8::from_json_value(&Value::UInt(255)), Ok(255));
+        assert_eq!(i64::from_json_value(&Value::UInt(9)), Ok(9));
+        assert_eq!(f64::from_json_value(&Value::Int(-2)), Ok(-2.0));
+        assert!(String::from_json_value(&Value::Bool(true)).is_err());
+        assert_eq!(Option::<u8>::from_json_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u8>::from_json_value(&Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+            Ok(vec![1, 2])
+        );
+        let err = String::from_json_value(&Value::Null)
+            .unwrap_err()
+            .in_field("Report", "name");
+        assert!(err.to_string().contains("Report.name"));
+    }
+
+    #[test]
+    fn field_lookup_treats_missing_keys_as_null() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(obj.field("a"), &Value::UInt(1));
+        assert_eq!(obj.field("b"), &Value::Null);
+        assert_eq!(Value::Bool(true).field("a"), &Value::Null);
+        assert_eq!(Value::Null.kind(), "null");
+        assert_eq!(Value::Float(1.0).kind(), "float");
     }
 }

@@ -194,13 +194,57 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("generated impl parses")
 }
 
-/// Derives the stub `serde::Deserialize` marker.
+/// Derives the stub `serde::Deserialize` (lifting out of `serde::Value`).
+///
+/// Structs deserialize from objects field by field; fields absent from the object see
+/// `Value::Null`, so `Option` fields may be omitted while any other missing field is a type
+/// error naming the field. Unit enums deserialize from their variant-name string.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_input(input) {
         Err(e) => return compile_error(&e),
-        Ok(Input::Struct { name, .. }) | Ok(Input::Enum { name, .. }) => {
-            format!("impl ::serde::Deserialize for {name} {{}}")
+        Ok(Input::Struct { name, fields }) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(value.field({f:?}))\n\
+                             .map_err(|e| e.in_field({name:?}, {f:?}))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::unexpected(concat!(\"object for struct \", {name:?}), value));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{\n{}\n}})\n\
+                     }}\n\
+                 }}",
+                entries.join("\n")
+            )
+        }
+        Ok(Input::Enum { name, variants }) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                     ::std::format!(concat!(\"unknown \", {name:?}, \" variant `{{}}`\"), other))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::DeError::unexpected(concat!(\"string for enum \", {name:?}), other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
         }
     };
     code.parse().expect("generated impl parses")

@@ -1,24 +1,31 @@
 //! Offline stand-in for the `serde_json` crate: JSON text rendering of the vendored serde
-//! stub's [`serde::Value`] tree. Only serialization is provided — nothing in the workspace
-//! parses JSON yet.
+//! stub's [`serde::Value`] tree, plus a strict JSON parser for the reverse direction
+//! ([`from_str`] / [`from_str_value`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialization error. Non-finite floats are the only value this stub refuses to render.
+/// Serialization or parse error. On the write side, non-finite floats are the only value this
+/// stub refuses to render; on the read side the message carries the byte offset of the fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization failed: {}", self.0)
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
 
 /// Serializes `value` as compact JSON.
 ///
@@ -133,6 +140,254 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Parses JSON text into a typed value through its [`serde::Deserialize`] impl.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON, trailing garbage, or a value tree whose shape does
+/// not match `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    Ok(T::from_json_value(&from_str_value(s)?)?)
+}
+
+/// Parses JSON text into a [`serde::Value`] tree.
+///
+/// The grammar is standard JSON: `null`, booleans, numbers (integers without a fraction or
+/// exponent parse as [`Value::Int`]/[`Value::UInt`], everything else as [`Value::Float`]),
+/// strings with the usual escapes (including `\uXXXX` and surrogate pairs), arrays and
+/// objects. Duplicate object keys keep every entry, preserving declaration order, which is
+/// also what the writer emits.
+///
+/// # Errors
+///
+/// Returns [`Error`] with the byte offset of the first malformed construct.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.fail("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn fail(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{keyword}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.fail("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            entries.push((key, self.parse_value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.fail("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped, non-terminator) bytes in one go.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None)
+                && self.peek().is_some_and(|b| b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.fail("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                _ => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let escape = self.peek().ok_or_else(|| self.fail("truncated escape"))?;
+        self.pos += 1;
+        match escape {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let high = self.parse_hex4()?;
+                let c = if (0xD800..0xDC00).contains(&high) {
+                    // Surrogate pair: a second \uXXXX escape must follow.
+                    self.expect(b'\\')?;
+                    self.expect(b'u')?;
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.fail("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(code)
+                } else {
+                    char::from_u32(high)
+                };
+                out.push(c.ok_or_else(|| self.fail("invalid unicode escape"))?);
+            }
+            _ => return Err(self.fail("unknown escape character")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.fail("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.fail("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        match text.parse::<f64>() {
+            // Overflowing literals like 1e999 parse to infinity in Rust; reject them so
+            // every accepted document can also be re-serialized (the writer refuses
+            // non-finite floats).
+            Ok(x) if x.is_finite() => Ok(Value::Float(x)),
+            _ => Err(Error(format!("invalid number `{text}` at byte {start}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +424,105 @@ mod tests {
     #[test]
     fn empty_containers_render_compactly() {
         assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parser_handles_every_value_kind() {
+        assert_eq!(from_str_value("null").unwrap(), Value::Null);
+        assert_eq!(from_str_value(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str_value("7").unwrap(), Value::UInt(7));
+        assert_eq!(from_str_value("2.0").unwrap(), Value::Float(2.0));
+        assert_eq!(from_str_value("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            from_str_value("\"a\\\"b\\u00e9\\n\"").unwrap(),
+            Value::String("a\"bé\n".into())
+        );
+        assert_eq!(
+            from_str_value("[1, 2]").unwrap(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            from_str_value("{ \"a\": [], \"b\": {} }").unwrap(),
+            Value::Object(vec![
+                ("a".into(), Value::Array(vec![])),
+                ("b".into(), Value::Object(vec![])),
+            ])
+        );
+        // Surrogate pair escape.
+        assert_eq!(
+            from_str_value("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".into())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "nul",
+            "[1,",
+            "{\"a\":}",
+            "\"open",
+            "{\"a\" 1}",
+            "1 2",
+            "[1]]",
+            "+5",
+            "--1",
+            "\"\\q\"",
+            "\"\\ud83d\"",
+        ] {
+            assert!(from_str_value(bad).is_err(), "`{bad}` should fail to parse");
+        }
+        // Overflowing literals would parse to infinity, which the writer cannot re-emit;
+        // reject them up front so accepted documents always round-trip.
+        for overflow in ["1e999", "-1e999", "[1.0, 1e999]"] {
+            assert!(
+                from_str_value(overflow).is_err(),
+                "`{overflow}` must be rejected, not mapped to infinity"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_round_trip_is_lossless() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Mode {
+            Fast,
+            Slow,
+        }
+
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Doc {
+            name: String,
+            mode: Mode,
+            threshold: f64,
+            retries: u32,
+            bias: i32,
+            limit: Option<f64>,
+            series: Vec<f64>,
+        }
+
+        let doc = Doc {
+            name: "scenario \"x\"\n".into(),
+            mode: Mode::Slow,
+            threshold: 0.1 + 0.2, // not exactly representable in decimal: exercises shortest-round-trip
+            retries: 3,
+            bias: -9,
+            limit: Some(85.5),
+            series: vec![1.0, 1e-12, -3.25e9],
+        };
+        for text in [to_string(&doc).unwrap(), to_string_pretty(&doc).unwrap()] {
+            let back: Doc = from_str(&text).unwrap();
+            assert_eq!(back, doc);
+        }
+        // Missing optional fields deserialize as None; missing required fields fail loudly.
+        let partial: Doc = from_str(
+            "{\"name\":\"n\",\"mode\":\"Fast\",\"threshold\":1.0,\"retries\":0,\"bias\":0,\"series\":[]}",
+        )
+        .unwrap();
+        assert_eq!(partial.limit, None);
+        let err = from_str::<Doc>("{\"name\":\"n\"}").unwrap_err();
+        assert!(err.to_string().contains("Doc.mode"), "{err}");
     }
 }
