@@ -13,5 +13,6 @@
 pub mod data;
 pub mod harness;
 pub mod report;
+pub mod seedpath;
 
 pub use harness::{ExperimentBudget, MethodFront, PhvSummary};

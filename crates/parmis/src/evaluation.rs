@@ -5,7 +5,7 @@ use crate::objective::{objective_vector, Objective};
 use crate::{ParmisError, Result};
 use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
 use soc_sim::apps::Benchmark;
-use soc_sim::platform::{Platform, RunSummary};
+use soc_sim::platform::{DiscardEpochs, DrmController, Platform, RunAggregates, RunSummary};
 use soc_sim::scenario::{Scenario, ScenarioConstraints};
 use soc_sim::workload::Application;
 use soc_sim::DecisionSpace;
@@ -81,10 +81,13 @@ impl<E: PolicyEvaluator + ?Sized> PolicyEvaluator for &E {
 /// Adapter that parallelizes [`PolicyEvaluator::evaluate_batch`] across a scoped
 /// `std::thread` pool.
 ///
-/// Each batch slot is evaluated by whichever worker claims it first (dynamic work stealing),
-/// but results are merged back **in slot order** and every evaluation is a pure function of
-/// its θ, so the output is bit-identical to the serial default for any worker count. A
-/// worker count of `0` means "one worker per available CPU".
+/// The batch is split into one contiguous chunk per worker and each chunk goes through the
+/// inner evaluator's **own** `evaluate_batch` — so per-batch optimizations (e.g.
+/// [`SocEvaluator`]'s reusable [`SimBuffers`] scratch) apply per worker instead of being
+/// bypassed by per-slot dispatch. Results are merged back **in slot order** and every
+/// evaluation is a pure function of its θ, so the output is bit-identical to the serial
+/// default for any worker count. A worker count of `0` means "one worker per available
+/// CPU".
 ///
 /// ```no_run
 /// use parmis::evaluation::{ParallelEvaluator, PolicyEvaluator, SocEvaluator};
@@ -149,11 +152,20 @@ impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
     }
 
     fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        crate::parallel::parallel_map(thetas, self.num_workers, |_, theta| {
-            self.inner.evaluate(theta)
-        })
-        .into_iter()
-        .collect()
+        if self.num_workers <= 1 || thetas.len() <= 1 {
+            return self.inner.evaluate_batch(thetas);
+        }
+        let workers = self.num_workers.min(thetas.len());
+        let chunk_len = thetas.len().div_ceil(workers);
+        let chunks: Vec<&[Vec<f64>]> = thetas.chunks(chunk_len).collect();
+        let mut results = Vec::with_capacity(thetas.len());
+        for chunk in
+            crate::parallel::parallel_map(&chunks, workers, |_, c| self.inner.evaluate_batch(c))
+        {
+            // Propagate the first error in slot order, exactly like the serial loop.
+            results.extend(chunk?);
+        }
+        Ok(results)
     }
 }
 
@@ -280,18 +292,39 @@ impl SocEvaluator {
             })
             .collect()
     }
-}
 
-impl PolicyEvaluator for SocEvaluator {
-    fn parameter_dim(&self) -> usize {
-        DrmPolicy::parameter_count_for(&self.space, &self.architecture)
+    /// Allocates the reusable scratch for [`evaluate_with`](Self::evaluate_with): the
+    /// decoded policy (architecture, heads and decision space are shared across every θ of
+    /// a batch) and a summary shell whose identity strings are refcounted.
+    pub fn sim_buffers(&self) -> SimBuffers {
+        let policy = DrmPolicy::zeros(&self.space, &self.architecture);
+        let controller = policy.shared_name();
+        SimBuffers {
+            summary: RunSummary {
+                application: controller.clone(),
+                controller,
+                execution_time_s: 0.0,
+                energy_j: 0.0,
+                average_power_w: 0.0,
+                ppw: 0.0,
+                peak_temperature_c: 0.0,
+                epochs: Vec::new(),
+            },
+            policy,
+        }
     }
 
-    fn objectives(&self) -> &[Objective] {
-        &self.objectives
-    }
-
-    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+    /// [`evaluate`](PolicyEvaluator::evaluate) through a reusable [`SimBuffers`] scratch:
+    /// the policy is re-parameterized in place and every application runs through the
+    /// platform's streaming runner ([`Platform::run_application_with`] with a
+    /// [`DiscardEpochs`] sink), so no per-epoch trace and no fresh policy structure are
+    /// allocated per θ. Bit-identical to the materializing path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::Evaluation`] for a θ of the wrong dimension or an evaluator
+    /// without applications, and propagates simulator failures.
+    pub fn evaluate_with(&self, theta: &[f64], buffers: &mut SimBuffers) -> Result<Vec<f64>> {
         if theta.len() != self.parameter_dim() {
             return Err(ParmisError::Evaluation {
                 reason: format!(
@@ -306,27 +339,31 @@ impl PolicyEvaluator for SocEvaluator {
                 reason: "evaluator has no applications".into(),
             });
         }
-        let summaries = self.run_summaries(theta)?;
-        // Average each objective across applications (single application = identity).
+        buffers.policy.set_flat_parameters(theta);
         let k = self.objectives.len();
         let mut acc = vec![0.0; k];
-        for summary in &summaries {
-            let v = objective_vector(&self.objectives, summary);
+        let mut penalty_sum = 0.0;
+        for app in &self.applications {
+            let aggregates = self
+                .platform
+                .run_application_with(app, &mut buffers.policy, self.run_seed, &mut DiscardEpochs)
+                .map_err(ParmisError::from)?;
+            buffers.fill_summary(app, &aggregates);
+            let v = objective_vector(&self.objectives, &buffers.summary);
             for (a, x) in acc.iter_mut().zip(v) {
                 *a += x;
             }
+            if let Some(constraints) = &self.constraints {
+                penalty_sum += constraints.penalty(&buffers.summary);
+            }
         }
         for a in acc.iter_mut() {
-            *a /= summaries.len() as f64;
+            *a /= self.applications.len() as f64;
         }
         // Scenario constraints enter as an additive penalty on every objective (zero when
         // every limit is met), averaged across applications like the objectives themselves.
-        if let Some(constraints) = &self.constraints {
-            let penalty = summaries
-                .iter()
-                .map(|s| constraints.penalty(s))
-                .sum::<f64>()
-                / summaries.len() as f64;
+        if self.constraints.is_some() {
+            let penalty = penalty_sum / self.applications.len() as f64;
             if penalty > 0.0 {
                 for a in acc.iter_mut() {
                     *a += penalty;
@@ -334,6 +371,54 @@ impl PolicyEvaluator for SocEvaluator {
             }
         }
         Ok(acc)
+    }
+}
+
+/// Reusable per-worker scratch for batched policy evaluation: the decoded [`DrmPolicy`]
+/// (re-parameterized in place per θ via `set_flat_parameters`, so the MLP head structure
+/// and the cloned decision space are allocated once per batch instead of once per θ) and a
+/// [`RunSummary`] shell (always with an empty epoch trace) that the streaming aggregates
+/// are written into for objective extraction and constraint scoring.
+#[derive(Debug, Clone)]
+pub struct SimBuffers {
+    policy: DrmPolicy,
+    summary: RunSummary,
+}
+
+impl SimBuffers {
+    /// Projects streaming [`RunAggregates`] into the summary shell (identity fields are
+    /// refcount bumps; the epoch trace stays empty).
+    fn fill_summary(&mut self, app: &Application, aggregates: &RunAggregates) {
+        self.summary.application = app.name.clone();
+        self.summary.execution_time_s = aggregates.execution_time_s;
+        self.summary.energy_j = aggregates.energy_j;
+        self.summary.average_power_w = aggregates.average_power_w;
+        self.summary.ppw = aggregates.ppw;
+        self.summary.peak_temperature_c = aggregates.peak_temperature_c;
+    }
+}
+
+impl PolicyEvaluator for SocEvaluator {
+    fn parameter_dim(&self) -> usize {
+        DrmPolicy::parameter_count_for(&self.space, &self.architecture)
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        self.evaluate_with(theta, &mut self.sim_buffers())
+    }
+
+    fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        // One scratch for the whole batch: the decoded policy structure and summary shell
+        // are reused across every θ (the seed default re-decoded both per θ).
+        let mut buffers = self.sim_buffers();
+        thetas
+            .iter()
+            .map(|theta| self.evaluate_with(theta, &mut buffers))
+            .collect()
     }
 }
 
@@ -403,6 +488,10 @@ impl PolicyEvaluator for GlobalEvaluator {
 
     fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
         self.inner.evaluate(theta)
+    }
+
+    fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        self.inner.evaluate_batch(thetas)
     }
 }
 
@@ -537,6 +626,44 @@ mod tests {
     }
 
     #[test]
+    fn reused_sim_buffers_leave_no_state_between_thetas() {
+        // The scratch path must be a pure function of θ: interleaving very different
+        // candidates through ONE SimBuffers gives the same answers as fresh evaluations,
+        // and the evaluation matches the materializing run_summaries path.
+        let eval = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let dim = eval.parameter_dim();
+        let thetas = [vec![0.9; dim], vec![-0.9; dim], vec![0.9; dim]];
+        let mut buffers = eval.sim_buffers();
+        let through_scratch: Vec<Vec<f64>> = thetas
+            .iter()
+            .map(|t| eval.evaluate_with(t, &mut buffers).unwrap())
+            .collect();
+        assert_eq!(
+            through_scratch[0], through_scratch[2],
+            "identical θ must give identical objectives regardless of what ran in between"
+        );
+        for (theta, got) in thetas.iter().zip(&through_scratch) {
+            assert_eq!(got, &eval.evaluate(theta).unwrap());
+            let summary = &eval.run_summaries(theta).unwrap()[0];
+            assert_eq!(got[0], summary.execution_time_s);
+            assert_eq!(got[1], summary.energy_j);
+        }
+    }
+
+    #[test]
+    fn scenario_constrained_scratch_path_matches_the_summary_path() {
+        let scenario = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+        let eval = SocEvaluator::for_scenario(&scenario, Objective::TIME_ENERGY.to_vec()).unwrap();
+        let theta = vec![0.5; eval.parameter_dim()];
+        let mut buffers = eval.sim_buffers();
+        let streamed = eval.evaluate_with(&theta, &mut buffers).unwrap();
+        let summary = &eval.run_summaries(&theta).unwrap()[0];
+        let penalty = scenario.constraints.penalty(summary);
+        assert_eq!(streamed[0], summary.execution_time_s + penalty);
+        assert_eq!(streamed[1], summary.energy_j + penalty);
+    }
+
+    #[test]
     fn parallel_evaluator_is_bitwise_identical_to_serial() {
         let serial = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_PPW.to_vec());
         let dim = serial.parameter_dim();
@@ -588,6 +715,6 @@ mod tests {
         let theta = vec![0.0; eval.parameter_dim()];
         let summaries = eval.run_summaries(&theta).unwrap();
         assert_eq!(summaries.len(), 1);
-        assert_eq!(summaries[0].application, "aes");
+        assert_eq!(&*summaries[0].application, "aes");
     }
 }

@@ -23,7 +23,13 @@ pub const POLICY_INPUT_DIM: usize = FEATURE_COUNT;
 /// assert!(f.iter().all(|&v| v == 0.0));
 /// ```
 pub fn policy_features(counters: &CounterSnapshot) -> Vec<f64> {
-    counters.to_normalized_features().to_vec()
+    policy_feature_array(counters).to_vec()
+}
+
+/// Array form of [`policy_features`]: the same normalized feature vector without the heap
+/// allocation (the per-epoch policy hot path calls this once per decision).
+pub fn policy_feature_array(counters: &CounterSnapshot) -> [f64; POLICY_INPUT_DIM] {
+    counters.to_normalized_features()
 }
 
 /// Derived (per-instruction) statistics occasionally useful for diagnostics and for the RL

@@ -154,11 +154,69 @@ impl Mlp {
 
     /// The index of the most probable class for `input`.
     pub fn predict_class(&self, input: &[f64]) -> usize {
-        let probs = self.forward(input);
-        probs
-            .iter()
+        self.predict_class_with(input, &mut MlpScratch::default())
+    }
+
+    /// [`predict_class`](Self::predict_class) through a caller-owned [`MlpScratch`]: the
+    /// forward pass ping-pongs between the scratch's two buffers instead of allocating
+    /// per-layer vectors and an activation trace, so repeated inference (four heads per
+    /// decision epoch on the policy hot path) performs no heap allocation once the scratch
+    /// has grown to the widest layer. Bit-identical to `predict_class`: the layer loops,
+    /// the softmax (including its degenerate-sum uniform fallback) and the last-maximum
+    /// argmax reproduce the allocating path's float operations in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimensionality.
+    pub fn predict_class_with(&self, input: &[f64], scratch: &mut MlpScratch) -> usize {
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "input has wrong dimensionality"
+        );
+        let MlpScratch { a, b } = scratch;
+        a.clear();
+        a.extend_from_slice(input);
+        let last = self.weights.len() - 1;
+        for (l, (w, bias)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let rows = self.layer_sizes[l + 1];
+            let cols = self.layer_sizes[l];
+            b.clear();
+            b.resize(rows, 0.0);
+            for r in 0..rows {
+                let mut acc = bias[r];
+                let row = &w[r * cols..(r + 1) * cols];
+                for (x, wv) in a.iter().zip(row) {
+                    acc += x * wv;
+                }
+                b[r] = acc;
+            }
+            if l != last {
+                for v in b.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            std::mem::swap(a, b);
+        }
+        // In-place softmax with `softmax`'s exact operation order, then its argmax.
+        let max = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in a.iter_mut() {
+            *v = (*v - max).exp();
+        }
+        let sum: f64 = a.iter().sum();
+        if sum <= 0.0 || !sum.is_finite() {
+            let uniform = 1.0 / a.len() as f64;
+            for v in a.iter_mut() {
+                *v = uniform;
+            }
+        } else {
+            for v in a.iter_mut() {
+                *v /= sum;
+            }
+        }
+        a.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -269,6 +327,22 @@ struct ForwardTrace {
     logits: Vec<f64>,
 }
 
+/// Reusable forward-pass buffers for [`Mlp::predict_class_with`]: two ping-pong activation
+/// vectors that grow to the widest layer once and are then reused allocation-free across
+/// heads and epochs.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        MlpScratch::default()
+    }
+}
+
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
     let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -347,6 +421,33 @@ mod tests {
         let c = Mlp::random(&[5, 6, 2], 2);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scratch_prediction_matches_the_allocating_forward_pass() {
+        // The scratch path must agree with softmax(forward) + last-maximum argmax for
+        // random networks and inputs, including when the scratch is reused across networks
+        // of different widths (the four policy heads share one scratch).
+        let mut scratch = MlpScratch::new();
+        for seed in 0..20 {
+            for sizes in [&[9usize, 5, 4, 19][..], &[9, 5, 4, 13], &[3, 4], &[2, 8, 2]] {
+                let mlp = Mlp::random(sizes, seed);
+                let input: Vec<f64> = (0..sizes[0]).map(|i| (i as f64 - 1.3) * 0.7).collect();
+                let probs = mlp.forward(&input);
+                let reference = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                assert_eq!(mlp.predict_class_with(&input, &mut scratch), reference);
+                assert_eq!(mlp.predict_class(&input), reference);
+            }
+        }
+        // Degenerate softmax (all-equal logits) keeps the allocating path's tie behaviour.
+        let zero = Mlp::zeros(&[3, 4]);
+        assert_eq!(zero.predict_class_with(&[0.5, -0.5, 1.0], &mut scratch), 3);
+        assert_eq!(zero.predict_class(&[0.5, -0.5, 1.0]), 3);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Decision-indexed lookup tables for the streaming simulation engine.
+//!
+//! A platform's decision space is a small finite grid (core counts × OPP indices — 4 940
+//! configurations on the Exynos 5422), yet the seed epoch loop re-derived per-decision
+//! cluster state from the models on **every** epoch: a linear OPP-table scan inside
+//! `DecisionSpace::validate`, two more scans inside the power model's `opp_for` lookups, and
+//! a `nearest_frequency` scan whenever thermal throttling capped the requested decision.
+//! [`DecisionTable`] hoists all of that out of the hot path by precomputing, for every
+//! decision in the space:
+//!
+//! * the canonical [`DrmDecision`] (so equality with the requested decision is implicit),
+//! * the per-cluster OPP voltage,
+//! * the utilization-invariant power terms of [`crate::power::PowerModel::cluster_power`]
+//!   (`static_w = k·V²·n`) and the dynamic coefficient (`C·V²·f·n`, to be multiplied by the
+//!   epoch's utilization), evaluated with **exactly** the seed's operation ordering so table
+//!   lookups are bit-identical to freshly-derived model values, and
+//! * the index of the decision the thermal throttle clamps this one to
+//!   ([`crate::thermal::ThermalModel::cap_decision`] with the throttle engaged).
+//!
+//! Lookup is O(log levels): two bounds checks on the core counts plus a binary search per
+//! cluster frequency (OPP tables are ascending). The table is immutable after construction
+//! and shared behind an `Arc` by [`crate::platform::Platform`], so platform clones cost a
+//! refcount bump rather than a rebuild.
+
+use crate::cluster::ClusterParams;
+use crate::config::{DecisionSpace, DrmDecision, KnobCardinalities};
+use crate::thermal::ThermalModel;
+
+/// Precomputed per-decision state: everything the epoch loop needs that depends only on the
+/// decision (not on the workload phase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEntry {
+    /// The canonical decision this entry describes.
+    pub decision: DrmDecision,
+    /// Big-cluster supply voltage at this OPP, in volts.
+    pub big_voltage_v: f64,
+    /// Little-cluster supply voltage at this OPP, in volts.
+    pub little_voltage_v: f64,
+    /// Dynamic-power coefficient of the Big cluster in watts per unit utilization
+    /// (`C·10⁻⁹·V²·f·n`); zero when the cluster is power-gated.
+    pub big_dynamic_coeff_w: f64,
+    /// Dynamic-power coefficient of the Little cluster in watts per unit utilization.
+    pub little_dynamic_coeff_w: f64,
+    /// Static (leakage) power of the powered Big cores in watts (`k·V²·n`).
+    pub big_static_w: f64,
+    /// Static (leakage) power of the powered Little cores in watts.
+    pub little_static_w: f64,
+    /// Index of the entry this decision is clamped to while thermal throttling is engaged
+    /// (the entry's own index when the decision already respects the throttle ceilings).
+    pub throttled_index: usize,
+}
+
+impl DecisionEntry {
+    /// Average Big-cluster rail power at the given utilization, in watts.
+    ///
+    /// Bit-identical to [`crate::power::PowerModel::cluster_power`] for every decision in
+    /// the space: the coefficient/static split preserves the seed's multiplication order.
+    #[inline]
+    pub fn big_power_w(&self, utilization: f64) -> f64 {
+        self.big_dynamic_coeff_w * utilization.clamp(0.0, 1.0) + self.big_static_w
+    }
+
+    /// Average Little-cluster rail power at the given utilization, in watts.
+    #[inline]
+    pub fn little_power_w(&self, utilization: f64) -> f64 {
+        self.little_dynamic_coeff_w * utilization.clamp(0.0, 1.0) + self.little_static_w
+    }
+}
+
+/// Dense per-decision lookup table for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTable {
+    cards: KnobCardinalities,
+    min_little_cores: u8,
+    /// Ascending Big-cluster OPP frequencies (binary-search index == OPP level).
+    big_freqs: Vec<u32>,
+    /// Ascending Little-cluster OPP frequencies.
+    little_freqs: Vec<u32>,
+    entries: Vec<DecisionEntry>,
+}
+
+impl DecisionTable {
+    /// Precomputes the table for a decision space under a thermal model (the thermal model
+    /// determines each entry's throttled target).
+    pub fn new(space: &DecisionSpace, thermal: &ThermalModel) -> Self {
+        let cards = space.knob_cardinalities();
+        let big = space.big_cluster();
+        let little = space.little_cluster();
+        let big_freqs: Vec<u32> = big.opps.iter().map(|o| o.frequency_mhz).collect();
+        let little_freqs: Vec<u32> = little.opps.iter().map(|o| o.frequency_mhz).collect();
+
+        let mut table = DecisionTable {
+            cards,
+            min_little_cores: space.min_little_cores(),
+            big_freqs,
+            little_freqs,
+            entries: Vec::with_capacity(cards.total_decisions()),
+        };
+        for b in 0..cards.big_core_options {
+            for l in 0..cards.little_core_options {
+                for bf in 0..cards.big_freq_options {
+                    for lf in 0..cards.little_freq_options {
+                        let decision = space.decision_from_knob_indices([b, l, bf, lf]);
+                        table
+                            .entries
+                            .push(build_entry(big, little, &decision, bf, lf));
+                    }
+                }
+            }
+        }
+        // Second pass: resolve each entry's throttled target now that every index exists.
+        // `cap_decision` only moves frequencies onto supported OPPs, so the capped decision
+        // is always somewhere in the table.
+        for i in 0..table.entries.len() {
+            let capped = thermal.cap_decision(true, &table.entries[i].decision, big, little);
+            let target = table
+                .index_of(&capped)
+                .expect("throttle caps stay inside the decision space");
+            table.entries[i].throttled_index = target;
+        }
+        table
+    }
+
+    /// Number of entries (the size of the decision space).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table is empty (never the case for valid clusters).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The dense index of a decision, or `None` if it lies outside the space.
+    ///
+    /// `index_of(d).is_some()` is exactly equivalent to
+    /// [`DecisionSpace::validate`]`(d).is_ok()` for the space the table was built from.
+    #[inline]
+    pub fn index_of(&self, decision: &DrmDecision) -> Option<usize> {
+        let b = decision.big_cores as usize;
+        if b >= self.cards.big_core_options {
+            return None;
+        }
+        let l = decision.little_cores.checked_sub(self.min_little_cores)? as usize;
+        if l >= self.cards.little_core_options {
+            return None;
+        }
+        let bf = self.big_freqs.binary_search(&decision.big_freq_mhz).ok()?;
+        let lf = self
+            .little_freqs
+            .binary_search(&decision.little_freq_mhz)
+            .ok()?;
+        Some(
+            ((b * self.cards.little_core_options + l) * self.cards.big_freq_options + bf)
+                * self.cards.little_freq_options
+                + lf,
+        )
+    }
+
+    /// The entry for a decision, or `None` if the decision lies outside the space.
+    #[inline]
+    pub fn lookup(&self, decision: &DrmDecision) -> Option<&DecisionEntry> {
+        self.index_of(decision).map(|i| &self.entries[i])
+    }
+
+    /// The entry at a dense index (as stored in [`DecisionEntry::throttled_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn entry(&self, index: usize) -> &DecisionEntry {
+        &self.entries[index]
+    }
+
+    /// Iterates over every entry in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = &DecisionEntry> {
+        self.entries.iter()
+    }
+
+    /// Approximate heap footprint of the table in bytes (entries + frequency indices).
+    pub fn footprint_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<DecisionEntry>()
+            + (self.big_freqs.len() + self.little_freqs.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Computes one entry's model constants with the seed's exact operation ordering
+/// (`throttled_index` is filled in by the second construction pass).
+fn build_entry(
+    big: &ClusterParams,
+    little: &ClusterParams,
+    decision: &DrmDecision,
+    big_level: usize,
+    little_level: usize,
+) -> DecisionEntry {
+    let big_opp = big.opps[big_level];
+    let little_opp = little.opps[little_level];
+    let (big_dynamic_coeff_w, big_static_w) = if decision.big_cores == 0 {
+        (0.0, 0.0)
+    } else {
+        let v2 = big_opp.voltage_v * big_opp.voltage_v;
+        let f_hz = big_opp.frequency_mhz as f64 * 1e6;
+        let n = decision.big_cores as f64;
+        (
+            big.capacitance_nf * 1e-9 * v2 * f_hz * n,
+            big.leakage_w_per_v2 * v2 * n,
+        )
+    };
+    let (little_dynamic_coeff_w, little_static_w) = if decision.little_cores == 0 {
+        (0.0, 0.0)
+    } else {
+        let v2 = little_opp.voltage_v * little_opp.voltage_v;
+        let f_hz = little_opp.frequency_mhz as f64 * 1e6;
+        let n = decision.little_cores as f64;
+        (
+            little.capacitance_nf * 1e-9 * v2 * f_hz * n,
+            little.leakage_w_per_v2 * v2 * n,
+        )
+    };
+    DecisionEntry {
+        decision: *decision,
+        big_voltage_v: big_opp.voltage_v,
+        little_voltage_v: little_opp.voltage_v,
+        big_dynamic_coeff_w,
+        little_dynamic_coeff_w,
+        big_static_w,
+        little_static_w,
+        throttled_index: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerModel;
+
+    fn exynos_table() -> (DecisionSpace, ThermalModel, DecisionTable) {
+        let space = DecisionSpace::exynos5422();
+        let thermal = ThermalModel::default();
+        let table = DecisionTable::new(&space, &thermal);
+        (space, thermal, table)
+    }
+
+    #[test]
+    fn table_covers_exactly_the_decision_space() {
+        let (space, _, table) = exynos_table();
+        assert_eq!(table.len(), space.len());
+        assert!(!table.is_empty());
+        for (i, d) in space.iter().enumerate() {
+            assert_eq!(table.index_of(&d), Some(i), "dense index mismatch for {d}");
+            assert_eq!(table.entry(i).decision, d);
+            assert_eq!(table.lookup(&d).unwrap().decision, d);
+        }
+        assert_eq!(table.iter().count(), space.len());
+        assert!(table.footprint_bytes() > space.len() * std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn lookup_rejects_exactly_what_validate_rejects() {
+        let (space, _, table) = exynos_table();
+        let bad = [
+            DrmDecision {
+                big_cores: 5,
+                little_cores: 1,
+                big_freq_mhz: 1000,
+                little_freq_mhz: 1000,
+            },
+            DrmDecision {
+                big_cores: 2,
+                little_cores: 0,
+                big_freq_mhz: 1000,
+                little_freq_mhz: 1000,
+            },
+            DrmDecision {
+                big_cores: 2,
+                little_cores: 5,
+                big_freq_mhz: 1000,
+                little_freq_mhz: 1000,
+            },
+            DrmDecision {
+                big_cores: 2,
+                little_cores: 2,
+                big_freq_mhz: 1050,
+                little_freq_mhz: 1000,
+            },
+            DrmDecision {
+                big_cores: 2,
+                little_cores: 2,
+                big_freq_mhz: 1000,
+                little_freq_mhz: 1500,
+            },
+        ];
+        for d in bad {
+            assert!(space.validate(&d).is_err());
+            assert!(table.lookup(&d).is_none(), "table accepted invalid {d}");
+        }
+    }
+
+    #[test]
+    fn entry_powers_are_bit_identical_to_the_power_model() {
+        let (space, _, table) = exynos_table();
+        let model = PowerModel::default();
+        let big = space.big_cluster();
+        let little = space.little_cluster();
+        for entry in table.iter() {
+            let d = &entry.decision;
+            for u in [0.0, 0.37, 0.999, 1.0] {
+                assert_eq!(
+                    entry.big_power_w(u),
+                    model.cluster_power(big, d.big_freq_mhz, d.big_cores, u),
+                    "big rail mismatch at {d}, u = {u}"
+                );
+                assert_eq!(
+                    entry.little_power_w(u),
+                    model.cluster_power(little, d.little_freq_mhz, d.little_cores, u),
+                    "little rail mismatch at {d}, u = {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn throttled_indices_reproduce_cap_decision() {
+        for (space, thermal) in [
+            (DecisionSpace::exynos5422(), ThermalModel::default()),
+            (
+                DecisionSpace::wearable(),
+                *crate::platform::SocSpec::wearable().thermal_model(),
+            ),
+        ] {
+            let table = DecisionTable::new(&space, &thermal);
+            for entry in table.iter() {
+                let capped = thermal.cap_decision(
+                    true,
+                    &entry.decision,
+                    space.big_cluster(),
+                    space.little_cluster(),
+                );
+                assert_eq!(
+                    table.entry(entry.throttled_index).decision,
+                    capped,
+                    "throttle target mismatch for {}",
+                    entry.decision
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn voltages_match_the_opp_tables() {
+        let (space, _, table) = exynos_table();
+        for entry in table.iter() {
+            let d = &entry.decision;
+            assert_eq!(
+                entry.big_voltage_v,
+                space
+                    .big_cluster()
+                    .opp_for(d.big_freq_mhz)
+                    .unwrap()
+                    .voltage_v
+            );
+            assert_eq!(
+                entry.little_voltage_v,
+                space
+                    .little_cluster()
+                    .opp_for(d.little_freq_mhz)
+                    .unwrap()
+                    .voltage_v
+            );
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod apps;
 pub mod cluster;
 pub mod config;
 pub mod counters;
+pub mod engine;
 mod error;
 pub mod governor;
 pub mod perf;
@@ -64,8 +65,12 @@ pub mod workload;
 
 pub use config::{DecisionSpace, DrmDecision};
 pub use counters::CounterSnapshot;
+pub use engine::{DecisionEntry, DecisionTable};
 pub use error::SocError;
-pub use platform::{DrmController, EpochResult, Platform, RunSummary, SocSpec, TransitionModel};
+pub use platform::{
+    CollectEpochs, DiscardEpochs, DrmController, EpochResult, EpochSink, Platform, RunAggregates,
+    RunSummary, SocSpec, TransitionModel,
+};
 pub use scenario::Scenario;
 pub use thermal::{PerClusterThermal, ThermalModel, ThermalState};
 
@@ -94,6 +99,8 @@ mod thread_safety {
         assert_worker_shareable::<apps::Benchmark>();
         assert_worker_shareable::<CounterSnapshot>();
         assert_worker_shareable::<RunSummary>();
+        assert_worker_shareable::<RunAggregates>();
+        assert_worker_shareable::<DecisionTable>();
         assert_worker_shareable::<EpochResult>();
         assert_worker_shareable::<Scenario>();
         assert_worker_shareable::<scenario::WorkloadSpec>();

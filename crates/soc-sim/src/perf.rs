@@ -57,6 +57,22 @@ pub struct EpochPerf {
     pub little_utilization: f64,
 }
 
+/// Phase-rate-invariant throughput state of one `(decision, phase)` pair — everything in
+/// the epoch model that does **not** depend on the phase's instruction count or parallel
+/// fraction. Produced by [`PerfModel::epoch_throughput`]; consumed (and memoized across
+/// repeating epochs) by the streaming application runner via [`PerfModel::run_epoch_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochThroughput {
+    /// Throughput of the single core that runs the serial section, in instructions/s.
+    serial_tp: f64,
+    /// Which cluster hosts the serial section.
+    serial_cluster: ClusterKind,
+    /// Synchronized aggregate throughput of all active cores, in instructions/s.
+    aggregate_tp: f64,
+    /// Fraction of parallel-section instructions retired on the Big cluster.
+    par_big_share: f64,
+}
+
 impl PerfModel {
     /// Effective cycles-per-instruction of one core of `cluster` running `phase` at the OPP
     /// frequency `freq_mhz`.
@@ -88,23 +104,27 @@ impl PerfModel {
         freq_mhz as f64 * 1e6 / cpi
     }
 
-    /// Simulates one epoch of `phase` under `decision`, returning its timing breakdown.
+    /// Derives the phase-rate-invariant throughput state of one `(decision, phase)` pair:
+    /// per-cluster core throughputs, the serial-section core, the synchronized aggregate
+    /// throughput and the Big cluster's parallel-work share.
     ///
-    /// The serial fraction of the epoch runs on the single fastest active core; the parallel
-    /// fraction is spread over every active core weighted by per-core throughput, discounted
-    /// by a synchronization efficiency factor.
+    /// None of these depend on the phase's **instruction count** (or its parallel
+    /// fraction), so the streaming application runner memoizes the result across
+    /// consecutive epochs that repeat the same decision and phase rates — the common case
+    /// for every workload generator, which jitters only the instruction counts. The values
+    /// are the exact f64s the seed computed inline, so memoized epochs stay bit-identical.
     ///
     /// # Panics
     ///
     /// Panics if the decision activates no cores at all (the decision space guarantees at
     /// least one Little core, so this indicates an internal error).
-    pub fn run_epoch(
+    pub fn epoch_throughput(
         &self,
         big: &ClusterParams,
         little: &ClusterParams,
         decision: &DrmDecision,
         phase: &PhaseSpec,
-    ) -> EpochPerf {
+    ) -> EpochThroughput {
         let n_big = decision.big_cores as f64;
         let n_little = decision.little_cores as f64;
         let total_cores = n_big + n_little;
@@ -125,24 +145,70 @@ impl PerfModel {
         };
 
         // Serial section: fastest single active core.
-        let serial_instr = phase.instructions * (1.0 - phase.parallel_fraction);
-        let parallel_instr = phase.instructions * phase.parallel_fraction;
         let (serial_tp, serial_cluster) = if tp_big >= tp_little && decision.big_cores > 0 {
             (tp_big, ClusterKind::Big)
         } else {
             (tp_little, ClusterKind::Little)
         };
-        let serial_time = if serial_instr > 0.0 {
-            serial_instr / serial_tp
-        } else {
-            0.0
-        };
 
         // Parallel section: all active cores, with a sync-efficiency discount.
         let sync_efficiency = 1.0 / (1.0 + self.parallel_sync_overhead * (total_cores - 1.0));
         let aggregate_tp = (n_big * tp_big + n_little * tp_little) * sync_efficiency;
+        let par_big_share = if aggregate_tp > 0.0 {
+            (n_big * tp_big * sync_efficiency) / aggregate_tp
+        } else {
+            0.0
+        };
+
+        EpochThroughput {
+            serial_tp,
+            serial_cluster,
+            aggregate_tp,
+            par_big_share,
+        }
+    }
+
+    /// Simulates one epoch of `phase` under `decision`, returning its timing breakdown.
+    ///
+    /// The serial fraction of the epoch runs on the single fastest active core; the parallel
+    /// fraction is spread over every active core weighted by per-core throughput, discounted
+    /// by a synchronization efficiency factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision activates no cores at all (the decision space guarantees at
+    /// least one Little core, so this indicates an internal error).
+    pub fn run_epoch(
+        &self,
+        big: &ClusterParams,
+        little: &ClusterParams,
+        decision: &DrmDecision,
+        phase: &PhaseSpec,
+    ) -> EpochPerf {
+        let throughput = self.epoch_throughput(big, little, decision, phase);
+        PerfModel::run_epoch_with(&throughput, decision, phase)
+    }
+
+    /// [`run_epoch`](Self::run_epoch) from a precomputed (possibly memoized)
+    /// [`EpochThroughput`]: only the phase-dependent math (instruction scaling, times,
+    /// attribution, utilizations) runs here. Bit-identical to `run_epoch` when `throughput`
+    /// was derived from the same `(decision, phase)` rates.
+    pub fn run_epoch_with(
+        throughput: &EpochThroughput,
+        decision: &DrmDecision,
+        phase: &PhaseSpec,
+    ) -> EpochPerf {
+        let n_big = decision.big_cores as f64;
+        let n_little = decision.little_cores as f64;
+        let serial_instr = phase.instructions * (1.0 - phase.parallel_fraction);
+        let parallel_instr = phase.instructions * phase.parallel_fraction;
+        let serial_time = if serial_instr > 0.0 {
+            serial_instr / throughput.serial_tp
+        } else {
+            0.0
+        };
         let parallel_time = if parallel_instr > 0.0 {
-            parallel_instr / aggregate_tp
+            parallel_instr / throughput.aggregate_tp
         } else {
             0.0
         };
@@ -150,11 +216,8 @@ impl PerfModel {
         let time_s = serial_time + parallel_time;
 
         // Attribute instructions and busy time to the clusters.
-        let par_big_share = if aggregate_tp > 0.0 {
-            (n_big * tp_big * sync_efficiency) / aggregate_tp
-        } else {
-            0.0
-        };
+        let serial_cluster = throughput.serial_cluster;
+        let par_big_share = throughput.par_big_share;
         let mut big_instructions = parallel_instr * par_big_share;
         let mut little_instructions = parallel_instr * (1.0 - par_big_share);
         let mut big_busy_core_s = parallel_time * n_big;

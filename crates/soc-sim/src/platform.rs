@@ -4,14 +4,16 @@
 use crate::cluster::ClusterParams;
 use crate::config::{DecisionSpace, DrmDecision};
 use crate::counters::CounterSnapshot;
+use crate::engine::{DecisionEntry, DecisionTable};
 use crate::perf::PerfModel;
-use crate::power::{PowerModel, ThermalModel};
+use crate::power::{PowerBreakdown, PowerModel, ThermalModel};
 use crate::workload::Application;
-use crate::Result;
+use crate::{Result, SocError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Costs of switching between DRM decisions at an epoch boundary.
 ///
@@ -238,6 +240,11 @@ impl SocSpec {
     pub fn little_cluster(&self) -> &ClusterParams {
         self.decision_space.little_cluster()
     }
+
+    /// Relative standard deviation of the multiplicative measurement noise.
+    pub fn measurement_noise(&self) -> f64 {
+        self.measurement_noise
+    }
 }
 
 /// A dynamic resource manager: observes the previous epoch's counters and selects the
@@ -259,6 +266,15 @@ pub trait DrmController {
     fn name(&self) -> &str {
         "controller"
     }
+
+    /// The controller's name as a shared string, used for [`RunSummary::controller`].
+    ///
+    /// The default allocates once per call; controllers that already hold an `Arc<str>`
+    /// (e.g. learned policies evaluated thousands of times per PaRMIS run) override it with
+    /// a refcount bump so repeated runs allocate nothing for their identity.
+    fn shared_name(&self) -> Arc<str> {
+        Arc::from(self.name())
+    }
 }
 
 impl<T: DrmController + ?Sized> DrmController for Box<T> {
@@ -272,6 +288,10 @@ impl<T: DrmController + ?Sized> DrmController for Box<T> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn shared_name(&self) -> Arc<str> {
+        (**self).shared_name()
     }
 }
 
@@ -298,13 +318,95 @@ pub struct EpochResult {
     pub counters: CounterSnapshot,
 }
 
+/// Observer of the streaming application runner: receives every finished epoch by reference.
+///
+/// [`Platform::run_application_with`] drives the epoch loop and folds the aggregates itself;
+/// the sink decides what (if anything) to retain per epoch. [`DiscardEpochs`] keeps nothing
+/// (the policy-evaluation hot path — zero per-epoch heap traffic), [`CollectEpochs`]
+/// materializes the full trace (what [`Platform::run_application`] uses to build the
+/// backwards-compatible [`RunSummary`]).
+pub trait EpochSink {
+    /// Called once per finished epoch, in execution order, with the final (noise-adjusted)
+    /// epoch result.
+    fn on_epoch(&mut self, epoch: &EpochResult);
+}
+
+/// Sink that drops every epoch: streaming runs that only need [`RunAggregates`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardEpochs;
+
+impl EpochSink for DiscardEpochs {
+    fn on_epoch(&mut self, _epoch: &EpochResult) {}
+}
+
+/// Sink that materializes every epoch, reproducing the seed runner's per-epoch trace.
+#[derive(Debug, Clone, Default)]
+pub struct CollectEpochs {
+    epochs: Vec<EpochResult>,
+}
+
+impl CollectEpochs {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectEpochs::default()
+    }
+
+    /// An empty collector with space reserved for `capacity` epochs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CollectEpochs {
+            epochs: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The collected epochs, in execution order.
+    pub fn epochs(&self) -> &[EpochResult] {
+        &self.epochs
+    }
+
+    /// Consumes the collector, returning the epoch trace.
+    pub fn into_epochs(self) -> Vec<EpochResult> {
+        self.epochs
+    }
+}
+
+impl EpochSink for CollectEpochs {
+    fn on_epoch(&mut self, epoch: &EpochResult) {
+        self.epochs.push(epoch.clone());
+    }
+}
+
+/// Aggregate observables of one application run, folded by the streaming runner without
+/// materializing per-epoch results. Field-for-field identical to the corresponding
+/// [`RunSummary`] aggregates (same accumulation order, bit-identical floats).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunAggregates {
+    /// Number of decision epochs executed.
+    pub epochs: usize,
+    /// Total execution time in seconds.
+    pub execution_time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Total dynamic instructions executed.
+    pub instructions: f64,
+    /// Big-cluster rail energy in joules (`Σ big_power · epoch time`).
+    pub big_rail_energy_j: f64,
+    /// Little-cluster rail energy in joules.
+    pub little_rail_energy_j: f64,
+    /// Average power in watts.
+    pub average_power_w: f64,
+    /// Performance-per-watt in giga-instructions per joule.
+    pub ppw: f64,
+    /// Hottest junction temperature reached at any epoch boundary, in °C.
+    pub peak_temperature_c: f64,
+}
+
 /// Aggregated outcome of running one application under one controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
-    /// Application name.
-    pub application: String,
-    /// Controller name.
-    pub controller: String,
+    /// Application name (shared with [`Application::name`]; cloning is a refcount bump).
+    pub application: Arc<str>,
+    /// Controller name (see [`DrmController::shared_name`]).
+    pub controller: Arc<str>,
     /// Total execution time in seconds.
     pub execution_time_s: f64,
     /// Total energy in joules.
@@ -334,41 +436,114 @@ impl RunSummary {
 }
 
 /// The simulated platform: runs applications epoch by epoch under a [`DrmController`].
+///
+/// Construction precomputes the platform's [`DecisionTable`] (per-decision cluster state,
+/// validity and throttle targets) and the measurement-noise distribution, so the epoch loop
+/// is pure table lookups plus the phase-dependent model math. The table is shared behind an
+/// `Arc`: cloning a platform never rebuilds it.
 #[derive(Debug, Clone)]
 pub struct Platform {
     spec: SocSpec,
+    table: Arc<DecisionTable>,
+    noise_dist: Option<LogNormal>,
 }
 
 impl Platform {
     /// Creates the Exynos-5422-like platform used in all experiments.
     pub fn odroid_xu3() -> Self {
-        Platform {
-            spec: SocSpec::exynos5422(),
-        }
+        Platform::new(SocSpec::exynos5422())
     }
 
     /// Creates the asymmetric hexa-core platform preset ([`SocSpec::hexa_asym`]).
     pub fn hexa_asym() -> Self {
-        Platform {
-            spec: SocSpec::hexa_asym(),
-        }
+        Platform::new(SocSpec::hexa_asym())
     }
 
     /// Creates the wearable-class platform preset ([`SocSpec::wearable`]).
     pub fn wearable() -> Self {
-        Platform {
-            spec: SocSpec::wearable(),
-        }
+        Platform::new(SocSpec::wearable())
     }
 
-    /// Creates a platform from an explicit spec.
+    /// Creates a platform from an explicit spec, precomputing its decision table.
     pub fn new(spec: SocSpec) -> Self {
-        Platform { spec }
+        let table = DecisionTable::new(spec.decision_space(), spec.thermal_model());
+        let noise = spec.measurement_noise;
+        let noise_dist = if noise > 0.0 {
+            Some(LogNormal::new(0.0, noise).expect("valid lognormal"))
+        } else {
+            None
+        };
+        Platform {
+            spec,
+            table: Arc::new(table),
+            noise_dist,
+        }
     }
 
     /// The platform's static description.
     pub fn spec(&self) -> &SocSpec {
         &self.spec
+    }
+
+    /// The platform's precomputed per-decision lookup table.
+    pub fn decision_table(&self) -> &DecisionTable {
+        &self.table
+    }
+
+    /// Resolves a decision to its dense table index, reproducing the seed's validation
+    /// errors for decisions outside the space.
+    #[inline]
+    fn resolve_index(&self, decision: &DrmDecision) -> Result<usize> {
+        match self.table.index_of(decision) {
+            Some(index) => Ok(index),
+            None => {
+                // Table coverage is exactly the decision space, so validate() produces the
+                // seed's error; the fallback arm guards against an (impossible) divergence.
+                self.spec.decision_space().validate(decision)?;
+                Err(SocError::InvalidDecision {
+                    reason: format!("{decision} is valid but missing from the decision table"),
+                })
+            }
+        }
+    }
+
+    /// Computes one epoch's result from a precomputed table entry and throughput state (no
+    /// validation, no OPP scans, only phase-dependent math). Bit-identical to the seed's
+    /// `run_epoch` body for every decision in the space.
+    #[inline]
+    fn epoch_from_entry(
+        &self,
+        entry: &DecisionEntry,
+        phase: &crate::workload::PhaseSpec,
+        throughput: &crate::perf::EpochThroughput,
+    ) -> EpochResult {
+        let big = self.spec.big_cluster();
+        let little = self.spec.little_cluster();
+        let decision = &entry.decision;
+        let perf = PerfModel::run_epoch_with(throughput, decision, phase);
+        let ips = if perf.time_s > 0.0 {
+            phase.instructions / perf.time_s
+        } else {
+            0.0
+        };
+        let power = PowerBreakdown {
+            big_w: entry.big_power_w(perf.big_utilization),
+            little_w: entry.little_power_w(perf.little_utilization),
+            mem_w: self.spec.power_model().memory_power(phase, ips),
+            base_w: self.spec.power_model().soc_base_power_w,
+        };
+        let counters = CounterSnapshot::from_epoch(big, little, decision, phase, &perf, &power);
+        let power_w = power.total_w();
+        EpochResult {
+            decision: *decision,
+            time_s: perf.time_s,
+            energy_j: power_w * perf.time_s,
+            power_w,
+            big_power_w: power.big_w,
+            little_power_w: power.little_w,
+            temperature_c: self.spec.thermal_model().ambient_c,
+            counters,
+        }
     }
 
     /// Runs a single epoch under `decision`, returning its result (without measurement
@@ -383,94 +558,133 @@ impl Platform {
         decision: &DrmDecision,
         phase: &crate::workload::PhaseSpec,
     ) -> Result<EpochResult> {
-        self.spec.decision_space().validate(decision)?;
-        let big = self.spec.big_cluster();
-        let little = self.spec.little_cluster();
-        let perf = self
-            .spec
-            .perf_model()
-            .run_epoch(big, little, decision, phase);
-        let power = self
-            .spec
-            .power_model()
-            .epoch_power(big, little, decision, phase, &perf);
-        let counters = CounterSnapshot::from_epoch(big, little, decision, phase, &perf, &power);
-        let power_w = power.total_w();
-        Ok(EpochResult {
-            decision: *decision,
-            time_s: perf.time_s,
-            energy_j: power_w * perf.time_s,
-            power_w,
-            big_power_w: power.big_w,
-            little_power_w: power.little_w,
-            temperature_c: self.spec.thermal_model().ambient_c,
-            counters,
-        })
+        let entry = self.table.entry(self.resolve_index(decision)?);
+        let throughput = self.spec.perf_model().epoch_throughput(
+            self.spec.big_cluster(),
+            self.spec.little_cluster(),
+            &entry.decision,
+            phase,
+        );
+        Ok(self.epoch_from_entry(entry, phase, &throughput))
     }
 
-    /// Runs `app` end to end under `controller`.
+    /// Runs `app` end to end under `controller`, streaming every finished epoch into `sink`
+    /// and folding the aggregates without materializing per-epoch results.
     ///
-    /// `seed` controls the deterministic measurement noise; two runs with the same seed,
-    /// application and controller produce identical summaries.
+    /// This is the simulation hot path: with a [`DiscardEpochs`] sink the loop performs no
+    /// heap allocation per epoch — decisions resolve through the precomputed
+    /// [`DecisionTable`] (including throttle capping), and only the phase-dependent
+    /// performance/power math runs per epoch. [`run_application`](Self::run_application) is
+    /// a thin wrapper that collects the epochs; both paths produce bit-identical numbers.
+    ///
+    /// `seed` controls the deterministic measurement noise exactly as in
+    /// [`run_application`](Self::run_application).
     ///
     /// # Errors
     ///
     /// Returns [`crate::SocError::InvalidDecision`] if the controller emits a configuration
     /// outside the decision space (learned policies built from knob indices cannot trigger
     /// this, but hand-written controllers can).
-    pub fn run_application(
+    pub fn run_application_with<S: EpochSink + ?Sized>(
         &self,
         app: &Application,
         controller: &mut dyn DrmController,
         seed: u64,
-    ) -> Result<RunSummary> {
+        sink: &mut S,
+    ) -> Result<RunAggregates> {
         controller.reset();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-        let noise = self.spec.measurement_noise;
-        let noise_dist = if noise > 0.0 {
-            Some(LogNormal::new(0.0, noise).expect("valid lognormal"))
-        } else {
-            None
-        };
+        let noise_dist = self.noise_dist;
 
         let mut previous = self.spec.decision_space().initial_decision();
         let mut counters = CounterSnapshot::zeroed();
-        let mut epochs = Vec::with_capacity(app.epoch_count());
         let mut total_time = 0.0;
         let mut total_energy = 0.0;
         let mut total_instructions = 0.0;
+        let mut big_rail_energy = 0.0;
+        let mut little_rail_energy = 0.0;
         let thermal = *self.spec.thermal_model();
+        let transition = *self.spec.transition_model();
         let mut thermal_state = thermal.initial_state();
         let mut peak_temperature_c = thermal_state.hottest_c();
+        // Last (decision index, phase rates) → throughput state. Consecutive epochs almost
+        // always repeat both (generators jitter only instruction counts; controllers hold
+        // decisions across stretches), so the throughput derivation — the only part of the
+        // epoch model that is not instruction-scaled — runs once per stretch instead of
+        // once per epoch. Memoized values are the exact f64s a fresh derivation produces.
+        let mut throughput_memo: Option<(usize, [f64; 5], crate::perf::EpochThroughput)> = None;
+        // Last requested decision → dense index, for the same repeat-stretch reason: a hit
+        // replaces even the two binary searches with one 12-byte comparison.
+        let mut lookup_memo: Option<(DrmDecision, usize)> = None;
 
         for phase in &app.epochs {
             let requested = controller.decide(&counters, &previous);
             // Thermal throttling: while the throttle is engaged the clusters cannot exceed
-            // their ceilings, regardless of what the controller asked for.
+            // their ceilings, regardless of what the controller asked for. The throttled
+            // target of every in-space decision is precomputed; out-of-space requests fall
+            // back to the slow capping path so the seed's semantics (the *capped* decision
+            // is what gets validated) are preserved exactly.
             let throttling = thermal.throttles(&thermal_state);
-            let decision = thermal.cap_decision(
-                throttling,
-                &requested,
-                self.spec.big_cluster(),
-                self.spec.little_cluster(),
-            );
-            let mut result = self.run_epoch(&decision, phase)?;
+            let mut index = match &lookup_memo {
+                Some((memo_decision, memo_index)) if *memo_decision == requested => *memo_index,
+                _ => match self.table.index_of(&requested) {
+                    Some(index) => {
+                        lookup_memo = Some((requested, index));
+                        index
+                    }
+                    None => {
+                        let capped = thermal.cap_decision(
+                            throttling,
+                            &requested,
+                            self.spec.big_cluster(),
+                            self.spec.little_cluster(),
+                        );
+                        // cap_decision is idempotent, so the throttle re-application below
+                        // is harmless for this (error-bound) path.
+                        self.resolve_index(&capped)?
+                    }
+                },
+            };
+            if throttling {
+                index = self.table.entry(index).throttled_index;
+            }
+            let entry = self.table.entry(index);
+            let decision = entry.decision;
+            let rates = [
+                phase.memory_refs_per_instr,
+                phase.l2_miss_rate,
+                phase.branch_fraction,
+                phase.branch_miss_rate,
+                phase.ilp_scale,
+            ];
+            let throughput = match &throughput_memo {
+                Some((memo_index, memo_rates, memo_tp))
+                    if *memo_index == index && *memo_rates == rates =>
+                {
+                    *memo_tp
+                }
+                _ => {
+                    let tp = self.spec.perf_model().epoch_throughput(
+                        self.spec.big_cluster(),
+                        self.spec.little_cluster(),
+                        &decision,
+                        phase,
+                    );
+                    throughput_memo = Some((index, rates, tp));
+                    tp
+                }
+            };
+            let mut result = self.epoch_from_entry(entry, phase, &throughput);
             // Temperature-dependent leakage inflates the measured power.
             let leakage_scale = thermal.leakage_multiplier(thermal_state.die_c);
             result.power_w *= leakage_scale;
             result.big_power_w *= leakage_scale;
             result.little_power_w *= leakage_scale;
-            result.counters.total_chip_power_w = result.power_w;
-            result.energy_j = result.time_s * result.power_w;
             // Pay the DVFS / hotplug switching latency for changing the configuration; the
             // extra time is spent at the new configuration's power level.
-            let switch_s = self
-                .spec
-                .transition_model()
-                .switch_time_s(&previous, &decision);
+            let switch_s = transition.switch_time_s(&previous, &decision);
             if switch_s > 0.0 {
                 result.time_s += switch_s;
-                result.energy_j = result.time_s * result.power_w;
             }
             if let Some(dist) = &noise_dist {
                 let time_factor: f64 = dist.sample(&mut rng);
@@ -479,21 +693,23 @@ impl Platform {
                 result.power_w *= power_factor;
                 result.big_power_w *= power_factor;
                 result.little_power_w *= power_factor;
-                result.energy_j = result.time_s * result.power_w;
-                result.counters.total_chip_power_w = result.power_w;
             }
-            // Switch *energy* penalties (zero on platforms that predate them) are drawn by
-            // the rails during the transition itself, outside the measurement-noise model.
-            let switch_j = self
-                .spec
-                .transition_model()
-                .switch_energy_j(&previous, &decision);
+            result.counters.total_chip_power_w = result.power_w;
+            // Energy is computed exactly once, after every adjustment to its two factors
+            // (leakage and noise scale the power, switch latency and noise stretch the
+            // time). The seed recomputed `time · power` after each step and overwrote the
+            // previous value, so folding the chain into one final product is bit-identical;
+            // only the switch *energy* penalty sits outside the measurement-noise model.
+            result.energy_j = result.time_s * result.power_w;
+            let switch_j = transition.switch_energy_j(&previous, &decision);
             if switch_j > 0.0 {
                 result.energy_j += switch_j;
             }
             total_time += result.time_s;
             total_energy += result.energy_j;
             total_instructions += phase.instructions;
+            big_rail_energy += result.big_power_w * result.time_s;
+            little_rail_energy += result.little_power_w * result.time_s;
             thermal_state = thermal.advance(
                 &thermal_state,
                 result.big_power_w,
@@ -507,7 +723,7 @@ impl Platform {
             }
             counters = result.counters;
             previous = decision;
-            epochs.push(result);
+            sink.on_epoch(&result);
         }
 
         let average_power_w = if total_time > 0.0 {
@@ -523,15 +739,48 @@ impl Platform {
             0.0
         };
 
-        Ok(RunSummary {
-            application: app.name.clone(),
-            controller: controller.name().to_string(),
+        Ok(RunAggregates {
+            epochs: app.epoch_count(),
             execution_time_s: total_time,
             energy_j: total_energy,
+            instructions: total_instructions,
+            big_rail_energy_j: big_rail_energy,
+            little_rail_energy_j: little_rail_energy,
             average_power_w,
             ppw,
             peak_temperature_c,
-            epochs,
+        })
+    }
+
+    /// Runs `app` end to end under `controller`, materializing the per-epoch trace.
+    ///
+    /// `seed` controls the deterministic measurement noise; two runs with the same seed,
+    /// application and controller produce identical summaries. This is a thin collecting
+    /// sink over [`run_application_with`](Self::run_application_with); callers that only
+    /// need the aggregates should use the streaming form directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SocError::InvalidDecision`] if the controller emits a configuration
+    /// outside the decision space (learned policies built from knob indices cannot trigger
+    /// this, but hand-written controllers can).
+    pub fn run_application(
+        &self,
+        app: &Application,
+        controller: &mut dyn DrmController,
+        seed: u64,
+    ) -> Result<RunSummary> {
+        let mut collector = CollectEpochs::with_capacity(app.epoch_count());
+        let aggregates = self.run_application_with(app, controller, seed, &mut collector)?;
+        Ok(RunSummary {
+            application: app.name.clone(),
+            controller: controller.shared_name(),
+            execution_time_s: aggregates.execution_time_s,
+            energy_j: aggregates.energy_j,
+            average_power_w: aggregates.average_power_w,
+            ppw: aggregates.ppw,
+            peak_temperature_c: aggregates.peak_temperature_c,
+            epochs: collector.into_epochs(),
         })
     }
 }
@@ -600,8 +849,8 @@ mod tests {
             .run_application(&app, &mut FixedController(decision), 3)
             .unwrap();
         assert_eq!(summary.epochs.len(), 10);
-        assert_eq!(summary.application, "test-app");
-        assert_eq!(summary.controller, "fixed");
+        assert_eq!(&*summary.application, "test-app");
+        assert_eq!(&*summary.controller, "fixed");
         let sum_time: f64 = summary.epochs.iter().map(|e| e.time_s).sum();
         let sum_energy: f64 = summary.epochs.iter().map(|e| e.energy_j).sum();
         assert!((sum_time - summary.execution_time_s).abs() < 1e-9);
@@ -688,7 +937,7 @@ mod tests {
         };
         let mut boxed: Box<dyn DrmController> = Box::new(FixedController(d));
         let summary = platform.run_application(&app, &mut boxed, 5).unwrap();
-        assert_eq!(summary.controller, "fixed");
+        assert_eq!(&*summary.controller, "fixed");
         assert_eq!(summary.epochs[0].decision, d);
     }
 

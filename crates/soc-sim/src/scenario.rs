@@ -357,14 +357,30 @@ impl ScenarioConstraints {
     /// Summed relative violation of every active limit, scaled by the penalty weight
     /// (zero when the run satisfies the scenario).
     pub fn penalty(&self, summary: &RunSummary) -> f64 {
+        self.penalty_from_metrics(
+            summary.execution_time_s,
+            summary.average_power_w,
+            summary.peak_temperature_c,
+        )
+    }
+
+    /// [`penalty`](Self::penalty) from the raw run metrics, for streaming runs
+    /// ([`crate::platform::Platform::run_application_with`]) that never materialize a
+    /// [`RunSummary`]. Same float-operation order, bit-identical result.
+    pub fn penalty_from_metrics(
+        &self,
+        execution_time_s: f64,
+        average_power_w: f64,
+        peak_temperature_c: f64,
+    ) -> f64 {
         let overshoot = |value: f64, limit: Option<f64>| match limit {
             Some(limit) if limit > 0.0 => ((value - limit) / limit).max(0.0),
             _ => 0.0,
         };
         self.penalty_weight
-            * (overshoot(summary.peak_temperature_c, self.thermal_limit_c)
-                + overshoot(summary.average_power_w, self.power_budget_w)
-                + overshoot(summary.execution_time_s, self.deadline_s))
+            * (overshoot(peak_temperature_c, self.thermal_limit_c)
+                + overshoot(average_power_w, self.power_budget_w)
+                + overshoot(execution_time_s, self.deadline_s))
     }
 
     /// `true` when the run violates none of the limits.
@@ -626,6 +642,15 @@ mod tests {
 
         let thermal = ScenarioConstraints::thermal(80.0, 4.0);
         assert!((thermal.penalty(&summary) - 4.0 * (10.0 / 80.0)).abs() < 1e-12);
+        assert_eq!(
+            thermal.penalty(&summary),
+            thermal.penalty_from_metrics(
+                summary.execution_time_s,
+                summary.average_power_w,
+                summary.peak_temperature_c
+            ),
+            "metrics form must be bit-identical to the summary form"
+        );
         assert!(!thermal.is_satisfied(&summary));
         summary.peak_temperature_c = 75.0;
         assert!(thermal.is_satisfied(&summary));

@@ -10,6 +10,7 @@
 
 use crate::{Result, SocError};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Workload characteristics of one program phase, expressed per dynamic instruction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,8 +75,10 @@ impl PhaseSpec {
 /// A fully expanded application: an ordered sequence of per-epoch phase specifications.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Application {
-    /// Benchmark name (e.g. `"qsort"`).
-    pub name: String,
+    /// Benchmark name (e.g. `"qsort"`), shared so every [`crate::platform::RunSummary`]
+    /// produced from this application reuses the same allocation (a refcount bump per run
+    /// instead of a fresh `String`).
+    pub name: Arc<str>,
     /// One [`PhaseSpec`] per decision epoch, in execution order.
     pub epochs: Vec<PhaseSpec>,
 }
@@ -87,10 +90,12 @@ impl Application {
     ///
     /// Returns [`SocError::EmptyApplication`] for an empty epoch list and propagates
     /// [`PhaseSpec::validate`] failures.
-    pub fn new(name: impl Into<String>, epochs: Vec<PhaseSpec>) -> Result<Self> {
+    pub fn new(name: impl Into<Arc<str>>, epochs: Vec<PhaseSpec>) -> Result<Self> {
         let name = name.into();
         if epochs.is_empty() {
-            return Err(SocError::EmptyApplication { name });
+            return Err(SocError::EmptyApplication {
+                name: name.to_string(),
+            });
         }
         for e in &epochs {
             e.validate()?;
@@ -245,7 +250,7 @@ fn jitter_factor(state: &mut u64, jitter: f64) -> f64 {
 /// Propagates [`Application::new`] validation failures (e.g. `epochs == 0`).
 #[allow(clippy::too_many_arguments)] // mirrors the other generators' flat parameter style
 pub fn bursty(
-    name: impl Into<String>,
+    name: impl Into<Arc<str>>,
     base: PhaseSpec,
     burst_scale: f64,
     period: usize,
@@ -276,7 +281,7 @@ pub fn bursty(
 ///
 /// Propagates [`Application::new`] validation failures (e.g. `epochs == 0`).
 pub fn periodic(
-    name: impl Into<String>,
+    name: impl Into<Arc<str>>,
     base: PhaseSpec,
     period: usize,
     depth: f64,
@@ -306,7 +311,7 @@ pub fn periodic(
 ///
 /// Propagates [`Application::new`] validation failures (e.g. `epochs == 0`).
 pub fn io_idle(
-    name: impl Into<String>,
+    name: impl Into<Arc<str>>,
     active: PhaseSpec,
     idle_fraction: f64,
     epochs: usize,
@@ -343,7 +348,11 @@ pub fn io_idle(
 /// # Errors
 ///
 /// Returns [`SocError::EmptyApplication`] when `apps` is empty (or all empty).
-pub fn interleave(name: impl Into<String>, apps: &[Application], seed: u64) -> Result<Application> {
+pub fn interleave(
+    name: impl Into<Arc<str>>,
+    apps: &[Application],
+    seed: u64,
+) -> Result<Application> {
     let mut cursors = vec![0usize; apps.len()];
     let total: usize = apps.iter().map(Application::epoch_count).sum();
     let mut state = seed ^ 0xbf58_476d_1ce4_e5b9;

@@ -114,7 +114,11 @@ impl Criterion {
         self.test_mode
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run_one_timed(name, f);
+    }
+
+    fn run_one_timed<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> Duration {
         print!("{name:<52}\r");
         let mut bencher = Bencher {
             samples: self.sample_size,
@@ -124,12 +128,23 @@ impl Criterion {
         f(&mut bencher);
         // Re-print the name on the measurement line for log-friendly single-line output.
         println!("  ^ {name}");
+        bencher.last_mean
     }
 
     /// Runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         self.run_one(name, f);
         self
+    }
+
+    /// Runs one benchmark and returns the mean per-iteration duration measured by its last
+    /// `iter` call ([`Duration::ZERO`] in `--test` smoke mode, where nothing is timed).
+    ///
+    /// Upstream criterion exposes measurements through its report files; this stub returns
+    /// them directly so speedup-ratio reports (`BENCH_*.json`) can reuse the bench loop
+    /// instead of duplicating it with ad-hoc `Instant` timing.
+    pub fn bench_timed<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> Duration {
+        self.run_one_timed(name, f)
     }
 
     /// Opens a named group of related benchmarks.
@@ -219,6 +234,22 @@ mod tests {
         let mut count = 0u64;
         criterion.bench_function("test_mode_smoke", |b| b.iter(|| count += 1));
         assert_eq!(count, 1, "test mode must not loop the routine");
+    }
+
+    #[test]
+    fn bench_timed_returns_the_measured_mean() {
+        let mean = Criterion::default()
+            .sample_size(2)
+            .bench_timed("timed_smoke", |b| {
+                b.iter(|| std::hint::black_box(std::time::Instant::now()))
+            });
+        // Timing resolution varies, but a measured mean is never the zero sentinel.
+        assert!(mean > Duration::ZERO);
+
+        let mut criterion = Criterion::default().sample_size(2);
+        criterion.test_mode = true;
+        let mean = criterion.bench_timed("timed_smoke_test_mode", |b| b.iter(|| 1 + 1));
+        assert_eq!(mean, Duration::ZERO, "test mode must not time anything");
     }
 
     #[test]

@@ -252,6 +252,27 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        T::from_json_value(value).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json_value(&self) -> Value {
         match self {
@@ -410,6 +431,26 @@ mod tests {
             .unwrap_err()
             .in_field("Report", "name");
         assert!(err.to_string().contains("Report.name"));
+    }
+
+    #[test]
+    fn arc_str_round_trips_as_a_plain_string() {
+        use std::sync::Arc;
+        let shared: Arc<str> = Arc::from("qsort");
+        assert_eq!(shared.to_json_value(), Value::String("qsort".into()));
+        let back = Arc::<str>::from_json_value(&Value::String("qsort".into())).unwrap();
+        assert_eq!(&*back, "qsort");
+        assert!(Arc::<str>::from_json_value(&Value::Bool(true)).is_err());
+        // Sized payloads go through the generic Arc<T> impls.
+        let boxed: Arc<Vec<u64>> = Arc::new(vec![1, 2]);
+        assert_eq!(
+            boxed.to_json_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            *Arc::<Vec<u64>>::from_json_value(&boxed.to_json_value()).unwrap(),
+            vec![1, 2]
+        );
     }
 
     #[test]
