@@ -1,0 +1,259 @@
+//! Acquisition-engine speedup report: measures the flat-buffer batched front-sampling
+//! pipeline against the preserved seed path ([`bench::seedpath_acq`]) and emits the ratios
+//! as `BENCH_acq.json` (into `$PARMIS_RESULTS_DIR` when set).
+//!
+//! Criterion groups:
+//!
+//! * `front_sample_200f_40x25` — one end-to-end `ParetoFrontSampler::sample` (draw one RFF
+//!   function per objective, NSGA-II solve, front reduction): warm-scratch flat engine vs.
+//!   the seed per-point loop on the shared probe problem.
+//! * `rff_eval_batch80` — one 200-feature posterior sample answering 80 points:
+//!   `eval_batch_into` vs. the per-point `eval` loop.
+//! * `nsga2_machinery_40x30` — the evolutionary machinery isolated on a near-free synthetic
+//!   objective: flat engine vs. the seed `Vec<Vec<f64>>` loop.
+//!
+//! The binary also asserts, via a counting global allocator, that a warm engine's
+//! allocation count does **not** grow with the generation count — the "zero per-generation
+//! heap allocation" contract of the flat rewrite.
+//!
+//! `cargo bench -p bench --bench bench_acq` for the timed report; `-- --test` (CI smoke
+//! mode) runs every routine once, untimed, and skips the JSON emission.
+
+use bench::report::{fmt, print_header, write_json};
+use bench::seedpath_acq::{
+    self, build_seed_samplers, probe_models, probe_sampling_config, sample_front_seed,
+};
+use criterion::Criterion;
+use gp::RffSampler;
+use moo::nsga2::{Nsga2, Nsga2Config, Nsga2Engine};
+use parmis::pareto_sampling::{AcquisitionScratch, ParetoFrontSampler, ParetoSamplingConfig};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts heap allocations so the bench can assert the warm engine allocates nothing per
+/// generation. Deallocations are uncounted — only the allocation count matters here.
+struct CountingAllocator;
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCATION_COUNT.load(Ordering::Relaxed);
+    f();
+    ALLOCATION_COUNT.load(Ordering::Relaxed) - before
+}
+
+/// One measured seed-vs-flat comparison.
+#[derive(Debug, Serialize)]
+struct AcqBenchRow {
+    name: String,
+    seed_ms: f64,
+    flat_ms: f64,
+    /// seed_ms / flat_ms — how much cheaper the flat batched path is.
+    speedup: f64,
+}
+
+fn row(name: &str, seed: Duration, flat: Duration) -> AcqBenchRow {
+    let seed_ms = seed.as_secs_f64() * 1e3;
+    let flat_ms = flat.as_secs_f64() * 1e3;
+    AcqBenchRow {
+        name: name.to_string(),
+        seed_ms,
+        flat_ms,
+        speedup: seed_ms / flat_ms.max(1e-12),
+    }
+}
+
+/// The zero-per-generation-allocation contract: once the engine (and the RFF machinery it
+/// drives) is warm, evolving 10× more generations must not add a single heap allocation —
+/// the whole per-generation loop runs on reused flat buffers.
+fn assert_allocations_stay_flat() {
+    let models = probe_models();
+    let config = probe_sampling_config();
+    let sampler_seed = 11u64;
+    let samplers = build_seed_samplers(&models, config.rff_features, sampler_seed);
+    let functions: Vec<gp::PosteriorSample> = samplers
+        .iter()
+        .map(|s| s.sample(3).expect("valid draw"))
+        .collect();
+    let k = functions.len();
+    let dim = samplers[0].dim();
+
+    let mut engine = Nsga2Engine::new();
+    let mut column: Vec<f64> = Vec::new();
+    let mut run = |generations: usize| {
+        let nsga = Nsga2::new(
+            vec![-3.0; dim],
+            vec![3.0; dim],
+            Nsga2Config {
+                population_size: config.nsga_population,
+                generations,
+                seed: 99,
+                ..Default::default()
+            },
+        )
+        .expect("valid problem");
+        allocations_during(|| {
+            engine.solve(&nsga, k, |points, out| {
+                for (j, f) in functions.iter().enumerate() {
+                    column.clear();
+                    column.resize(points.count(), 0.0);
+                    f.eval_batch_into(points.as_slice(), &mut column);
+                    for (p, v) in column.iter().enumerate() {
+                        out[p * k + j] = *v;
+                    }
+                }
+            });
+        })
+    };
+    // Warm-up at the largest shape, then measure: a warm engine must be allocation-free
+    // regardless of how many generations it evolves.
+    run(30);
+    let allocs_3 = run(3);
+    let allocs_30 = run(30);
+    assert_eq!(
+        allocs_3, allocs_30,
+        "warm NSGA-II solves must not allocate per generation: {allocs_3} allocations at \
+         3 generations vs {allocs_30} at 30"
+    );
+    assert_eq!(
+        allocs_30, 0,
+        "a warm engine solve must be entirely allocation-free, saw {allocs_30}"
+    );
+    println!("allocation flatness: {allocs_3}@3gen == {allocs_30}@30gen == 0 ok");
+}
+
+fn bench_front_sample(c: &mut Criterion, rows: &mut Vec<AcqBenchRow>) {
+    let models = probe_models();
+    // Slightly smaller than the gate shape so the timed report stays quick; the gate runs
+    // the full probe_sampling_config shape.
+    let config = ParetoSamplingConfig {
+        nsga_generations: 25,
+        ..probe_sampling_config()
+    };
+    let sampler_seed = 5u64;
+    let samplers = build_seed_samplers(&models, config.rff_features, sampler_seed);
+    let sampler =
+        ParetoFrontSampler::new(&models, 3.0, config.clone(), sampler_seed).expect("valid sampler");
+    let mut scratch = AcquisitionScratch::default();
+    // Warm the scratch so the measurement sees the steady-state (framework) behaviour.
+    sampler.sample_with(&mut scratch, 0).expect("valid sample");
+
+    let mut sample_seed = 0u64;
+    let seed = c.bench_timed("front_sample_200f_40x25/seed_path", |b| {
+        b.iter(|| {
+            sample_seed = sample_seed.wrapping_add(1);
+            sample_front_seed(&samplers, 3.0, &config, sample_seed)
+        })
+    });
+    let mut sample_seed = 0u64;
+    let flat = c.bench_timed("front_sample_200f_40x25/flat_engine", |b| {
+        b.iter(|| {
+            sample_seed = sample_seed.wrapping_add(1);
+            sampler
+                .sample_with(&mut scratch, sample_seed)
+                .expect("valid sample")
+        })
+    });
+    rows.push(row("front_sample_200f_40x25", seed, flat));
+}
+
+fn bench_rff_eval_batch(c: &mut Criterion, rows: &mut Vec<AcqBenchRow>) {
+    let models = probe_models();
+    let sampler = RffSampler::new(&models[0], 200, 7).expect("valid sampler");
+    let f = sampler.sample(1).expect("valid draw");
+    let dim = sampler.dim();
+    let points: Vec<f64> = (0..80 * dim)
+        .map(|i| -2.0 + 0.05 * (i % 80) as f64)
+        .collect();
+    let mut out = vec![0.0; 80];
+
+    let seed = c.bench_timed("rff_eval_batch80/per_point", |b| {
+        b.iter(|| {
+            for (p, o) in out.iter_mut().enumerate() {
+                *o = f.eval(&points[p * dim..(p + 1) * dim]);
+            }
+        })
+    });
+    let flat = c.bench_timed("rff_eval_batch80/batched", |b| {
+        b.iter(|| f.eval_batch_into(&points, &mut out))
+    });
+    rows.push(row("rff_eval_batch80", seed, flat));
+}
+
+fn bench_nsga2_machinery(c: &mut Criterion, rows: &mut Vec<AcqBenchRow>) {
+    // The shared machinery probe ([`seedpath_acq::probe_machinery_problem`]) isolates the
+    // evolutionary machinery with a near-free objective — the gate asserts >= 2x on this
+    // exact problem, so the BENCH_acq.json row and the gated ratio stay comparable.
+    let (lower, upper, config) = seedpath_acq::probe_machinery_problem();
+
+    let seed = c.bench_timed("nsga2_machinery_40x30/seed_path", |b| {
+        b.iter(|| {
+            seedpath_acq::nsga2_run_seed(
+                &lower,
+                &upper,
+                &config,
+                seedpath_acq::probe_machinery_eval,
+            )
+        })
+    });
+    let solver = Nsga2::new(lower.clone(), upper.clone(), config).expect("valid problem");
+    let mut engine = Nsga2Engine::new();
+    let flat = c.bench_timed("nsga2_machinery_40x30/flat_engine", |b| {
+        b.iter(|| {
+            engine.solve(&solver, 2, seedpath_acq::probe_machinery_eval_flat);
+        })
+    });
+    rows.push(row("nsga2_machinery_40x30", seed, flat));
+}
+
+fn main() {
+    let quick = std::env::var("PARMIS_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick");
+    let mut criterion = Criterion::default().sample_size(if quick { 4 } else { 10 });
+
+    print_header(
+        "BENCH_acq",
+        "flat-buffer batched acquisition engine vs the seed per-point sampling loop",
+    );
+    assert_allocations_stay_flat();
+
+    let mut rows = Vec::new();
+    bench_front_sample(&mut criterion, &mut rows);
+    bench_rff_eval_batch(&mut criterion, &mut rows);
+    bench_nsga2_machinery(&mut criterion, &mut rows);
+
+    if criterion.is_test_mode() {
+        println!("bench_acq smoke: every routine ran once; ratios not measured");
+        return;
+    }
+    println!("name,seed_ms,flat_ms,speedup");
+    for r in &rows {
+        println!(
+            "{},{},{},{}x",
+            r.name,
+            fmt(r.seed_ms),
+            fmt(r.flat_ms),
+            fmt(r.speedup)
+        );
+    }
+    write_json("BENCH_acq", &rows);
+}

@@ -14,5 +14,6 @@ pub mod data;
 pub mod harness;
 pub mod report;
 pub mod seedpath;
+pub mod seedpath_acq;
 
 pub use harness::{ExperimentBudget, MethodFront, PhvSummary};

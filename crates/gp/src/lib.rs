@@ -42,7 +42,7 @@ pub mod stats;
 
 pub use error::GpError;
 pub use gaussian_process::GaussianProcess;
-pub use rff::{PosteriorSample, RffSampler};
+pub use rff::{PosteriorSample, RffSampler, WeightScratch};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, GpError>;

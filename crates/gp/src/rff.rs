@@ -11,6 +11,23 @@
 //!    with mean `A⁻¹Φᵀy` and covariance `σ_n²A⁻¹` where `A = ΦᵀΦ + σ_n²I`.
 //! 3. A single weight draw `w` yields a deterministic, cheap-to-evaluate sample function
 //!    `f̃(x) = φ(x)ᵀw`.
+//!
+//! # Batched evaluation
+//!
+//! NSGA-II asks a sampled function for a whole population at a time, so
+//! [`PosteriorSample::eval_batch_into`] answers a row-major block of query points in one
+//! pass: conceptually one `frequencies × Xᵀ` matrix product followed by a `cos`/dot sweep,
+//! implemented *fused* (feature-major loop, population-minor) so the frequency row stays in
+//! L1 across the population and no `M × count` intermediate is materialized. Per point the
+//! floating-point operation order is exactly that of [`PosteriorSample::eval`], so batched
+//! answers are **bit-identical** to the per-point path; the only costs removed are the
+//! per-point re-streaming of the frequency matrix and the per-call bookkeeping. Sampler and
+//! sample share the frequency matrix and phases through `Arc`, and
+//! [`RffSampler::sample_with`] reuses a caller-provided [`WeightScratch`] across draws, so
+//! a warm acquisition loop draws and evaluates sample functions without reallocating its
+//! feature machinery. Regenerate the measured per-point-vs-batched ratios with
+//! `PARMIS_RESULTS_DIR=results cargo bench -p bench --bench bench_acq` (writes
+//! `BENCH_acq.json`).
 
 use crate::kernel::KernelFamily;
 use crate::{GaussianProcess, GpError, Result};
@@ -18,6 +35,7 @@ use linalg::{vector, Cholesky, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{ChiSquared, Distribution, StandardNormal};
+use std::sync::Arc;
 
 /// Factory for posterior function samples of a fitted [`GaussianProcess`].
 ///
@@ -40,10 +58,10 @@ use rand_distr::{ChiSquared, Distribution, StandardNormal};
 /// ```
 #[derive(Debug, Clone)]
 pub struct RffSampler {
-    /// Random feature frequencies, one row per feature.
-    frequencies: Matrix,
-    /// Random phase offsets, one per feature.
-    phases: Vec<f64>,
+    /// Random feature frequencies, one row per feature (shared with every drawn sample).
+    frequencies: Arc<Matrix>,
+    /// Random phase offsets, one per feature (shared with every drawn sample).
+    phases: Arc<Vec<f64>>,
     /// Feature scaling √(2σ²/M).
     feature_scale: f64,
     /// Posterior mean of the feature weights.
@@ -57,14 +75,30 @@ pub struct RffSampler {
 }
 
 /// A single deterministic function drawn from the GP posterior.
+///
+/// The frequency matrix and phases are shared with the originating [`RffSampler`] (and
+/// its sibling samples) through `Arc`; only the weight vector is owned per sample.
 #[derive(Debug, Clone)]
 pub struct PosteriorSample {
-    frequencies: Matrix,
-    phases: Vec<f64>,
+    frequencies: Arc<Matrix>,
+    phases: Arc<Vec<f64>>,
     feature_scale: f64,
     weights: Vec<f64>,
     offset: f64,
     dim: usize,
+}
+
+/// Reusable buffers for the weight draw inside [`RffSampler::sample_with`].
+///
+/// Holds the iid standard-normal vector and its correlated image under the posterior
+/// covariance factor; both retain capacity across draws, so a warm scratch makes each
+/// sample's only allocation the weight vector the returned [`PosteriorSample`] owns.
+#[derive(Debug, Clone, Default)]
+pub struct WeightScratch {
+    /// iid standard-normal draws, one per feature.
+    z: Vec<f64>,
+    /// `L z` where `L` is the weight-covariance Cholesky factor.
+    correlated: Vec<f64>,
 }
 
 impl RffSampler {
@@ -136,8 +170,8 @@ impl RffSampler {
         let weight_cov_chol = Cholesky::new_with_jitter(&cov, 1e-12, 12)?;
 
         Ok(RffSampler {
-            frequencies,
-            phases,
+            frequencies: Arc::new(frequencies),
+            phases: Arc::new(phases),
             feature_scale,
             weight_mean,
             weight_cov_chol,
@@ -163,14 +197,32 @@ impl RffSampler {
     ///
     /// Propagates linear-algebra failures (which cannot occur for a well-formed sampler).
     pub fn sample(&self, seed: u64) -> Result<PosteriorSample> {
+        self.sample_with(seed, &mut WeightScratch::default())
+    }
+
+    /// [`sample`](Self::sample) with a caller-provided weight-draw scratch.
+    ///
+    /// Bit-identical to `sample` for the same seed; reusing `scratch` across draws (the
+    /// acquisition loop draws one function per objective per iteration) removes the
+    /// per-draw normal and correlated-vector allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (which cannot occur for a well-formed sampler).
+    pub fn sample_with(&self, seed: u64, scratch: &mut WeightScratch) -> Result<PosteriorSample> {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = self.num_features();
-        let z: Vec<f64> = (0..m).map(|_| StandardNormal.sample(&mut rng)).collect();
-        let correlated = self.weight_cov_chol.factor_mul_vec(&z)?;
-        let weights = vector::add(&self.weight_mean, &correlated);
+        scratch.z.clear();
+        scratch.z.extend((0..m).map(|_| {
+            let z: f64 = StandardNormal.sample(&mut rng);
+            z
+        }));
+        self.weight_cov_chol
+            .factor_mul_vec_into(&scratch.z, &mut scratch.correlated)?;
+        let weights = vector::add(&self.weight_mean, &scratch.correlated);
         Ok(PosteriorSample {
-            frequencies: self.frequencies.clone(),
-            phases: self.phases.clone(),
+            frequencies: Arc::clone(&self.frequencies),
+            phases: Arc::clone(&self.phases),
             feature_scale: self.feature_scale,
             weights,
             offset: self.offset,
@@ -200,6 +252,7 @@ impl PosteriorSample {
     /// Panics if `x.len()` differs from the training dimensionality.
     pub fn eval(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        crate::stats::record_rff_point_eval();
         let m = self.weights.len();
         let mut acc = 0.0;
         for j in 0..m {
@@ -207,6 +260,41 @@ impl PosteriorSample {
                 * self.weights[j];
         }
         acc + self.offset
+    }
+
+    /// Evaluates the sampled function at a whole row-major block of query points at once,
+    /// writing one value per point into `out` (`points.len() == out.len() * dim`).
+    ///
+    /// One fused `frequencies × Xᵀ` product + `cos`/dot sweep: the feature-major loop keeps
+    /// each frequency row hot across the population instead of re-streaming the whole
+    /// matrix per point. Per point the operation order matches [`eval`](Self::eval)
+    /// exactly, so results are bit-identical; the pass allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() != out.len() * dim`.
+    pub fn eval_batch_into(&self, points: &[f64], out: &mut [f64]) {
+        let count = out.len();
+        assert_eq!(
+            points.len(),
+            count * self.dim,
+            "query block dimension mismatch"
+        );
+        crate::stats::record_rff_feature_matrix_product();
+        out.fill(0.0);
+        let m = self.weights.len();
+        for j in 0..m {
+            let row = self.frequencies.row(j);
+            let phase = self.phases[j];
+            let weight = self.weights[j];
+            for (p, out_p) in out.iter_mut().enumerate() {
+                let x = &points[p * self.dim..(p + 1) * self.dim];
+                *out_p += (self.feature_scale * (vector::dot(row, x) + phase).cos()) * weight;
+            }
+        }
+        for v in out.iter_mut() {
+            *v += self.offset;
+        }
     }
 
     /// Input dimensionality of the sample.
@@ -335,5 +423,67 @@ mod tests {
         let sampler = RffSampler::new(&gp, 50, 1).unwrap();
         let f = sampler.sample(0).unwrap();
         f.eval(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn eval_batch_into_is_bit_identical_to_per_point_eval() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.3],
+            vec![0.2, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![-0.4, 0.9],
+        ];
+        let ys = vec![0.0, 1.3, 1.2, 2.0, 1.0, 0.5];
+        for kernel in [Kernel::rbf(1.0, 0.8), Kernel::matern52(1.2, 0.9)] {
+            let gp = GaussianProcess::fit(xs.clone(), ys.clone(), kernel, 1e-4).unwrap();
+            let sampler = RffSampler::new(&gp, 120, 31).unwrap();
+            let f = sampler.sample(4).unwrap();
+            let queries: Vec<Vec<f64>> = (0..17)
+                .map(|i| vec![-1.0 + 0.17 * i as f64, 2.0 - 0.21 * i as f64])
+                .collect();
+            let flat: Vec<f64> = queries.iter().flatten().copied().collect();
+            let mut batched = vec![0.0; queries.len()];
+            f.eval_batch_into(&flat, &mut batched);
+            for (q, b) in queries.iter().zip(&batched) {
+                assert_eq!(f.eval(q), *b, "batched eval diverged at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_into_handles_empty_block() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 30, 2).unwrap();
+        let f = sampler.sample(0).unwrap();
+        let mut out: Vec<f64> = Vec::new();
+        f.eval_batch_into(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn eval_batch_into_rejects_ragged_block() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 30, 2).unwrap();
+        let f = sampler.sample(0).unwrap();
+        let mut out = vec![0.0; 2];
+        // 3 values cannot form two 1-D points.
+        f.eval_batch_into(&[1.0, 2.0, 3.0], &mut out);
+    }
+
+    #[test]
+    fn sample_with_reused_scratch_matches_fresh_sample() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 90, 8).unwrap();
+        let mut scratch = WeightScratch::default();
+        // Warm the scratch with a different draw first: reuse must not leak state.
+        let _ = sampler.sample_with(1, &mut scratch).unwrap();
+        let reused = sampler.sample_with(42, &mut scratch).unwrap();
+        let fresh = sampler.sample(42).unwrap();
+        for q in [0.0, 0.7, 2.9] {
+            assert_eq!(reused.eval(&[q]), fresh.eval(&[q]));
+        }
     }
 }

@@ -16,6 +16,8 @@ static FULL_FITS: AtomicU64 = AtomicU64::new(0);
 static INCREMENTAL_UPDATES: AtomicU64 = AtomicU64::new(0);
 static PREDICT_POINTS: AtomicU64 = AtomicU64::new(0);
 static PREDICT_BATCHES: AtomicU64 = AtomicU64::new(0);
+static RFF_FEATURE_MATRIX_PRODUCTS: AtomicU64 = AtomicU64::new(0);
+static RFF_POINT_EVALS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of every counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +32,13 @@ pub struct OpCounts {
     /// Batched posterior predictions ([`crate::GaussianProcess::predict_batch`]), each
     /// answering any number of queries with one blocked solve.
     pub predict_batches: u64,
+    /// Batched posterior-sample evaluations ([`crate::PosteriorSample::eval_batch_into`]),
+    /// each answering a whole population with one fused `frequencies × Xᵀ` feature-matrix
+    /// product.
+    pub rff_feature_matrix_products: u64,
+    /// Per-point posterior-sample evaluations ([`crate::PosteriorSample::eval`]), which
+    /// recompute every random feature for a single point.
+    pub rff_point_evals: u64,
 }
 
 /// Resets every counter to zero.
@@ -38,6 +47,8 @@ pub fn reset() {
     INCREMENTAL_UPDATES.store(0, Ordering::Relaxed);
     PREDICT_POINTS.store(0, Ordering::Relaxed);
     PREDICT_BATCHES.store(0, Ordering::Relaxed);
+    RFF_FEATURE_MATRIX_PRODUCTS.store(0, Ordering::Relaxed);
+    RFF_POINT_EVALS.store(0, Ordering::Relaxed);
 }
 
 /// Returns the current value of every counter.
@@ -47,6 +58,8 @@ pub fn snapshot() -> OpCounts {
         incremental_updates: INCREMENTAL_UPDATES.load(Ordering::Relaxed),
         predict_points: PREDICT_POINTS.load(Ordering::Relaxed),
         predict_batches: PREDICT_BATCHES.load(Ordering::Relaxed),
+        rff_feature_matrix_products: RFF_FEATURE_MATRIX_PRODUCTS.load(Ordering::Relaxed),
+        rff_point_evals: RFF_POINT_EVALS.load(Ordering::Relaxed),
     }
 }
 
@@ -64,6 +77,14 @@ pub(crate) fn record_predict_point() {
 
 pub(crate) fn record_predict_batch() {
     PREDICT_BATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_rff_feature_matrix_product() {
+    RFF_FEATURE_MATRIX_PRODUCTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_rff_point_eval() {
+    RFF_POINT_EVALS.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -408,6 +408,16 @@ impl Cholesky {
     pub fn factor_mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
         self.l.mat_vec(v)
     }
+
+    /// [`factor_mul_vec`](Self::factor_mul_vec) into a reused buffer (resized to `n`):
+    /// the allocation-free form used by scratch-reusing posterior samplers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != n`.
+    pub fn factor_mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        self.l.mat_vec_into(v, out)
+    }
 }
 
 #[cfg(test)]

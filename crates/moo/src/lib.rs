@@ -37,9 +37,10 @@ pub mod front;
 pub mod hypervolume;
 pub mod nsga2;
 pub mod scalarize;
+pub mod stats;
 
-pub use dominance::{dominates, non_dominated_indices, Dominance};
+pub use dominance::{dominates, non_dominated_indices, Dominance, DominanceScratch};
 pub use front::ParetoFront;
 pub use hypervolume::hypervolume;
-pub use nsga2::{Nsga2, Nsga2Config, Population};
+pub use nsga2::{FlatPopulation, Nsga2, Nsga2Config, Nsga2Engine, Population};
 pub use scalarize::{Scalarization, WeightVector};

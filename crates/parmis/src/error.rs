@@ -19,6 +19,12 @@ pub enum ParmisError {
     },
     /// Fitting or sampling a statistical model failed.
     Model(gp::GpError),
+    /// Drawing a Pareto-front sample produced a degenerate front (empty, or with
+    /// non-finite per-objective extrema) that would poison the acquisition scores.
+    DegenerateFront {
+        /// Human-readable description of the degeneracy.
+        reason: String,
+    },
     /// The underlying platform simulation failed.
     Simulation(soc_sim::SocError),
 }
@@ -29,6 +35,9 @@ impl fmt::Display for ParmisError {
             ParmisError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             ParmisError::Evaluation { reason } => write!(f, "policy evaluation failed: {reason}"),
             ParmisError::Model(e) => write!(f, "statistical model failure: {e}"),
+            ParmisError::DegenerateFront { reason } => {
+                write!(f, "degenerate Pareto-front sample: {reason}")
+            }
             ParmisError::Simulation(e) => write!(f, "platform simulation failure: {e}"),
         }
     }

@@ -3,7 +3,7 @@
 use crate::acquisition::{AcquisitionOptimizer, AcquisitionOptimizerConfig};
 use crate::evaluation::PolicyEvaluator;
 use crate::objective::Objective;
-use crate::pareto_sampling::{ParetoFrontSampler, ParetoSamplingConfig};
+use crate::pareto_sampling::{AcquisitionScratch, ParetoFrontSampler, ParetoSamplingConfig};
 use crate::{ParmisError, Result};
 use gp::hyperopt::{fit_with_hyperopt, HyperoptConfig};
 use gp::kernel::KernelFamily;
@@ -194,6 +194,10 @@ impl Parmis {
         // models are advanced incrementally (rank-one Cholesky extension + target swap)
         // instead of being refit from scratch.
         let mut model_cache: Option<Vec<GaussianProcess>> = None;
+        // One acquisition scratch for the whole run: the flat NSGA-II engine, RFF weight
+        // buffers and batched output column warm up on the first Pareto-front sample and
+        // are reused by every later iteration instead of rebuilding solver state.
+        let mut acquisition_scratch = AcquisitionScratch::default();
 
         // --- Initial design (Algorithm 1, line 1) -------------------------------------------
         // The candidate parameters are drawn from a single sequential stream (independent of
@@ -238,8 +242,11 @@ impl Parmis {
                 cfg.sampling.clone(),
                 cfg.seed ^ (iteration as u64).wrapping_mul(0x9e3779b97f4a7c15),
             )?;
-            let samples =
-                sampler.sample_many(cfg.num_pareto_samples, cfg.seed ^ (iteration as u64) << 8)?;
+            let samples = sampler.sample_many_with(
+                &mut acquisition_scratch,
+                cfg.num_pareto_samples,
+                cfg.seed ^ (iteration as u64) << 8,
+            )?;
 
             // Line 4 (part 2): take the top-q information-gain candidates instead of the
             // argmax.

@@ -6,10 +6,23 @@
 //! resulting *cheap* multi-objective optimization problem over the policy-parameter box with
 //! NSGA-II. Only the per-objective extrema of the sampled front are needed by the
 //! closed-form entropy expression, but the full front is kept for diagnostics and tests.
+//!
+//! # Batched engine
+//!
+//! The NSGA-II solve runs on the flat-buffer [`moo::nsga2::Nsga2Engine`]: each generation's
+//! offspring block is answered by `k` calls to
+//! [`PosteriorSample::eval_batch_into`](gp::PosteriorSample::eval_batch_into) — one fused
+//! feature-matrix product per objective function over the whole population — instead of
+//! `population × k` per-point feature recomputations. An [`AcquisitionScratch`] carries the
+//! engine, the RFF weight-draw buffers and the per-objective output column across
+//! [`sample`](ParetoFrontSampler::sample) calls (the framework keeps one alive across
+//! iterations), so a warm sampler evolves each generation with zero heap allocation. The
+//! sampled fronts are **bit-identical** to the original per-point loop for every seed; the
+//! `acq_equivalence` suite in the bench crate pins this against the preserved seed path.
 
-use crate::Result;
-use gp::{GaussianProcess, PosteriorSample, RffSampler};
-use moo::nsga2::{Nsga2, Nsga2Config};
+use crate::{ParmisError, Result};
+use gp::{GaussianProcess, PosteriorSample, RffSampler, WeightScratch};
+use moo::nsga2::{Nsga2, Nsga2Config, Nsga2Engine};
 
 /// Configuration of the front-sampling step.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +53,56 @@ pub struct ParetoFrontSample {
     /// Per-objective minimum over the sampled front: the truncation point `y*_s` of Eq. 6-8
     /// (adapted to minimization; see [`crate::acquisition`]).
     pub per_objective_best: Vec<f64>,
+}
+
+impl ParetoFrontSample {
+    /// Builds a sample from its front, computing the per-objective extrema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::DegenerateFront`] if the front is empty or any per-objective
+    /// best is non-finite — either would leak `f64::INFINITY` (or `NaN`) into the
+    /// closed-form information gain and silently corrupt every acquisition score.
+    pub fn from_front(front: Vec<Vec<f64>>) -> Result<Self> {
+        if front.is_empty() {
+            return Err(ParmisError::DegenerateFront {
+                reason: "sampled front has no points".into(),
+            });
+        }
+        let k = front[0].len();
+        let mut per_objective_best = vec![f64::INFINITY; k];
+        for point in &front {
+            for (best, v) in per_objective_best.iter_mut().zip(point) {
+                *best = best.min(*v);
+            }
+        }
+        if per_objective_best.iter().any(|b| !b.is_finite()) {
+            return Err(ParmisError::DegenerateFront {
+                reason: format!("non-finite per-objective extrema {per_objective_best:?}"),
+            });
+        }
+        Ok(ParetoFrontSample {
+            front,
+            per_objective_best,
+        })
+    }
+}
+
+/// Reusable solver state for [`ParetoFrontSampler::sample_with`].
+///
+/// Owns the flat NSGA-II engine, the RFF weight-draw buffers and the per-objective batched
+/// output column. Keeping one scratch alive across samples — and across framework
+/// iterations — means the per-generation hot path never touches the allocator once warm.
+#[derive(Debug, Default)]
+pub struct AcquisitionScratch {
+    /// Flat-buffer NSGA-II evolution engine.
+    engine: Nsga2Engine,
+    /// Weight-draw buffers shared by every objective's posterior-sample draw.
+    weights: WeightScratch,
+    /// One objective function's values over a whole population.
+    objective_column: Vec<f64>,
+    /// Pareto member indices of the final population.
+    pareto: Vec<usize>,
 }
 
 /// Draws Pareto-front samples from a set of per-objective GP models.
@@ -93,13 +156,36 @@ impl ParetoFrontSampler {
     ///
     /// # Errors
     ///
-    /// Propagates posterior-sampling failures.
+    /// Propagates posterior-sampling failures and rejects degenerate fronts
+    /// ([`ParmisError::DegenerateFront`]).
     pub fn sample(&self, sample_seed: u64) -> Result<ParetoFrontSample> {
+        self.sample_with(&mut AcquisitionScratch::default(), sample_seed)
+    }
+
+    /// [`sample`](Self::sample) against a caller-owned [`AcquisitionScratch`].
+    ///
+    /// Bit-identical to `sample` for the same seed; reusing the scratch across samples and
+    /// iterations keeps the NSGA-II generations and the RFF weight draws allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sample`](Self::sample).
+    pub fn sample_with(
+        &self,
+        scratch: &mut AcquisitionScratch,
+        sample_seed: u64,
+    ) -> Result<ParetoFrontSample> {
+        let AcquisitionScratch {
+            engine,
+            weights,
+            objective_column,
+            pareto,
+        } = scratch;
         let functions: Vec<PosteriorSample> = self
             .samplers
             .iter()
             .enumerate()
-            .map(|(i, s)| s.sample(sample_seed.wrapping_add(i as u64 * 7919)))
+            .map(|(i, s)| s.sample_with(sample_seed.wrapping_add(i as u64 * 7919), weights))
             .collect::<std::result::Result<Vec<_>, _>>()?;
 
         let nsga_config = Nsga2Config {
@@ -110,20 +196,28 @@ impl ParetoFrontSampler {
         };
         let solver = Nsga2::new(self.lower.clone(), self.upper.clone(), nsga_config)
             .expect("bounds and configuration are valid by construction");
-        let population = solver.run(|theta| functions.iter().map(|f| f.eval(theta)).collect());
-        let front = population.pareto_front();
 
+        // One batched feature-matrix product per objective function per generation: the k
+        // functions share the engine's flat decision block and the scratch output column.
         let k = self.num_objectives();
-        let mut per_objective_best = vec![f64::INFINITY; k];
-        for point in &front {
-            for (best, v) in per_objective_best.iter_mut().zip(point) {
-                *best = best.min(*v);
+        engine.solve(&solver, k, |points, out| {
+            for (j, f) in functions.iter().enumerate() {
+                objective_column.clear();
+                objective_column.resize(points.count(), 0.0);
+                f.eval_batch_into(points.as_slice(), objective_column);
+                for (p, v) in objective_column.iter().enumerate() {
+                    out[p * k + j] = *v;
+                }
             }
-        }
-        Ok(ParetoFrontSample {
-            front,
-            per_objective_best,
-        })
+        });
+
+        engine.pareto_indices_into(pareto);
+        let objectives = engine.objectives();
+        let front: Vec<Vec<f64>> = pareto
+            .iter()
+            .map(|&i| objectives[i * k..(i + 1) * k].to_vec())
+            .collect();
+        ParetoFrontSample::from_front(front)
     }
 
     /// Draws `count` independent Pareto-front samples.
@@ -132,8 +226,22 @@ impl ParetoFrontSampler {
     ///
     /// Propagates posterior-sampling failures.
     pub fn sample_many(&self, count: usize, base_seed: u64) -> Result<Vec<ParetoFrontSample>> {
+        self.sample_many_with(&mut AcquisitionScratch::default(), count, base_seed)
+    }
+
+    /// [`sample_many`](Self::sample_many) against a caller-owned scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sample_many`](Self::sample_many).
+    pub fn sample_many_with(
+        &self,
+        scratch: &mut AcquisitionScratch,
+        count: usize,
+        base_seed: u64,
+    ) -> Result<Vec<ParetoFrontSample>> {
         (0..count)
-            .map(|s| self.sample(base_seed.wrapping_add(s as u64 * 104729)))
+            .map(|s| self.sample_with(scratch, base_seed.wrapping_add(s as u64 * 104729)))
             .collect()
     }
 }
@@ -215,6 +323,37 @@ mod tests {
         let sampler = ParetoFrontSampler::new(&models, 3.0, small_config(), 4).unwrap();
         let samples = sampler.sample_many(3, 11).unwrap();
         assert_eq!(samples.len(), 3);
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_scratch_samples() {
+        let models = toy_models();
+        let sampler = ParetoFrontSampler::new(&models, 3.0, small_config(), 6).unwrap();
+        let mut scratch = AcquisitionScratch::default();
+        // Warm the scratch on a different seed first, then compare against fresh-scratch
+        // draws: the engine and weight buffers must not leak state between samples.
+        let _ = sampler.sample_with(&mut scratch, 3).unwrap();
+        for seed in [0, 9, 17] {
+            let warm = sampler.sample_with(&mut scratch, seed).unwrap();
+            let fresh = sampler.sample(seed).unwrap();
+            assert_eq!(warm.front, fresh.front);
+            assert_eq!(warm.per_objective_best, fresh.per_objective_best);
+        }
+    }
+
+    #[test]
+    fn from_front_rejects_degenerate_fronts() {
+        // An empty front used to leak f64::INFINITY into `per_objective_best` (and from
+        // there into every information-gain score); it must be a structured error.
+        let err = ParetoFrontSample::from_front(vec![]).unwrap_err();
+        assert!(matches!(err, ParmisError::DegenerateFront { .. }));
+        assert!(err.to_string().contains("degenerate"));
+
+        let err = ParetoFrontSample::from_front(vec![vec![f64::NAN, 1.0]]).unwrap_err();
+        assert!(matches!(err, ParmisError::DegenerateFront { .. }));
+
+        let ok = ParetoFrontSample::from_front(vec![vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        assert_eq!(ok.per_objective_best, vec![1.0, 1.0]);
     }
 
     #[test]

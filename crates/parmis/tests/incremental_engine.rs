@@ -52,8 +52,10 @@ fn parmis_run_takes_the_incremental_and_batched_paths() {
     let evaluator = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
     let config = engine_config();
     gp::stats::reset();
+    moo::stats::reset();
     let outcome = Parmis::new(config.clone()).run(&evaluator).unwrap();
     let stats = gp::stats::snapshot();
+    let moo_stats = moo::stats::snapshot();
     assert_eq!(outcome.history.len(), 16);
 
     // 10 non-hyperopt rounds × 2 objectives, one new observation each: the run must have
@@ -83,6 +85,33 @@ fn parmis_run_takes_the_incremental_and_batched_paths() {
         "expected at most {} from-scratch fits (hyperopt only), saw {}",
         k + 2,
         stats.full_fits
+    );
+
+    // The acquisition sampler must route through the flat batched engine: every
+    // model-guided round evolves `nsga_generations` NSGA-II generations on the engine, and
+    // each generation (plus the initial population) answers all k sampled objective
+    // functions with batched feature-matrix products — never the per-point RFF path.
+    let rounds = incremental_rounds + 1; // every model-guided round samples one front
+    let generations = 5u64; // engine_config's nsga_generations
+    assert!(
+        moo_stats.nsga2_generations >= rounds * generations,
+        "expected >= {} flat NSGA-II generations, saw {}",
+        rounds * generations,
+        moo_stats.nsga2_generations
+    );
+    assert!(
+        moo_stats.dominance_comparisons > 0 && moo_stats.flat_sorts >= rounds * generations,
+        "flat non-dominated sorting must run per generation: {moo_stats:?}"
+    );
+    assert!(
+        stats.rff_feature_matrix_products >= rounds * k * (generations + 1),
+        "expected >= {} batched RFF evaluations, saw {}",
+        rounds * k * (generations + 1),
+        stats.rff_feature_matrix_products
+    );
+    assert_eq!(
+        stats.rff_point_evals, 0,
+        "the search loop must never fall back to per-point RFF evaluation"
     );
 
     // Equivalence on the run's own data: replaying objective 0 of the history through the
