@@ -134,6 +134,7 @@ impl ExperimentBudget {
             seed,
             batch_size: self.parmis_batch,
             num_workers: self.threads,
+            ..ParmisConfig::default()
         }
     }
 

@@ -1,0 +1,475 @@
+//! Evaluation backends: the policy→aggregates contract behind [`SocEvaluator`].
+//!
+//! [`crate::evaluation::SocEvaluator`] owns *what* to evaluate (platform, applications,
+//! objectives, constraints); an [`EvalBackend`] owns *how* a configured policy becomes
+//! [`RunAggregates`]. The trait is small and object-safe so evaluators hold backends as
+//! `Arc<dyn EvalBackend>` and new execution substrates (a hardware board, a remote fleet)
+//! plug in without touching the search loop. Three implementations ship:
+//!
+//! * [`AnalyticSim`] — the streaming `DecisionTable`/`EpochSink` simulator, verbatim. This
+//!   is the default and the bit-identity reference: its aggregates are exactly what the
+//!   pre-backend evaluator produced, and all determinism gates (`(seed, iteration, slot)`
+//!   streams, scenario goldens) are pinned against it. Its `record` mode additionally
+//!   captures the epoch stream of every run into a shared [`TraceStore`].
+//! * [`TraceReplay`] — replays recorded epoch-stream fixtures ([`soc_sim::trace`]) by
+//!   re-folding them with [`soc_sim::trace::RunTrace::aggregates`]: no simulation, exactly
+//!   reproducible, bit-identical to the run that recorded the trace.
+//! * [`CounterProfile`] — runs the synthetic perf-counter stream through the
+//!   collector/stats split ([`soc_sim::counters::CounterCollector`] /
+//!   [`soc_sim::counters::CounterStats`]), deriving every aggregate from the counters
+//!   alone. This is the seam a hardware-in-the-loop backend would feed from a real PMU.
+//!
+//! Determinism contract: a backend's result may depend only on the [`EvalContext`] and the
+//! policy parameters in the [`SimBuffers`] — never on call order or hidden mutable state —
+//! because the batched search relies on evaluations being pure to keep the Pareto front
+//! bit-identical for any worker count.
+
+use crate::evaluation::SimBuffers;
+use crate::{ParmisError, Result};
+use soc_sim::counters::{CounterCollector, CounterStats};
+use soc_sim::platform::{CollectEpochs, DiscardEpochs, Platform, RunAggregates};
+use soc_sim::scenario::BackendKind;
+use soc_sim::trace::{RunTrace, TraceStore};
+use soc_sim::workload::Application;
+use soc_sim::SocError;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Static description of an evaluation backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendInfo {
+    /// Which serializable backend selection this implementation answers to.
+    pub kind: BackendKind,
+    /// One-line human description of the execution substrate.
+    pub description: &'static str,
+    /// `true` when two runs with the same context and policy are bit-identical.
+    pub deterministic: bool,
+}
+
+impl BackendInfo {
+    /// The backend's stable kebab-case name (shared with [`BackendKind::name`]).
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+/// Everything a backend needs to carry out one policy run, borrowed from the evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The platform the run targets.
+    pub platform: &'a Platform,
+    /// The application to run.
+    pub application: &'a Application,
+    /// Measurement-noise seed of the run.
+    pub seed: u64,
+}
+
+/// The policy→aggregates step: turns the policy currently decoded in `buffers` into the
+/// [`RunAggregates`] of one application run.
+///
+/// Object-safe by design — evaluators store `Arc<dyn EvalBackend>`. The policy lives inside
+/// the mutable [`SimBuffers`] scratch (not behind a shared reference) because driving the
+/// simulator requires `&mut` access for the MLP's ping-pong inference scratch.
+pub trait EvalBackend: std::fmt::Debug + Send + Sync {
+    /// Static metadata about this backend.
+    fn describe(&self) -> BackendInfo;
+
+    /// Runs `ctx.application` on `ctx.platform` under the policy decoded in `buffers` and
+    /// returns the folded aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::Backend`] naming this backend when the run cannot be carried
+    /// out (invalid decision, missing trace, …).
+    fn run(&self, ctx: &EvalContext<'_>, buffers: &mut SimBuffers) -> Result<RunAggregates>;
+}
+
+/// Wraps a simulator/trace failure in the structured [`ParmisError::Backend`] variant.
+fn backend_error(kind: BackendKind, source: SocError) -> ParmisError {
+    ParmisError::Backend {
+        name: kind.name().to_string(),
+        source,
+    }
+}
+
+/// Hottest junction temperature of the platform's initial thermal state — the value the
+/// streaming runner seeds its peak-temperature fold with before the first epoch.
+fn initial_temperature_c(platform: &Platform) -> f64 {
+    platform.spec().thermal_model().initial_state().hottest_c()
+}
+
+/// The streaming analytic simulator (the default backend), with an optional record mode.
+///
+/// Without a recorder this is **exactly** the pre-backend evaluation path: one
+/// [`Platform::run_application_with`] call with a [`DiscardEpochs`] sink — zero per-epoch
+/// allocation, bit-identical aggregates. With a recorder attached
+/// ([`recording`](Self::recording)), every run additionally captures its epoch stream into
+/// the shared [`TraceStore`] as a [`RunTrace`] keyed by `(application, seed)`; the
+/// aggregates returned are unchanged (the sink never affects the fold).
+#[derive(Debug, Clone, Default)]
+pub struct AnalyticSim {
+    recorder: Option<Arc<Mutex<TraceStore>>>,
+}
+
+impl AnalyticSim {
+    /// The plain streaming simulator, recording nothing.
+    pub fn new() -> Self {
+        AnalyticSim::default()
+    }
+
+    /// A recording simulator and the shared store its runs are captured into.
+    ///
+    /// Keep the returned handle: after evaluations, lock it (or call
+    /// [`snapshot_traces`](Self::snapshot_traces) on the backend) to obtain the fixtures,
+    /// e.g. to serialize with [`TraceStore::to_json`] and later replay via [`TraceReplay`].
+    pub fn recording() -> (Self, Arc<Mutex<TraceStore>>) {
+        let store = Arc::new(Mutex::new(TraceStore::new()));
+        (
+            AnalyticSim {
+                recorder: Some(store.clone()),
+            },
+            store,
+        )
+    }
+
+    /// `true` when a recorder is attached.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// A clone of the recorded traces so far (`None` when not recording).
+    pub fn snapshot_traces(&self) -> Option<TraceStore> {
+        self.recorder
+            .as_ref()
+            .map(|store| store.lock().unwrap_or_else(PoisonError::into_inner).clone())
+    }
+}
+
+impl EvalBackend for AnalyticSim {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::AnalyticSim,
+            description: "streaming DecisionTable/EpochSink analytic simulator",
+            deterministic: true,
+        }
+    }
+
+    fn run(&self, ctx: &EvalContext<'_>, buffers: &mut SimBuffers) -> Result<RunAggregates> {
+        match &self.recorder {
+            None => ctx
+                .platform
+                .run_application_with(
+                    ctx.application,
+                    buffers.policy_mut(),
+                    ctx.seed,
+                    &mut DiscardEpochs,
+                )
+                .map_err(|e| backend_error(BackendKind::AnalyticSim, e)),
+            Some(store) => {
+                let mut collector = CollectEpochs::with_capacity(ctx.application.epoch_count());
+                let aggregates = ctx
+                    .platform
+                    .run_application_with(
+                        ctx.application,
+                        buffers.policy_mut(),
+                        ctx.seed,
+                        &mut collector,
+                    )
+                    .map_err(|e| backend_error(BackendKind::AnalyticSim, e))?;
+                store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(RunTrace {
+                        application: ctx.application.name.to_string(),
+                        seed: ctx.seed,
+                        initial_temperature_c: initial_temperature_c(ctx.platform),
+                        epochs: collector.into_epochs(),
+                    });
+                Ok(aggregates)
+            }
+        }
+    }
+}
+
+/// Replays recorded epoch-stream fixtures instead of simulating.
+///
+/// Runs are looked up by `(application name, seed)` in the wrapped [`TraceStore`] and
+/// re-folded with [`RunTrace::aggregates`] — bit-identical to the [`AnalyticSim`] run that
+/// recorded them, at a fraction of the cost (no per-epoch model math, no controller
+/// inference). The replayed aggregates are a function of the recorded stream only: the
+/// policy parameters in the buffers are deliberately ignored, which is what makes traces
+/// exact, policy-independent fixtures for golden-driven scenario ingestion.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    store: Arc<TraceStore>,
+}
+
+impl TraceReplay {
+    /// A replay backend over `store`.
+    pub fn new(store: TraceStore) -> Self {
+        TraceReplay {
+            store: Arc::new(store),
+        }
+    }
+
+    /// A replay backend over an already-shared store.
+    pub fn from_shared(store: Arc<TraceStore>) -> Self {
+        TraceReplay { store }
+    }
+
+    /// A replay backend over fixtures parsed from JSON ([`TraceStore::from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::Backend`] for malformed fixture JSON.
+    pub fn from_json(text: &str) -> Result<Self> {
+        TraceStore::from_json(text)
+            .map(TraceReplay::new)
+            .map_err(|e| backend_error(BackendKind::TraceReplay, e))
+    }
+
+    /// The fixtures this backend replays.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+}
+
+impl EvalBackend for TraceReplay {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::TraceReplay,
+            description: "recorded epoch-stream fixture replay",
+            deterministic: true,
+        }
+    }
+
+    fn run(&self, ctx: &EvalContext<'_>, _buffers: &mut SimBuffers) -> Result<RunAggregates> {
+        match self.store.lookup(&ctx.application.name, ctx.seed) {
+            Some(trace) => Ok(trace.aggregates()),
+            None => Err(backend_error(
+                BackendKind::TraceReplay,
+                SocError::Trace {
+                    reason: format!(
+                        "no recorded trace for application `{}` with seed {} ({} trace(s) loaded)",
+                        ctx.application.name,
+                        ctx.seed,
+                        self.store.len()
+                    ),
+                },
+            )),
+        }
+    }
+}
+
+/// Folds the synthetic perf-counter stream into aggregates via the collector/stats split.
+///
+/// The run still executes on the analytic platform (it is the counter *source*), but the
+/// fold sees only what a profiling stack measures: the Table I counters, per-epoch wall
+/// time and the thermal sensor ([`CounterCollector`]). [`CounterStats`] then derives every
+/// aggregate from those channels — notably energy as `Σ power-counter · time`, which
+/// excludes the simulator-internal DVFS switch-energy penalty. Deterministic, but a
+/// measurement-style view rather than a bit-copy of [`AnalyticSim`]; swapping the synthetic
+/// stream for a real PMU feed is the intended hardware-in-the-loop path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterProfile;
+
+impl CounterProfile {
+    /// The counter-profiling backend.
+    pub fn new() -> Self {
+        CounterProfile
+    }
+}
+
+impl EvalBackend for CounterProfile {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::CounterProfile,
+            description: "perf-counter stream folded via the collector/stats split",
+            deterministic: true,
+        }
+    }
+
+    fn run(&self, ctx: &EvalContext<'_>, buffers: &mut SimBuffers) -> Result<RunAggregates> {
+        let mut collector = CounterCollector::with_capacity(ctx.application.epoch_count());
+        ctx.platform
+            .run_application_with(
+                ctx.application,
+                buffers.policy_mut(),
+                ctx.seed,
+                &mut collector,
+            )
+            .map_err(|e| backend_error(BackendKind::CounterProfile, e))?;
+        Ok(CounterStats::aggregate(
+            collector.samples(),
+            initial_temperature_c(ctx.platform),
+        ))
+    }
+}
+
+/// Instantiates the stock backend for a serializable [`BackendKind`] selection.
+///
+/// [`BackendKind::TraceReplay`] starts from an **empty** fixture store — every run errors
+/// until fixtures are supplied — because the selection enum cannot carry the traces
+/// themselves. Load fixtures explicitly ([`TraceReplay::from_json`] /
+/// [`TraceReplay::new`]) and hand the backend to
+/// [`EvaluatorBuilder::backend`](crate::evaluation::EvaluatorBuilder::backend) instead.
+pub fn default_backend_for(kind: BackendKind) -> Arc<dyn EvalBackend> {
+    match kind {
+        BackendKind::AnalyticSim => Arc::new(AnalyticSim::new()),
+        BackendKind::TraceReplay => Arc::new(TraceReplay::new(TraceStore::new())),
+        BackendKind::CounterProfile => Arc::new(CounterProfile::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{PolicyEvaluator, SocEvaluator};
+    use crate::objective::Objective;
+    use soc_sim::apps::Benchmark;
+
+    fn context_fixture() -> (Platform, Application) {
+        (Platform::odroid_xu3(), Benchmark::Qsort.application())
+    }
+
+    #[test]
+    fn describe_reports_the_matching_kind() {
+        assert_eq!(AnalyticSim::new().describe().kind, BackendKind::AnalyticSim);
+        assert_eq!(AnalyticSim::new().describe().name(), "analytic-sim");
+        assert!(AnalyticSim::new().describe().deterministic);
+        assert_eq!(
+            TraceReplay::new(TraceStore::new()).describe().kind,
+            BackendKind::TraceReplay
+        );
+        assert_eq!(
+            CounterProfile::new().describe().kind,
+            BackendKind::CounterProfile
+        );
+        for kind in BackendKind::ALL {
+            assert_eq!(default_backend_for(kind).describe().kind, kind);
+        }
+    }
+
+    #[test]
+    fn record_mode_captures_the_stream_without_changing_aggregates() {
+        let (platform, application) = context_fixture();
+        let evaluator =
+            SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let mut buffers = evaluator.sim_buffers();
+        let theta = vec![0.3; evaluator.parameter_dim()];
+        buffers.policy_mut().set_flat_parameters(&theta);
+        let ctx = EvalContext {
+            platform: &platform,
+            application: &application,
+            seed: 17,
+        };
+
+        let plain = AnalyticSim::new();
+        assert!(!plain.is_recording());
+        assert!(plain.snapshot_traces().is_none());
+        let baseline = plain.run(&ctx, &mut buffers).unwrap();
+
+        let (recording, store) = AnalyticSim::recording();
+        assert!(recording.is_recording());
+        let recorded = recording.run(&ctx, &mut buffers).unwrap();
+        assert_eq!(recorded, baseline, "recording must not perturb the fold");
+
+        let traces = recording.snapshot_traces().unwrap();
+        assert_eq!(traces.len(), 1);
+        let trace = traces.lookup("qsort", 17).unwrap();
+        assert_eq!(trace.epochs.len(), baseline.epochs);
+        assert_eq!(trace.aggregates(), baseline);
+        assert_eq!(store.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn trace_replay_reproduces_recordings_and_errors_on_misses() {
+        let (platform, application) = context_fixture();
+        let evaluator =
+            SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let mut buffers = evaluator.sim_buffers();
+        buffers
+            .policy_mut()
+            .set_flat_parameters(&vec![-0.2; evaluator.parameter_dim()]);
+        let ctx = EvalContext {
+            platform: &platform,
+            application: &application,
+            seed: 5,
+        };
+        let (recording, _) = AnalyticSim::recording();
+        let live = recording.run(&ctx, &mut buffers).unwrap();
+
+        let replay = TraceReplay::new(recording.snapshot_traces().unwrap());
+        assert_eq!(replay.store().len(), 1);
+        assert_eq!(replay.run(&ctx, &mut buffers).unwrap(), live);
+
+        // JSON round trip through the fixture format replays identically.
+        let reloaded = TraceReplay::from_json(&replay.store().to_json()).unwrap();
+        assert_eq!(reloaded.run(&ctx, &mut buffers).unwrap(), live);
+        assert!(TraceReplay::from_json("{").is_err());
+
+        // A context with no recording is a structured Backend error naming the backend.
+        let miss = EvalContext { seed: 6, ..ctx };
+        let err = replay.run(&miss, &mut buffers).unwrap_err();
+        match err {
+            ParmisError::Backend { ref name, .. } => assert_eq!(name, "trace-replay"),
+            other => panic!("expected Backend error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("no recorded trace"));
+    }
+
+    #[test]
+    fn counter_profile_is_deterministic_and_counter_derived() {
+        let (platform, application) = context_fixture();
+        let evaluator =
+            SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let mut buffers = evaluator.sim_buffers();
+        let theta = vec![0.1; evaluator.parameter_dim()];
+        buffers.policy_mut().set_flat_parameters(&theta);
+        let ctx = EvalContext {
+            platform: &platform,
+            application: &application,
+            seed: 9,
+        };
+        let profile = CounterProfile::new();
+        let a = profile.run(&ctx, &mut buffers).unwrap();
+        let b = profile.run(&ctx, &mut buffers).unwrap();
+        assert_eq!(a, b, "profiling the same run twice must be bit-identical");
+
+        // The counter fold sees the same time/instructions stream as the simulator; on the
+        // odroid preset (zero switch energy) the energy fold agrees too.
+        let sim = AnalyticSim::new().run(&ctx, &mut buffers).unwrap();
+        assert_eq!(a.epochs, sim.epochs);
+        assert_eq!(a.execution_time_s, sim.execution_time_s);
+        assert_eq!(a.instructions, sim.instructions);
+        assert_eq!(a.peak_temperature_c, sim.peak_temperature_c);
+        assert!((a.energy_j - sim.energy_j).abs() / sim.energy_j < 1e-12);
+
+        // On a platform with non-zero DVFS switch energy the measurement-style energy view
+        // may legitimately differ, but stays within a few percent of the simulator's.
+        let hexa = Platform::hexa_asym();
+        let hexa_eval = SocEvaluator::new(
+            hexa.clone(),
+            evaluator.architecture().clone(),
+            vec![Benchmark::Fft.application()],
+            Objective::TIME_ENERGY.to_vec(),
+        );
+        let mut hexa_buffers = hexa_eval.sim_buffers();
+        hexa_buffers
+            .policy_mut()
+            .set_flat_parameters(&vec![0.1; hexa_eval.parameter_dim()]);
+        let app = Benchmark::Fft.application();
+        let hexa_ctx = EvalContext {
+            platform: &hexa,
+            application: &app,
+            seed: 9,
+        };
+        let prof = CounterProfile::new()
+            .run(&hexa_ctx, &mut hexa_buffers)
+            .unwrap();
+        let sim = AnalyticSim::new()
+            .run(&hexa_ctx, &mut hexa_buffers)
+            .unwrap();
+        assert!(prof.energy_j <= sim.energy_j, "switch energy is excluded");
+        assert!((prof.energy_j - sim.energy_j).abs() / sim.energy_j < 0.05);
+    }
+}

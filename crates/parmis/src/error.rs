@@ -27,6 +27,17 @@ pub enum ParmisError {
     },
     /// The underlying platform simulation failed.
     Simulation(soc_sim::SocError),
+    /// An evaluation backend failed to carry out the policy→aggregates step.
+    ///
+    /// Structured variant of the backend contract ([`crate::backend::EvalBackend`]): `name`
+    /// identifies which backend failed (its stable kebab-case name, e.g. `trace-replay`)
+    /// and `source` carries the underlying simulator/trace error for matching or chaining.
+    Backend {
+        /// Stable name of the failing backend ([`crate::backend::BackendInfo::name`]).
+        name: String,
+        /// The underlying simulator or trace error.
+        source: soc_sim::SocError,
+    },
 }
 
 impl fmt::Display for ParmisError {
@@ -39,6 +50,9 @@ impl fmt::Display for ParmisError {
                 write!(f, "degenerate Pareto-front sample: {reason}")
             }
             ParmisError::Simulation(e) => write!(f, "platform simulation failure: {e}"),
+            ParmisError::Backend { name, source } => {
+                write!(f, "evaluation backend `{name}` failed: {source}")
+            }
         }
     }
 }
@@ -48,6 +62,7 @@ impl Error for ParmisError {
         match self {
             ParmisError::Model(e) => Some(e),
             ParmisError::Simulation(e) => Some(e),
+            ParmisError::Backend { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -86,6 +101,17 @@ mod tests {
         let e: ParmisError = soc_sim::SocError::EmptyApplication { name: "x".into() }.into();
         assert!(matches!(e, ParmisError::Simulation(_)));
         assert!(e.to_string().contains("platform simulation"));
+
+        let e = ParmisError::Backend {
+            name: "trace-replay".into(),
+            source: soc_sim::SocError::Trace {
+                reason: "no recording".into(),
+            },
+        };
+        assert!(e.to_string().contains("`trace-replay`"));
+        assert!(e.to_string().contains("no recording"));
+        let source = Error::source(&e).expect("backend errors expose their source");
+        assert!(source.to_string().contains("invalid run trace"));
     }
 
     #[test]

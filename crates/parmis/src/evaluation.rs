@@ -1,14 +1,25 @@
 //! Policy evaluation: turning a parameter vector θ into an objective vector by running the
 //! corresponding DRM policy on the platform (Algorithm 1, line 5).
+//!
+//! The policy→aggregates step itself is delegated to an [`EvalBackend`]
+//! ([`crate::backend`]): [`SocEvaluator`] decodes θ, asks its backend for the
+//! [`RunAggregates`] of each application run, and folds objectives/constraints on top. The
+//! default backend is the streaming analytic simulator and is bit-identical to the
+//! pre-backend evaluation path.
 
+use crate::backend::{AnalyticSim, EvalBackend, EvalContext};
 use crate::objective::{objective_vector, Objective};
 use crate::{ParmisError, Result};
 use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
 use soc_sim::apps::Benchmark;
-use soc_sim::platform::{DiscardEpochs, DrmController, Platform, RunAggregates, RunSummary};
-use soc_sim::scenario::{Scenario, ScenarioConstraints};
+use soc_sim::platform::{DrmController, Platform, RunAggregates, RunSummary};
+use soc_sim::scenario::{BackendKind, Scenario, ScenarioConstraints};
 use soc_sim::workload::Application;
 use soc_sim::DecisionSpace;
+use std::sync::Arc;
+
+/// Default measurement-noise seed for evaluation runs.
+const DEFAULT_RUN_SEED: u64 = 17;
 
 /// Anything that can evaluate a candidate policy parameter vector θ and return the
 /// corresponding minimization objective vector.
@@ -162,7 +173,10 @@ impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
         for chunk in
             crate::parallel::parallel_map(&chunks, workers, |_, c| self.inner.evaluate_batch(c))
         {
-            // Propagate the first error in slot order, exactly like the serial loop.
+            // Propagate the first error in slot order, exactly like the serial loop:
+            // chunks are contiguous and merged in slot order, and within a chunk the inner
+            // evaluator's serial collect stops at its first failure — so for any worker
+            // count the surfaced error is the one from the lowest failing slot.
             results.extend(chunk?);
         }
         Ok(results)
@@ -179,41 +193,60 @@ pub struct SocEvaluator {
     objectives: Vec<Objective>,
     constraints: Option<ScenarioConstraints>,
     run_seed: u64,
+    backend: Arc<dyn EvalBackend>,
 }
 
 impl SocEvaluator {
+    /// Starts a fluent [`EvaluatorBuilder`] — the preferred way to assemble an evaluator.
+    ///
+    /// ```
+    /// use parmis::prelude::*;
+    ///
+    /// # fn main() -> Result<(), ParmisError> {
+    /// let evaluator = SocEvaluator::builder()
+    ///     .benchmark(Benchmark::Qsort)
+    ///     .objectives(Objective::TIME_ENERGY.to_vec())
+    ///     .build()?;
+    /// assert_eq!(evaluator.backend().describe().name(), "analytic-sim");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> EvaluatorBuilder {
+        EvaluatorBuilder::new()
+    }
+
     /// Creates an evaluator for one benchmark on the default Odroid-XU3-like platform with
     /// the paper's default policy architecture.
+    ///
+    /// Deprecation note: prefer [`SocEvaluator::builder`] with
+    /// [`benchmark`](EvaluatorBuilder::benchmark); this constructor is kept as a thin
+    /// wrapper for source compatibility.
     pub fn for_benchmark(benchmark: Benchmark, objectives: Vec<Objective>) -> Self {
-        SocEvaluator::new(
-            Platform::odroid_xu3(),
-            PolicyArchitecture::paper_default(),
-            vec![benchmark.application()],
-            objectives,
-        )
+        SocEvaluator::builder()
+            .benchmark(benchmark)
+            .objectives(objectives)
+            .build()
+            .expect("a benchmark evaluator always has an application")
     }
 
     /// Creates an evaluator for a [`Scenario`]: the scenario's platform preset, its
-    /// generated workload, and its [`ScenarioConstraints`] applied as an objective penalty
-    /// (see [`with_constraints`](Self::with_constraints)).
+    /// generated workload, its [`ScenarioConstraints`] applied as an objective penalty
+    /// (see [`with_constraints`](Self::with_constraints)), and its pinned
+    /// [`Scenario::backend`] selection when present.
+    ///
+    /// Deprecation note: prefer [`SocEvaluator::builder`] with
+    /// [`scenario`](EvaluatorBuilder::scenario); this constructor is kept as a thin
+    /// wrapper for source compatibility.
     ///
     /// # Errors
     ///
     /// Returns [`ParmisError::Evaluation`] if the scenario's workload fails to build (e.g.
     /// an unknown benchmark name in a scenario loaded from JSON).
     pub fn for_scenario(scenario: &Scenario, objectives: Vec<Objective>) -> Result<Self> {
-        let application = scenario
-            .application()
-            .map_err(|e| ParmisError::Evaluation {
-                reason: format!("scenario {}: {e}", scenario.name),
-            })?;
-        Ok(SocEvaluator::new(
-            scenario.platform(),
-            PolicyArchitecture::paper_default(),
-            vec![application],
-            objectives,
-        )
-        .with_constraints(scenario.constraints))
+        SocEvaluator::builder()
+            .scenario(scenario)
+            .objectives(objectives)
+            .build()
     }
 
     /// Applies scenario constraints: every objective value gets the constraints'
@@ -242,7 +275,8 @@ impl SocEvaluator {
             applications,
             objectives,
             constraints: None,
-            run_seed: 17,
+            run_seed: DEFAULT_RUN_SEED,
+            backend: Arc::new(AnalyticSim::new()),
         }
     }
 
@@ -250,6 +284,17 @@ impl SocEvaluator {
     pub fn with_run_seed(mut self, seed: u64) -> Self {
         self.run_seed = seed;
         self
+    }
+
+    /// Swaps the evaluation backend that carries out the policy→aggregates step.
+    pub fn with_backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The evaluation backend in use.
+    pub fn backend(&self) -> &dyn EvalBackend {
+        &*self.backend
     }
 
     /// The policy architecture used to decode θ.
@@ -315,15 +360,16 @@ impl SocEvaluator {
     }
 
     /// [`evaluate`](PolicyEvaluator::evaluate) through a reusable [`SimBuffers`] scratch:
-    /// the policy is re-parameterized in place and every application runs through the
-    /// platform's streaming runner ([`Platform::run_application_with`] with a
-    /// [`DiscardEpochs`] sink), so no per-epoch trace and no fresh policy structure are
-    /// allocated per θ. Bit-identical to the materializing path.
+    /// the policy is re-parameterized in place and every application run is delegated to
+    /// the configured [`EvalBackend`], so no per-epoch trace and no fresh policy structure
+    /// are allocated per θ. With the default [`AnalyticSim`] backend this is the platform's
+    /// streaming runner with a discard sink — bit-identical to the materializing path.
     ///
     /// # Errors
     ///
     /// Returns [`ParmisError::Evaluation`] for a θ of the wrong dimension or an evaluator
-    /// without applications, and propagates simulator failures.
+    /// without applications, and propagates backend failures
+    /// ([`ParmisError::Backend`]).
     pub fn evaluate_with(&self, theta: &[f64], buffers: &mut SimBuffers) -> Result<Vec<f64>> {
         if theta.len() != self.parameter_dim() {
             return Err(ParmisError::Evaluation {
@@ -344,10 +390,12 @@ impl SocEvaluator {
         let mut acc = vec![0.0; k];
         let mut penalty_sum = 0.0;
         for app in &self.applications {
-            let aggregates = self
-                .platform
-                .run_application_with(app, &mut buffers.policy, self.run_seed, &mut DiscardEpochs)
-                .map_err(ParmisError::from)?;
+            let ctx = EvalContext {
+                platform: &self.platform,
+                application: app,
+                seed: self.run_seed,
+            };
+            let aggregates = self.backend.run(&ctx, buffers)?;
             buffers.fill_summary(app, &aggregates);
             let v = objective_vector(&self.objectives, &buffers.summary);
             for (a, x) in acc.iter_mut().zip(v) {
@@ -374,6 +422,190 @@ impl SocEvaluator {
     }
 }
 
+/// Fluent assembly of a [`SocEvaluator`], replacing the constructor sprawl
+/// (`for_benchmark` / `for_scenario` / `new` / `with_*` chains) with one composable
+/// surface.
+///
+/// Defaults: Odroid-XU3-like platform, the paper's default policy architecture, run seed
+/// 17, the [`AnalyticSim`] backend, no constraints. Sources compose — e.g.
+/// [`scenario`](Self::scenario) sets platform/workload/constraints (and the scenario's
+/// pinned backend, if any) while [`backend`](Self::backend) still overrides the backend:
+///
+/// ```
+/// use parmis::prelude::*;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), ParmisError> {
+/// let scenario = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+/// let evaluator = SocEvaluator::builder()
+///     .scenario(&scenario)
+///     .objectives(Objective::TIME_ENERGY.to_vec())
+///     .backend(Arc::new(CounterProfile::new()))
+///     .run_seed(42)
+///     .build()?;
+/// assert_eq!(evaluator.backend().describe().name(), "counter-profile");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvaluatorBuilder {
+    platform: Option<Platform>,
+    architecture: PolicyArchitecture,
+    applications: Vec<Application>,
+    objectives: Vec<Objective>,
+    constraints: Option<ScenarioConstraints>,
+    run_seed: u64,
+    backend: Option<Arc<dyn EvalBackend>>,
+    backend_kind: Option<BackendKind>,
+    deferred: Option<ParmisError>,
+}
+
+impl Default for EvaluatorBuilder {
+    fn default() -> Self {
+        EvaluatorBuilder::new()
+    }
+}
+
+impl EvaluatorBuilder {
+    /// An empty builder with the documented defaults.
+    pub fn new() -> Self {
+        EvaluatorBuilder {
+            platform: None,
+            architecture: PolicyArchitecture::paper_default(),
+            applications: Vec::new(),
+            objectives: Vec::new(),
+            constraints: None,
+            run_seed: DEFAULT_RUN_SEED,
+            backend: None,
+            backend_kind: None,
+            deferred: None,
+        }
+    }
+
+    /// Adds one benchmark's application to the evaluation set.
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
+        self.applications.push(benchmark.application());
+        self
+    }
+
+    /// Adds every listed benchmark's application (global-policy evaluations average
+    /// objectives across them).
+    pub fn benchmarks(mut self, benchmarks: &[Benchmark]) -> Self {
+        self.applications
+            .extend(benchmarks.iter().map(|b| b.application()));
+        self
+    }
+
+    /// Adds an explicit application to the evaluation set.
+    pub fn application(mut self, application: Application) -> Self {
+        self.applications.push(application);
+        self
+    }
+
+    /// Configures the builder from a [`Scenario`]: its platform preset, generated
+    /// workload, [`ScenarioConstraints`], and — when the scenario pins one — its
+    /// [`Scenario::backend`] selection. A workload build failure is deferred and surfaces
+    /// from [`build`](Self::build).
+    pub fn scenario(mut self, scenario: &Scenario) -> Self {
+        match scenario.application() {
+            Ok(application) => {
+                self.platform = Some(scenario.platform());
+                self.applications.push(application);
+                self.constraints = Some(scenario.constraints);
+                if let Some(kind) = scenario.backend {
+                    self.backend_kind = Some(kind);
+                }
+            }
+            Err(e) => {
+                self.deferred.get_or_insert(ParmisError::Evaluation {
+                    reason: format!("scenario {}: {e}", scenario.name),
+                });
+            }
+        }
+        self
+    }
+
+    /// Overrides the target platform (default: [`Platform::odroid_xu3`]).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Overrides the policy architecture used to decode θ.
+    pub fn architecture(mut self, architecture: PolicyArchitecture) -> Self {
+        self.architecture = architecture;
+        self
+    }
+
+    /// Sets the design objectives being traded off (replaces any previous set).
+    pub fn objectives(mut self, objectives: Vec<Objective>) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Applies scenario constraints as an additive objective penalty
+    /// ([`SocEvaluator::with_constraints`]).
+    pub fn constraints(mut self, constraints: ScenarioConstraints) -> Self {
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Overrides the measurement-noise seed used for every run.
+    pub fn run_seed(mut self, seed: u64) -> Self {
+        self.run_seed = seed;
+        self
+    }
+
+    /// Sets the evaluation backend instance. Takes precedence over
+    /// [`backend_kind`](Self::backend_kind) and any scenario-pinned selection — this is how
+    /// a [`crate::backend::TraceReplay`] loaded with fixtures is supplied.
+    pub fn backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Selects a stock backend by serializable kind
+    /// ([`crate::backend::default_backend_for`]).
+    pub fn backend_kind(mut self, kind: BackendKind) -> Self {
+        self.backend_kind = Some(kind);
+        self
+    }
+
+    /// Builds the evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deferred [`ParmisError::Evaluation`] if a scenario workload failed to
+    /// build, or [`ParmisError::InvalidConfig`] when no application source was configured.
+    pub fn build(self) -> Result<SocEvaluator> {
+        if let Some(deferred) = self.deferred {
+            return Err(deferred);
+        }
+        if self.applications.is_empty() {
+            return Err(ParmisError::InvalidConfig {
+                reason: "evaluator builder has no applications \
+                         (use .benchmark(..), .scenario(..) or .application(..))"
+                    .into(),
+            });
+        }
+        let backend = match (self.backend, self.backend_kind) {
+            (Some(backend), _) => backend,
+            (None, Some(kind)) => crate::backend::default_backend_for(kind),
+            (None, None) => Arc::new(AnalyticSim::new()),
+        };
+        let mut evaluator = SocEvaluator::new(
+            self.platform.unwrap_or_else(Platform::odroid_xu3),
+            self.architecture,
+            self.applications,
+            self.objectives,
+        )
+        .with_run_seed(self.run_seed)
+        .with_backend(backend);
+        evaluator.constraints = self.constraints;
+        Ok(evaluator)
+    }
+}
+
 /// Reusable per-worker scratch for batched policy evaluation: the decoded [`DrmPolicy`]
 /// (re-parameterized in place per θ via `set_flat_parameters`, so the MLP head structure
 /// and the cloned decision space are allocated once per batch instead of once per θ) and a
@@ -386,6 +618,17 @@ pub struct SimBuffers {
 }
 
 impl SimBuffers {
+    /// The decoded policy for the most recent θ — what a backend drives the platform with.
+    pub fn policy(&self) -> &DrmPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the decoded policy (backends need `&mut` to run the controller's
+    /// ping-pong inference scratch).
+    pub fn policy_mut(&mut self) -> &mut DrmPolicy {
+        &mut self.policy
+    }
+
     /// Projects streaming [`RunAggregates`] into the summary shell (identity fields are
     /// refcount bumps; the epoch trace stays empty).
     fn fill_summary(&mut self, app: &Application, aggregates: &RunAggregates) {
@@ -455,6 +698,13 @@ impl GlobalEvaluator {
         }
     }
 
+    /// Swaps the evaluation backend of the wrapped evaluator; per-benchmark scoring via
+    /// [`evaluate_on`](Self::evaluate_on) uses the same backend.
+    pub fn with_backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
+        self.inner = self.inner.with_backend(backend);
+        self
+    }
+
     /// Access to the wrapped [`SocEvaluator`] (e.g. to materialize policies).
     pub fn as_soc_evaluator(&self) -> &SocEvaluator {
         &self.inner
@@ -472,7 +722,9 @@ impl GlobalEvaluator {
             self.inner.architecture.clone(),
             vec![benchmark.application()],
             self.inner.objectives.clone(),
-        );
+        )
+        .with_run_seed(self.inner.run_seed)
+        .with_backend(self.inner.backend.clone());
         single.evaluate(theta)
     }
 }
@@ -707,6 +959,206 @@ mod tests {
         ));
         let parallel = ParallelEvaluator::new(eval, 2);
         assert!(parallel.evaluate_batch(&thetas).is_err());
+    }
+
+    #[test]
+    fn builder_matches_the_deprecated_constructors_bitwise() {
+        let theta_dim =
+            SocEvaluator::for_benchmark(Benchmark::Fft, Objective::TIME_ENERGY.to_vec())
+                .parameter_dim();
+        let theta = vec![0.25; theta_dim];
+
+        let wrapped = SocEvaluator::for_benchmark(Benchmark::Fft, Objective::TIME_ENERGY.to_vec());
+        let built = SocEvaluator::builder()
+            .benchmark(Benchmark::Fft)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .build()
+            .unwrap();
+        assert_eq!(
+            wrapped.evaluate(&theta).unwrap(),
+            built.evaluate(&theta).unwrap()
+        );
+
+        let scenario = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+        let wrapped =
+            SocEvaluator::for_scenario(&scenario, Objective::TIME_ENERGY.to_vec()).unwrap();
+        let built = SocEvaluator::builder()
+            .scenario(&scenario)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .build()
+            .unwrap();
+        let theta = vec![0.5; wrapped.parameter_dim()];
+        assert_eq!(
+            wrapped.evaluate(&theta).unwrap(),
+            built.evaluate(&theta).unwrap()
+        );
+
+        // Explicit components + seed override match the method-chain spelling too.
+        let chained = SocEvaluator::new(
+            Platform::hexa_asym(),
+            PolicyArchitecture::paper_default(),
+            vec![Benchmark::Sha.application()],
+            Objective::TIME_PPW.to_vec(),
+        )
+        .with_run_seed(23);
+        let built = SocEvaluator::builder()
+            .platform(Platform::hexa_asym())
+            .architecture(PolicyArchitecture::paper_default())
+            .application(Benchmark::Sha.application())
+            .objectives(Objective::TIME_PPW.to_vec())
+            .run_seed(23)
+            .build()
+            .unwrap();
+        let theta = vec![-0.3; chained.parameter_dim()];
+        assert_eq!(
+            chained.evaluate(&theta).unwrap(),
+            built.evaluate(&theta).unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_resolves_backend_sources_with_explicit_instance_winning() {
+        use crate::backend::{CounterProfile, TraceReplay};
+
+        // Kind selection instantiates the stock backend.
+        let by_kind = SocEvaluator::builder()
+            .benchmark(Benchmark::Qsort)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .backend_kind(BackendKind::CounterProfile)
+            .build()
+            .unwrap();
+        assert_eq!(
+            by_kind.backend().describe().kind,
+            BackendKind::CounterProfile
+        );
+        let theta = vec![0.2; by_kind.parameter_dim()];
+        assert!(by_kind.evaluate(&theta).is_ok());
+
+        // A scenario-pinned selection flows into the evaluator…
+        let mut scenario = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+        scenario.backend = Some(BackendKind::CounterProfile);
+        let pinned = SocEvaluator::builder()
+            .scenario(&scenario)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .build()
+            .unwrap();
+        assert_eq!(
+            pinned.backend().describe().kind,
+            BackendKind::CounterProfile
+        );
+
+        // …but an explicit backend instance takes precedence over both.
+        let explicit = SocEvaluator::builder()
+            .scenario(&scenario)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .backend(std::sync::Arc::new(TraceReplay::new(
+                soc_sim::trace::TraceStore::new(),
+            )))
+            .build()
+            .unwrap();
+        assert_eq!(explicit.backend().describe().kind, BackendKind::TraceReplay);
+
+        // GlobalEvaluator forwards backend swaps to per-benchmark scoring.
+        let global =
+            GlobalEvaluator::for_benchmarks(&[Benchmark::Sha], Objective::TIME_ENERGY.to_vec())
+                .with_backend(std::sync::Arc::new(CounterProfile::new()));
+        let theta = vec![0.1; global.parameter_dim()];
+        assert_eq!(
+            global.evaluate(&theta).unwrap(),
+            global.evaluate_on(&theta, Benchmark::Sha).unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_surfaces_configuration_errors() {
+        // No application source at all.
+        let err = SocEvaluator::builder()
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParmisError::InvalidConfig { .. }));
+
+        // A broken scenario defers its build error to build().
+        let mut broken = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+        broken.workload.benchmarks[0] = "nope".into();
+        let err = SocEvaluator::builder()
+            .scenario(&broken)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .build()
+            .unwrap_err();
+        match err {
+            ParmisError::Evaluation { reason } => assert!(reason.contains("nope")),
+            other => panic!("expected deferred Evaluation error, got {other:?}"),
+        }
+    }
+
+    /// Mock evaluator whose failures are distinguishable per slot: θ = `[-(slot)]` fails
+    /// with a reason naming that slot, anything else succeeds.
+    #[derive(Debug, Clone)]
+    struct SlotTaggedEvaluator {
+        objectives: Vec<Objective>,
+    }
+
+    impl SlotTaggedEvaluator {
+        fn new() -> Self {
+            SlotTaggedEvaluator {
+                objectives: vec![Objective::ExecutionTime],
+            }
+        }
+    }
+
+    impl PolicyEvaluator for SlotTaggedEvaluator {
+        fn parameter_dim(&self) -> usize {
+            1
+        }
+
+        fn objectives(&self) -> &[Objective] {
+            &self.objectives
+        }
+
+        fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+            if theta[0] < 0.0 {
+                Err(ParmisError::Evaluation {
+                    reason: format!("slot {} failed", -theta[0]),
+                })
+            } else {
+                Ok(vec![theta[0]])
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_error_is_the_lowest_slot_error_for_any_worker_count() {
+        // Regression test for the chunked merge's error contract: with failures planted in
+        // slots 5 and 11 of a 16-slot batch, every sharding must surface slot 5's error —
+        // identical to what the serial loop reports — never slot 11's, and never a
+        // worker-scheduling-dependent winner.
+        let eval = SlotTaggedEvaluator::new();
+        let mut thetas: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        thetas[5] = vec![-5.0];
+        thetas[11] = vec![-11.0];
+
+        let serial_err = eval.evaluate_batch(&thetas).unwrap_err();
+        assert_eq!(
+            serial_err,
+            ParmisError::Evaluation {
+                reason: "slot 5 failed".into()
+            }
+        );
+
+        for workers in [1, 2, 3, 4, 8, 16] {
+            let parallel = ParallelEvaluator::new(eval.clone(), workers);
+            let err = parallel.evaluate_batch(&thetas).unwrap_err();
+            assert_eq!(err, serial_err, "workers = {workers}");
+        }
+
+        // With no failures the sharded batch still matches the serial one exactly.
+        let clean: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let expected = eval.evaluate_batch(&clean).unwrap();
+        for workers in [2, 5] {
+            let parallel = ParallelEvaluator::new(eval.clone(), workers);
+            assert_eq!(parallel.evaluate_batch(&clean).unwrap(), expected);
+        }
     }
 
     #[test]

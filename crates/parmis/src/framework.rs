@@ -12,6 +12,7 @@ use moo::hypervolume::hypervolume;
 use moo::ParetoFront;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use soc_sim::scenario::BackendKind;
 
 /// Configuration of a PaRMIS run.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,13 @@ pub struct ParmisConfig {
     /// pure, the Pareto front is **bit-identical for any worker count** — this knob trades
     /// wall-clock time only.
     pub num_workers: usize,
+    /// Which evaluation backend to instantiate when this configuration assembles its own
+    /// evaluator (e.g. `EvaluatorBuilder::backend_kind`). The selection uses the same
+    /// serializable [`BackendKind`] as [`soc_sim::scenario::Scenario::backend`], so a run
+    /// configuration round-trips through scenario JSON. The default,
+    /// [`BackendKind::AnalyticSim`], is the bit-identity reference; evaluators built
+    /// directly keep whatever backend they were given.
+    pub backend: BackendKind,
 }
 
 impl Default for ParmisConfig {
@@ -66,6 +74,7 @@ impl Default for ParmisConfig {
             seed: 0x9a92_0c1e,
             batch_size: 1,
             num_workers: 1,
+            backend: BackendKind::AnalyticSim,
         }
     }
 }

@@ -30,19 +30,25 @@
 //! derive from `(seed, iteration, slot)` and batch results merge in slot order, so the Pareto
 //! front is bit-identical for any worker count.
 //!
+//! # Evaluation backends
+//!
+//! The policy→aggregates step lives behind the small object-safe
+//! [`backend::EvalBackend`] trait. Three implementations ship: the streaming analytic
+//! simulator ([`backend::AnalyticSim`], the default and bit-identity reference, with a
+//! fixture-recording mode), recorded-trace replay ([`backend::TraceReplay`]) and a
+//! perf-counter profiling fold ([`backend::CounterProfile`]). Evaluators are assembled
+//! with [`evaluation::SocEvaluator::builder`].
+//!
 //! # Quick start
 //!
 //! ```no_run
-//! use parmis::evaluation::SocEvaluator;
-//! use parmis::framework::{Parmis, ParmisConfig};
-//! use parmis::objective::Objective;
-//! use soc_sim::apps::Benchmark;
+//! use parmis::prelude::*;
 //!
-//! # fn main() -> Result<(), parmis::ParmisError> {
-//! let evaluator = SocEvaluator::for_benchmark(
-//!     Benchmark::Qsort,
-//!     vec![Objective::ExecutionTime, Objective::Energy],
-//! );
+//! # fn main() -> Result<(), ParmisError> {
+//! let evaluator = SocEvaluator::builder()
+//!     .benchmark(Benchmark::Qsort)
+//!     .objectives(vec![Objective::ExecutionTime, Objective::Energy])
+//!     .build()?;
 //! let config = ParmisConfig { max_iterations: 60, ..ParmisConfig::default() };
 //! let outcome = Parmis::new(config).run(&evaluator)?;
 //! println!("{} Pareto-frontier policies", outcome.front.len());
@@ -54,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod acquisition;
+pub mod backend;
 mod error;
 pub mod evaluation;
 pub mod framework;
@@ -62,9 +69,31 @@ pub mod parallel;
 pub mod pareto_sampling;
 
 pub use error::ParmisError;
-pub use evaluation::{GlobalEvaluator, ParallelEvaluator, PolicyEvaluator, SocEvaluator};
-pub use framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome};
-pub use objective::Objective;
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ParmisError>;
+
+/// One-import surface for the common workflow: assemble an evaluator, pick a backend, run
+/// the search.
+///
+/// ```
+/// use parmis::prelude::*;
+/// ```
+///
+/// Deliberately excludes the crate-level [`Result`] alias so a glob import never shadows
+/// `std::result::Result`.
+pub mod prelude {
+    pub use crate::backend::{
+        AnalyticSim, BackendInfo, CounterProfile, EvalBackend, EvalContext, TraceReplay,
+    };
+    pub use crate::evaluation::{
+        EvaluatorBuilder, GlobalEvaluator, ParallelEvaluator, PolicyEvaluator, SimBuffers,
+        SocEvaluator,
+    };
+    pub use crate::framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome};
+    pub use crate::objective::Objective;
+    pub use crate::ParmisError;
+    pub use soc_sim::apps::Benchmark;
+    pub use soc_sim::scenario::{BackendKind, Scenario};
+    pub use soc_sim::trace::{RunTrace, TraceStore};
+}

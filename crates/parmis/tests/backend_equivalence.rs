@@ -1,0 +1,176 @@
+//! TraceReplay equivalence suite: recorded [`AnalyticSim`] runs must replay bit-identically.
+//!
+//! This is the contract that makes trace fixtures usable as exact regression anchors: for
+//! every scenario-registry entry, recording a run and replaying it through the
+//! [`TraceReplay`] backend reproduces the same [`RunAggregates`] — and therefore the same
+//! objective vectors — down to the last bit, including after a JSON round trip of the
+//! fixture store. A property test extends the same guarantee across random
+//! (platform × workload × seed) combinations.
+
+use parmis::backend::{AnalyticSim, EvalBackend, EvalContext, TraceReplay};
+use parmis::prelude::*;
+use proptest::prelude::*;
+use soc_sim::platform::Platform;
+
+fn platform_for(index: u8) -> Platform {
+    match index % 3 {
+        0 => Platform::odroid_xu3(),
+        1 => Platform::hexa_asym(),
+        _ => Platform::wearable(),
+    }
+}
+
+fn benchmark_for(index: u8) -> Benchmark {
+    Benchmark::ALL[index as usize % Benchmark::ALL.len()]
+}
+
+/// Every registry scenario: record one run per entry, replay it, and compare both the raw
+/// [`soc_sim::platform::RunAggregates`] and the evaluator-level objective vector bitwise.
+#[test]
+fn every_registry_scenario_replays_bit_identically() {
+    let scenarios = soc_sim::scenario::registry();
+    assert!(!scenarios.is_empty());
+    for scenario in &scenarios {
+        let (recording, _) = AnalyticSim::recording();
+        let recorder = std::sync::Arc::new(recording);
+        let live = SocEvaluator::builder()
+            .scenario(scenario)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .backend(recorder.clone())
+            .build()
+            .unwrap();
+        let theta = vec![0.25; live.parameter_dim()];
+        let live_objectives = live.evaluate(&theta).unwrap();
+
+        // Raw aggregates level: drive the backends directly through the same context.
+        let platform = scenario.platform();
+        let application = scenario.application().unwrap();
+        let ctx = EvalContext {
+            platform: &platform,
+            application: &application,
+            seed: 17,
+        };
+        let mut buffers = live.sim_buffers();
+        buffers.policy_mut().set_flat_parameters(&theta);
+        let recorded_aggregates = recorder.run(&ctx, &mut buffers).unwrap();
+
+        let store = recorder.snapshot_traces().unwrap();
+        let replay_backend = TraceReplay::new(store);
+        let replayed_aggregates = replay_backend.run(&ctx, &mut buffers).unwrap();
+        assert_eq!(
+            replayed_aggregates, recorded_aggregates,
+            "scenario {}: replayed aggregates must be bit-identical",
+            scenario.name
+        );
+
+        // Evaluator level: the whole objective pipeline (constraint penalty included)
+        // agrees when fed from the replayed aggregates.
+        let replay = SocEvaluator::builder()
+            .scenario(scenario)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .backend(std::sync::Arc::new(replay_backend))
+            .build()
+            .unwrap();
+        assert_eq!(
+            replay.evaluate(&theta).unwrap(),
+            live_objectives,
+            "scenario {}: replayed objectives must be bit-identical",
+            scenario.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Record/replay round trips are exact for arbitrary (platform × workload × seed)
+    /// combinations, including through the JSON fixture format.
+    #[test]
+    fn record_replay_round_trips_bitwise(
+        platform_idx in 0u8..3,
+        benchmark_idx in 0u8..12,
+        run_seed in 0u64..u64::MAX,
+        coeff in -0.9f64..0.9,
+    ) {
+        let platform = platform_for(platform_idx);
+        let benchmark = benchmark_for(benchmark_idx);
+        let (recording, _) = AnalyticSim::recording();
+        let recorder = std::sync::Arc::new(recording);
+        let live = SocEvaluator::builder()
+            .platform(platform)
+            .benchmark(benchmark)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .run_seed(run_seed)
+            .backend(recorder.clone())
+            .build()
+            .unwrap();
+        let theta = vec![coeff; live.parameter_dim()];
+        let live_objectives = live.evaluate(&theta).unwrap();
+
+        // The fixture survives serialization: JSON round trip, then replay.
+        let store = recorder.snapshot_traces().unwrap();
+        let reloaded = TraceStore::from_json(&store.to_json()).unwrap();
+        prop_assert_eq!(reloaded.len(), store.len());
+        let replay = SocEvaluator::builder()
+            .platform(platform_for(platform_idx))
+            .benchmark(benchmark)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .run_seed(run_seed)
+            .backend(std::sync::Arc::new(TraceReplay::new(reloaded)))
+            .build()
+            .unwrap();
+        prop_assert_eq!(replay.evaluate(&theta).unwrap(), live_objectives);
+    }
+}
+
+/// Replay must be dramatically cheaper than simulating — the point of recording fixtures.
+/// Wall-clock sensitive, so ignored by default like the other release timing gates;
+/// `cargo test -p parmis --release -- --ignored` runs it on capable hosts and the
+/// `backend_matrix` bench bin tracks the same ratio as a CI artifact.
+#[test]
+#[ignore = "wall-clock sensitive; run with --release -- --ignored"]
+fn trace_replay_is_5x_cheaper_than_simulation() {
+    let scenario = soc_sim::scenario::by_name("odroid-pca-thermal").unwrap();
+    let (recording, _) = AnalyticSim::recording();
+    let recorder = std::sync::Arc::new(recording);
+    let live = SocEvaluator::builder()
+        .scenario(&scenario)
+        .objectives(Objective::TIME_ENERGY.to_vec())
+        .backend(recorder.clone())
+        .build()
+        .unwrap();
+    let thetas: Vec<Vec<f64>> = (0..48)
+        .map(|i| vec![(i as f64 / 48.0) - 0.5; live.parameter_dim()])
+        .collect();
+    let expected = live.evaluate_batch(&thetas).unwrap();
+
+    let replay = SocEvaluator::builder()
+        .scenario(&scenario)
+        .objectives(Objective::TIME_ENERGY.to_vec())
+        .backend(std::sync::Arc::new(TraceReplay::new(
+            recorder.snapshot_traces().unwrap(),
+        )))
+        .build()
+        .unwrap();
+    // Replay is a function of (application, seed) only: every row folds the same trace.
+    let replayed = replay.evaluate_batch(&thetas).unwrap();
+    assert_eq!(replayed.len(), expected.len());
+
+    let sim_only = SocEvaluator::builder()
+        .scenario(&scenario)
+        .objectives(Objective::TIME_ENERGY.to_vec())
+        .build()
+        .unwrap();
+    let start = std::time::Instant::now();
+    let _ = sim_only.evaluate_batch(&thetas).unwrap();
+    let sim_time = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let _ = replay.evaluate_batch(&thetas).unwrap();
+    let replay_time = start.elapsed();
+
+    assert!(
+        sim_time.as_secs_f64() >= 5.0 * replay_time.as_secs_f64(),
+        "replay should be >= 5x cheaper: sim {sim_time:?} vs replay {replay_time:?}"
+    );
+}

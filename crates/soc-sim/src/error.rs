@@ -30,6 +30,11 @@ pub enum SocError {
         /// Human-readable description of what was wrong.
         reason: String,
     },
+    /// A recorded run trace could not be parsed, or a replay found no matching recording.
+    Trace {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SocError {
@@ -43,6 +48,7 @@ impl fmt::Display for SocError {
                 write!(f, "invalid parameter {name} = {value}")
             }
             SocError::Scenario { reason } => write!(f, "invalid scenario: {reason}"),
+            SocError::Trace { reason } => write!(f, "invalid run trace: {reason}"),
         }
     }
 }

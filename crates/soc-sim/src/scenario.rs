@@ -83,6 +83,53 @@ impl std::fmt::Display for PlatformPreset {
     }
 }
 
+/// Which evaluation backend a scenario (and the `parmis` evaluator built from it) should
+/// route policy runs through.
+///
+/// The backend implementations live in the `parmis` crate (`parmis::backend`); this enum is
+/// the serializable *selection* that travels with scenario JSON. It is optional in
+/// [`Scenario`] — absent means "the consumer's default" (the analytic simulator) — so
+/// scenario files written before the backend axis existed still parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The analytic streaming simulator (`DecisionTable` + `EpochSink` engine).
+    AnalyticSim,
+    /// Replay of recorded epoch-stream fixtures ([`crate::trace::TraceStore`]).
+    TraceReplay,
+    /// Synthetic perf-counter profiling folded through the collector/stats split
+    /// ([`crate::counters::CounterCollector`] / [`crate::counters::CounterStats`]).
+    CounterProfile,
+}
+
+impl BackendKind {
+    /// Every backend kind, in declaration order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::AnalyticSim,
+        BackendKind::TraceReplay,
+        BackendKind::CounterProfile,
+    ];
+
+    /// Stable kebab-case name used in reports and scenario files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::AnalyticSim => "analytic-sim",
+            BackendKind::TraceReplay => "trace-replay",
+            BackendKind::CounterProfile => "counter-profile",
+        }
+    }
+
+    /// Looks a kind up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        BackendKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Which generator a [`WorkloadSpec`] drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkloadKind {
@@ -408,6 +455,9 @@ pub struct Scenario {
     pub workload: WorkloadSpec,
     /// Which limits apply.
     pub constraints: ScenarioConstraints,
+    /// Which evaluation backend runs this scenario's policies (`None` = consumer default,
+    /// the analytic simulator). Optional so pre-backend scenario JSON still parses.
+    pub backend: Option<BackendKind>,
 }
 
 impl Scenario {
@@ -455,6 +505,7 @@ pub fn registry() -> Vec<Scenario> {
         platform,
         workload,
         constraints,
+        backend: None,
     };
     vec![
         scenario(
@@ -622,6 +673,37 @@ mod tests {
         }
         assert!(Scenario::from_json("{").is_err());
         assert!(Scenario::from_json("{\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn backend_selection_round_trips_and_legacy_json_stays_parseable() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(BackendKind::from_name("nope"), None);
+
+        // The registry default carries no backend pin; an explicit pin survives the JSON
+        // round trip.
+        let mut s = by_name("odroid-qsort-baseline").unwrap();
+        assert_eq!(s.backend, None);
+        s.backend = Some(BackendKind::TraceReplay);
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.backend, Some(BackendKind::TraceReplay));
+        assert_eq!(back, s);
+
+        // Scenario files written before the backend axis existed (no `backend` key at all)
+        // still parse, as None.
+        let pristine = by_name("odroid-qsort-baseline").unwrap();
+        let mut value = serde_json::from_str_value(&pristine.to_json()).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            let before = fields.len();
+            fields.retain(|(k, _)| k != "backend");
+            assert_eq!(fields.len(), before - 1);
+        }
+        let legacy = <Scenario as serde::Deserialize>::from_json_value(&value).unwrap();
+        assert_eq!(legacy, pristine);
+        assert_eq!(legacy.backend, None);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Recorded epoch-stream fixtures: serializable run traces and their aggregate re-fold.
+//!
+//! A [`RunTrace`] is the epoch stream of one [`crate::platform::Platform::run_application_with`]
+//! run plus the header the fold needs (application name, measurement seed, initial junction
+//! temperature). Re-folding the stream with [`RunTrace::aggregates`] performs **exactly** the
+//! accumulation the streaming runner performs — same float operations in the same order — so
+//! the replayed [`RunAggregates`] are bit-identical to the live simulation that recorded the
+//! trace. That makes traces cheap, exactly reproducible stand-ins for the simulator: the
+//! substrate of the `TraceReplay` evaluation backend in the `parmis` crate and of
+//! golden-driven scenario ingestion.
+//!
+//! A [`TraceStore`] is a keyed collection of traces (key: application name + seed) that
+//! round-trips losslessly through JSON via the vendored serde stack, so fixture files can be
+//! committed, diffed and loaded without the simulator in the loop.
+
+use crate::platform::{EpochResult, RunAggregates};
+use crate::{Result, SocError};
+use serde::{Deserialize, Serialize};
+
+/// One recorded application run: fold header plus the full epoch stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Name of the application that was run (lookup key, with `seed`).
+    pub application: String,
+    /// Measurement-noise seed the run used (lookup key, with `application`).
+    pub seed: u64,
+    /// Hottest junction temperature of the platform's initial thermal state, in °C. The
+    /// runner seeds its peak-temperature fold with this value *before* the first epoch, so
+    /// the replayed fold needs it to reproduce `peak_temperature_c` exactly.
+    pub initial_temperature_c: f64,
+    /// The recorded epoch stream, in execution order.
+    pub epochs: Vec<EpochResult>,
+}
+
+impl RunTrace {
+    /// Re-folds the recorded epoch stream into [`RunAggregates`].
+    ///
+    /// This performs the streaming runner's accumulation verbatim — per epoch
+    /// `time += time_s`, `energy += energy_j`, `instructions += counters.instructions_retired`
+    /// (the runner folds `phase.instructions`, which the counter synthesis stores unchanged),
+    /// rail energies as `power · time` products, and the peak-temperature max seeded from
+    /// [`initial_temperature_c`](Self::initial_temperature_c) — so the result is bit-identical
+    /// to the aggregates of the run that recorded the trace.
+    pub fn aggregates(&self) -> RunAggregates {
+        let mut total_time = 0.0;
+        let mut total_energy = 0.0;
+        let mut total_instructions = 0.0;
+        let mut big_rail_energy = 0.0;
+        let mut little_rail_energy = 0.0;
+        let mut peak_temperature_c = self.initial_temperature_c;
+        for epoch in &self.epochs {
+            total_time += epoch.time_s;
+            total_energy += epoch.energy_j;
+            total_instructions += epoch.counters.instructions_retired;
+            big_rail_energy += epoch.big_power_w * epoch.time_s;
+            little_rail_energy += epoch.little_power_w * epoch.time_s;
+            if epoch.temperature_c > peak_temperature_c {
+                peak_temperature_c = epoch.temperature_c;
+            }
+        }
+        let average_power_w = if total_time > 0.0 {
+            total_energy / total_time
+        } else {
+            0.0
+        };
+        let ppw = if total_energy > 0.0 {
+            total_instructions / 1e9 / total_energy
+        } else {
+            0.0
+        };
+        RunAggregates {
+            epochs: self.epochs.len(),
+            execution_time_s: total_time,
+            energy_j: total_energy,
+            instructions: total_instructions,
+            big_rail_energy_j: big_rail_energy,
+            little_rail_energy_j: little_rail_energy,
+            average_power_w,
+            ppw,
+            peak_temperature_c,
+        }
+    }
+}
+
+/// A keyed collection of [`RunTrace`]s with lossless JSON round-tripping.
+///
+/// Lookup is by `(application, seed)`; inserting a trace with a key that is already present
+/// replaces the previous recording (last write wins), so re-recording a fixture is
+/// idempotent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStore {
+    /// The stored traces, in insertion order.
+    traces: Vec<RunTrace>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when no trace has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The stored traces, in insertion order.
+    pub fn traces(&self) -> &[RunTrace] {
+        &self.traces
+    }
+
+    /// Inserts `trace`, replacing any existing recording with the same
+    /// `(application, seed)` key.
+    pub fn insert(&mut self, trace: RunTrace) {
+        match self
+            .traces
+            .iter_mut()
+            .find(|t| t.application == trace.application && t.seed == trace.seed)
+        {
+            Some(slot) => *slot = trace,
+            None => self.traces.push(trace),
+        }
+    }
+
+    /// Looks a trace up by application name and measurement seed.
+    pub fn lookup(&self, application: &str, seed: u64) -> Option<&RunTrace> {
+        self.traces
+            .iter()
+            .find(|t| t.application == application && t.seed == seed)
+    }
+
+    /// Pretty-printed JSON form of the store (the fixture-file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace fields are always finite")
+    }
+
+    /// Parses a store from JSON text (the inverse of [`to_json`](Self::to_json)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Trace`] for malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| SocError::Trace {
+            reason: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::Benchmark;
+    use crate::governor::OndemandGovernor;
+    use crate::platform::{CollectEpochs, Platform};
+
+    fn record(platform: &Platform, benchmark: Benchmark, seed: u64) -> (RunTrace, RunAggregates) {
+        let app = benchmark.application();
+        let mut governor = OndemandGovernor::new(platform.spec().clone());
+        let mut collector = CollectEpochs::with_capacity(app.epoch_count());
+        let aggregates = platform
+            .run_application_with(&app, &mut governor, seed, &mut collector)
+            .unwrap();
+        let trace = RunTrace {
+            application: app.name.to_string(),
+            seed,
+            initial_temperature_c: platform.spec().thermal_model().initial_state().hottest_c(),
+            epochs: collector.into_epochs(),
+        };
+        (trace, aggregates)
+    }
+
+    #[test]
+    fn refolded_trace_is_bit_identical_to_the_live_run() {
+        let platform = Platform::odroid_xu3();
+        let (trace, live) = record(&platform, Benchmark::Qsort, 17);
+        assert_eq!(trace.aggregates(), live);
+    }
+
+    #[test]
+    fn store_round_trips_through_json_and_replays_bitwise() {
+        let platform = Platform::hexa_asym();
+        let mut store = TraceStore::new();
+        let (trace_a, live_a) = record(&platform, Benchmark::Fft, 3);
+        let (trace_b, live_b) = record(&platform, Benchmark::Aes, 4);
+        store.insert(trace_a);
+        store.insert(trace_b);
+        assert_eq!(store.len(), 2);
+
+        let reloaded = TraceStore::from_json(&store.to_json()).unwrap();
+        assert_eq!(reloaded, store, "fixture JSON round-trip is lossless");
+        assert_eq!(reloaded.lookup("fft", 3).unwrap().aggregates(), live_a);
+        assert_eq!(reloaded.lookup("aes", 4).unwrap().aggregates(), live_b);
+        assert!(reloaded.lookup("fft", 99).is_none());
+        assert!(reloaded.lookup("qsort", 3).is_none());
+
+        assert!(TraceStore::from_json("{").is_err());
+        assert!(TraceStore::from_json("{\"traces\": 3}").is_err());
+    }
+
+    #[test]
+    fn insert_replaces_traces_with_the_same_key() {
+        let platform = Platform::wearable();
+        let mut store = TraceStore::new();
+        let (trace, _) = record(&platform, Benchmark::Sha, 5);
+        store.insert(trace.clone());
+        let mut shortened = trace;
+        shortened.epochs.truncate(1);
+        store.insert(shortened.clone());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup("sha", 5), Some(&shortened));
+    }
+
+    #[test]
+    fn empty_trace_folds_to_zeroed_aggregates() {
+        let trace = RunTrace {
+            application: "none".into(),
+            seed: 0,
+            initial_temperature_c: 45.0,
+            epochs: Vec::new(),
+        };
+        let agg = trace.aggregates();
+        assert_eq!(agg.epochs, 0);
+        assert_eq!(agg.execution_time_s, 0.0);
+        assert_eq!(agg.average_power_w, 0.0);
+        assert_eq!(agg.ppw, 0.0);
+        assert_eq!(agg.peak_temperature_c, 45.0);
+        assert!(TraceStore::new().is_empty());
+        assert!(TraceStore::new().traces().is_empty());
+    }
+}

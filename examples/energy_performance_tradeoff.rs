@@ -9,11 +9,8 @@
 use baselines::sweep::{governor_results, il_front, rl_front};
 use moo::dominance::dominates;
 use moo::hypervolume::{common_reference_point, hypervolume};
-use parmis::evaluation::SocEvaluator;
-use parmis::framework::Parmis;
-use parmis::objective::Objective;
+use parmis::prelude::*;
 use parmis_repro::{example_parmis_config, example_sweep_config, sized};
-use soc_sim::apps::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = Benchmark::Fft;
@@ -21,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("energy/performance trade-off on {}", benchmark);
 
     // PaRMIS front.
-    let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.clone());
+    let evaluator = SocEvaluator::builder()
+        .benchmark(benchmark)
+        .objectives(objectives.clone())
+        .build()?;
     let outcome = Parmis::new(example_parmis_config(sized(30, 8), 11)).run(&evaluator)?;
     let parmis_points = outcome.front.objective_values();
     println!("PaRMIS found {} Pareto policies", parmis_points.len());

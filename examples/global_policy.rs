@@ -7,11 +7,8 @@
 
 use moo::hypervolume::{common_reference_point, hypervolume, normalized};
 use moo::ParetoFront;
-use parmis::evaluation::{GlobalEvaluator, PolicyEvaluator, SocEvaluator};
-use parmis::framework::Parmis;
-use parmis::objective::Objective;
+use parmis::prelude::*;
 use parmis_repro::{example_parmis_config, quick_mode, sized};
-use soc_sim::apps::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let all = [Benchmark::Sha, Benchmark::Kmeans, Benchmark::StringSearch];
@@ -46,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let global_points = per_app_front.objective_values();
 
         // Application-specific search with the same budget, for reference.
-        let app_eval = SocEvaluator::for_benchmark(benchmark, objectives.clone());
+        let app_eval = SocEvaluator::builder()
+            .benchmark(benchmark)
+            .objectives(objectives.clone())
+            .build()?;
         let app_outcome = Parmis::new(example_parmis_config(sized(26, 6), 37)).run(&app_eval)?;
         let app_points = app_outcome.front.objective_values();
 

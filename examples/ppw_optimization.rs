@@ -5,11 +5,9 @@
 //! cargo run --release --example ppw_optimization
 //! ```
 
-use parmis::evaluation::SocEvaluator;
-use parmis::framework::Parmis;
-use parmis::objective::{reporting_vector, Objective};
+use parmis::objective::reporting_vector;
+use parmis::prelude::*;
 use parmis_repro::{example_parmis_config, sized};
-use soc_sim::apps::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = Benchmark::Dijkstra;
@@ -17,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let objectives = vec![Objective::ExecutionTime, Objective::PerformancePerWatt];
     println!("optimizing (execution time, PPW) for {}", benchmark);
 
-    let evaluator = SocEvaluator::for_benchmark(benchmark, objectives.clone());
+    let evaluator = SocEvaluator::builder()
+        .benchmark(benchmark)
+        .objectives(objectives.clone())
+        .build()?;
     let outcome = Parmis::new(example_parmis_config(sized(30, 8), 21)).run(&evaluator)?;
 
     println!(

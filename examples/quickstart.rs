@@ -5,11 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parmis::evaluation::SocEvaluator;
-use parmis::framework::Parmis;
-use parmis::objective::Objective;
+use parmis::prelude::*;
 use parmis_repro::{example_parmis_config, sized};
-use soc_sim::apps::Benchmark;
 use soc_sim::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Offline phase: run the information-theoretic search for Pareto-frontier policies.
-    let evaluator = SocEvaluator::for_benchmark(benchmark, objectives);
+    let evaluator = SocEvaluator::builder()
+        .benchmark(benchmark)
+        .objectives(objectives)
+        .build()?;
     let outcome = Parmis::new(example_parmis_config(sized(30, 8), 7)).run(&evaluator)?;
     println!(
         "evaluated {} candidate policies, found {} Pareto-frontier policies (PHV {:.3})",

@@ -7,11 +7,9 @@
 //! cargo run --release --example thermal_aware_optimization
 //! ```
 
-use parmis::evaluation::SocEvaluator;
-use parmis::framework::Parmis;
-use parmis::objective::Objective;
+use parmis::prelude::*;
 use parmis_repro::{example_parmis_config, sized};
-use soc_sim::scenario::{self, Scenario};
+use soc_sim::scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick the thermally limited scenario from the registry; a real deployment could
@@ -27,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Offline phase: optimize (execution time, peak temperature) with the scenario's
     //    thermal-violation penalty steering the search towards compliant policies.
     let objectives = Objective::TIME_PEAK_TEMP.to_vec();
-    let evaluator = SocEvaluator::for_scenario(&scenario, objectives)?;
+    let evaluator = SocEvaluator::builder()
+        .scenario(&scenario)
+        .objectives(objectives)
+        .build()?;
     let outcome = Parmis::new(example_parmis_config(sized(30, 8), 41)).run(&evaluator)?;
     println!(
         "evaluated {} policies, kept {} on the Pareto front (PHV {:.3})",
