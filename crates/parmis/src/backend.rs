@@ -4,7 +4,7 @@
 //! objectives, constraints); an [`EvalBackend`] owns *how* a configured policy becomes
 //! [`RunAggregates`]. The trait is small and object-safe so evaluators hold backends as
 //! `Arc<dyn EvalBackend>` and new execution substrates (a hardware board, a remote fleet)
-//! plug in without touching the search loop. Three implementations ship:
+//! plug in without touching the search loop. Four implementations ship:
 //!
 //! * [`AnalyticSim`] — the streaming `DecisionTable`/`EpochSink` simulator, verbatim. This
 //!   is the default and the bit-identity reference: its aggregates are exactly what the
@@ -18,6 +18,10 @@
 //!   collector/stats split ([`soc_sim::counters::CounterCollector`] /
 //!   [`soc_sim::counters::CounterStats`]), deriving every aggregate from the counters
 //!   alone. This is the seam a hardware-in-the-loop backend would feed from a real PMU.
+//! * [`FaultInject`] — a decorator that layers a **seeded, deterministic failure
+//!   schedule** (error-on-nth-run, panic, latency spike) over any inner backend, for
+//!   robustness drills: retry policies, worker panic containment and graceful degradation
+//!   are all exercised against it in the fault-injection suite.
 //!
 //! Determinism contract: a backend's result may depend only on the [`EvalContext`] and the
 //! policy parameters in the [`SimBuffers`] — never on call order or hidden mutable state —
@@ -32,6 +36,7 @@ use soc_sim::scenario::BackendKind;
 use soc_sim::trace::{RunTrace, TraceStore};
 use soc_sim::workload::Application;
 use soc_sim::SocError;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Static description of an evaluation backend.
@@ -305,6 +310,128 @@ impl EvalBackend for CounterProfile {
     }
 }
 
+/// One entry of a [`FaultInject`] failure schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The run fails with a structured [`ParmisError::Backend`] carrying
+    /// [`SocError::Fault`]; the inner backend is never invoked.
+    Error,
+    /// The run panics inside the backend — this is the drill for worker panic containment
+    /// (the parallel evaluator must convert it into a structured error, not abort).
+    Panic,
+    /// The run stalls for the given number of microseconds, then delegates normally. A
+    /// latency fault must never change results, only wall-clock time.
+    LatencySpike {
+        /// Stall duration in microseconds.
+        micros: u64,
+    },
+}
+
+/// Deterministic fault-injection decorator over any [`EvalBackend`].
+///
+/// Faults fire on a **global run counter** (the nth `run` call on this instance,
+/// evaluator-wide, zero-based): explicitly via [`fault_on`](Self::fault_on), or randomly
+/// via [`with_random_errors`](Self::with_random_errors), whose per-run decision is a pure
+/// splitmix64 hash of `(seed, run index)` — reproducible across processes, independent of
+/// thread interleaving in *which* runs fail. Because a retried run draws a fresh counter
+/// value, scheduled faults model **transient** failures: a retry policy with at least one
+/// attempt left recovers from them, which is exactly what the retry-equivalence tests
+/// exploit.
+///
+/// The decorator reports `deterministic: false`: with parallel evaluation the assignment
+/// of counter values to (application, θ) pairs depends on call order, so two runs of the
+/// same context may fail differently. Every other backend invariant is preserved by
+/// delegation.
+#[derive(Debug)]
+pub struct FaultInject {
+    inner: Arc<dyn EvalBackend>,
+    schedule: Vec<(usize, FaultKind)>,
+    seed: u64,
+    error_rate: f64,
+    runs: AtomicUsize,
+}
+
+impl FaultInject {
+    /// A decorator over `inner` with an empty (benign) schedule.
+    pub fn new(inner: Arc<dyn EvalBackend>) -> Self {
+        FaultInject {
+            inner,
+            schedule: Vec::new(),
+            seed: 0,
+            error_rate: 0.0,
+            runs: AtomicUsize::new(0),
+        }
+    }
+
+    /// Schedules `kind` to fire on the `run`-th call (zero-based, counted across the whole
+    /// instance). Entries stack; the first matching entry wins.
+    #[must_use]
+    pub fn fault_on(mut self, run: usize, kind: FaultKind) -> Self {
+        self.schedule.push((run, kind));
+        self
+    }
+
+    /// Additionally fails each unscheduled run with probability `rate`, decided by a pure
+    /// hash of `(seed, run index)` — the same seed reproduces the same failure set.
+    #[must_use]
+    pub fn with_random_errors(mut self, seed: u64, rate: f64) -> Self {
+        self.seed = seed;
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of `run` calls made so far (injected faults included).
+    pub fn runs(&self) -> usize {
+        self.runs.load(Ordering::SeqCst)
+    }
+
+    /// Uniform `[0, 1)` draw for run `n`: splitmix64 finalizer over `seed ^ f(n)`.
+    fn uniform(&self, n: usize) -> f64 {
+        let mut z = self.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl EvalBackend for FaultInject {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::FaultInject,
+            description: "deterministic fault-injection decorator (robustness drills)",
+            deterministic: false,
+        }
+    }
+
+    fn run(&self, ctx: &EvalContext<'_>, buffers: &mut SimBuffers) -> Result<RunAggregates> {
+        let n = self.runs.fetch_add(1, Ordering::SeqCst);
+        let fault = self
+            .schedule
+            .iter()
+            .find(|(at, _)| *at == n)
+            .map(|&(_, kind)| kind)
+            .or_else(|| {
+                (self.error_rate > 0.0 && self.uniform(n) < self.error_rate)
+                    .then_some(FaultKind::Error)
+            });
+        match fault {
+            Some(FaultKind::Error) => Err(backend_error(
+                BackendKind::FaultInject,
+                SocError::Fault {
+                    reason: format!("injected failure at run {n}"),
+                },
+            )),
+            Some(FaultKind::Panic) => panic!("injected panic at run {n} (fault-injection drill)"),
+            Some(FaultKind::LatencySpike { micros }) => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.run(ctx, buffers)
+            }
+            None => self.inner.run(ctx, buffers),
+        }
+    }
+}
+
 /// Instantiates the stock backend for a serializable [`BackendKind`] selection.
 ///
 /// [`BackendKind::TraceReplay`] starts from an **empty** fixture store — every run errors
@@ -312,11 +439,15 @@ impl EvalBackend for CounterProfile {
 /// themselves. Load fixtures explicitly ([`TraceReplay::from_json`] /
 /// [`TraceReplay::new`]) and hand the backend to
 /// [`EvaluatorBuilder::backend`](crate::evaluation::EvaluatorBuilder::backend) instead.
+/// Similarly, [`BackendKind::FaultInject`] resolves to a **benign** decorator (empty
+/// schedule over [`AnalyticSim`]); configure a real schedule via [`FaultInject`]'s builder
+/// methods.
 pub fn default_backend_for(kind: BackendKind) -> Arc<dyn EvalBackend> {
     match kind {
         BackendKind::AnalyticSim => Arc::new(AnalyticSim::new()),
         BackendKind::TraceReplay => Arc::new(TraceReplay::new(TraceStore::new())),
         BackendKind::CounterProfile => Arc::new(CounterProfile::new()),
+        BackendKind::FaultInject => Arc::new(FaultInject::new(Arc::new(AnalyticSim::new()))),
     }
 }
 
@@ -347,6 +478,59 @@ mod tests {
         for kind in BackendKind::ALL {
             assert_eq!(default_backend_for(kind).describe().kind, kind);
         }
+    }
+
+    #[test]
+    fn fault_inject_schedule_fires_on_the_counter_and_latency_preserves_results() {
+        let (platform, application) = context_fixture();
+        let evaluator =
+            SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let mut buffers = evaluator.sim_buffers();
+        buffers
+            .policy_mut()
+            .set_flat_parameters(&vec![0.2; evaluator.parameter_dim()]);
+        let ctx = EvalContext {
+            platform: &platform,
+            application: &application,
+            seed: 17,
+        };
+        let baseline = AnalyticSim::new().run(&ctx, &mut buffers).unwrap();
+
+        let faulty = FaultInject::new(Arc::new(AnalyticSim::new()))
+            .fault_on(1, FaultKind::Error)
+            .fault_on(2, FaultKind::LatencySpike { micros: 50 });
+        assert_eq!(faulty.describe().kind, BackendKind::FaultInject);
+        assert!(!faulty.describe().deterministic);
+
+        // Run 0 is clean, run 1 errors structurally, run 2 stalls but returns the same
+        // aggregates bit for bit.
+        assert_eq!(faulty.run(&ctx, &mut buffers).unwrap(), baseline);
+        let err = faulty.run(&ctx, &mut buffers).unwrap_err();
+        match err {
+            ParmisError::Backend {
+                ref name,
+                ref source,
+            } => {
+                assert_eq!(name, "fault-inject");
+                assert!(matches!(source, SocError::Fault { .. }));
+            }
+            other => panic!("expected Backend error, got {other:?}"),
+        }
+        assert_eq!(faulty.run(&ctx, &mut buffers).unwrap(), baseline);
+        assert_eq!(faulty.runs(), 3);
+
+        // The seeded random schedule is a pure function of (seed, run index): two
+        // instances with the same seed fail the same runs.
+        let mut failures = |seed: u64| -> Vec<bool> {
+            let b = FaultInject::new(Arc::new(AnalyticSim::new())).with_random_errors(seed, 0.4);
+            (0..20)
+                .map(|_| b.run(&ctx, &mut buffers).is_err())
+                .collect()
+        };
+        let a = failures(7);
+        assert_eq!(a, failures(7));
+        assert_ne!(a, failures(8));
+        assert!(a.iter().any(|&f| f) && !a.iter().all(|&f| f));
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum ParmisError {
         /// The underlying simulator or trace error.
         source: soc_sim::SocError,
     },
+    /// A checkpoint could not be written, parsed, or verified, or a resume was attempted
+    /// with a state that is incompatible with the resuming configuration/evaluator.
+    Checkpoint {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ParmisError {
@@ -53,6 +59,7 @@ impl fmt::Display for ParmisError {
             ParmisError::Backend { name, source } => {
                 write!(f, "evaluation backend `{name}` failed: {source}")
             }
+            ParmisError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
         }
     }
 }

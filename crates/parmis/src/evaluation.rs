@@ -15,7 +15,9 @@ use soc_sim::apps::Benchmark;
 use soc_sim::platform::{DrmController, Platform, RunAggregates, RunSummary};
 use soc_sim::scenario::{BackendKind, Scenario, ScenarioConstraints};
 use soc_sim::workload::Application;
-use soc_sim::DecisionSpace;
+use soc_sim::{DecisionSpace, SocError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default measurement-noise seed for evaluation runs.
@@ -170,9 +172,26 @@ impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
         let chunk_len = thetas.len().div_ceil(workers);
         let chunks: Vec<&[Vec<f64>]> = thetas.chunks(chunk_len).collect();
         let mut results = Vec::with_capacity(thetas.len());
-        for chunk in
-            crate::parallel::parallel_map(&chunks, workers, |_, c| self.inner.evaluate_batch(c))
-        {
+        for chunk in crate::parallel::parallel_map(&chunks, workers, |_, c| {
+            // Panic containment at the worker boundary: a panicking inner evaluator (one
+            // without its own containment) becomes a structured error for its chunk
+            // instead of tearing down the process at the scope join. Because the inner
+            // serial loop stops at its first failing slot — panic or error alike — the
+            // contained error still corresponds to the chunk's lowest failing slot.
+            catch_unwind(AssertUnwindSafe(|| self.inner.evaluate_batch(c))).unwrap_or_else(
+                |payload| {
+                    Err(ParmisError::Backend {
+                        name: "parallel-worker".to_string(),
+                        source: SocError::Fault {
+                            reason: format!(
+                                "worker panic contained: {}",
+                                panic_reason(payload.as_ref())
+                            ),
+                        },
+                    })
+                },
+            )
+        }) {
             // Propagate the first error in slot order, exactly like the serial loop:
             // chunks are contiguous and merged in slot order, and within a chunk the inner
             // evaluator's serial collect stops at its first failure — so for any worker
@@ -180,6 +199,118 @@ impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
             results.extend(chunk?);
         }
         Ok(results)
+    }
+}
+
+/// What happens to a candidate θ whose evaluation still fails after every retry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradeMode {
+    /// Propagate the error and abort the batch (the default, and the pre-retry behavior).
+    FailFast,
+    /// Degrade gracefully: the θ reports `penalty` on **every** objective instead of
+    /// failing the run. Pick a penalty clearly worse than any reachable objective value so
+    /// the search routes around the faulty region without the archive ever admitting it.
+    SkipWithPenalty {
+        /// Objective value reported for every objective of a degraded θ.
+        penalty: f64,
+    },
+}
+
+/// Bounded-retry policy for the evaluation seam, with deterministic backoff accounting.
+///
+/// Each failed backend run (structured error *or* contained panic) is retried up to
+/// [`max_retries`](Self::max_retries) times; attempt `i` charges `backoff_base_micros <<
+/// i` to the shared [`RetryStats`] ledger **without sleeping** — the backoff schedule is
+/// an accounting quantity (reproducible in tests and reports, summable across workers),
+/// not a wall-clock delay, so retry behavior never depends on timing. When every attempt
+/// is exhausted, [`degrade`](Self::degrade) decides between fail-fast and
+/// skip-with-penalty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (`0` = single attempt, the default).
+    pub max_retries: usize,
+    /// Base of the exponential backoff ledger: attempt `i` charges `base << i` µs.
+    pub backoff_base_micros: u64,
+    /// What to do once retries are exhausted.
+    pub degrade: DegradeMode,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_micros: 100,
+            degrade: DegradeMode::FailFast,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A fail-fast policy with `max_retries` retries.
+    pub fn retries(max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Switches exhaustion behavior to skip-with-penalty.
+    #[must_use]
+    pub fn skip_with_penalty(mut self, penalty: f64) -> Self {
+        self.degrade = DegradeMode::SkipWithPenalty { penalty };
+        self
+    }
+
+    /// Overrides the backoff ledger base.
+    #[must_use]
+    pub fn backoff_base_micros(mut self, micros: u64) -> Self {
+        self.backoff_base_micros = micros;
+        self
+    }
+}
+
+/// Shared fault-handling ledger of an evaluator (clones of the evaluator share one).
+///
+/// All counters are atomics: workers update them concurrently, totals are exact.
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    retries: AtomicUsize,
+    degraded_runs: AtomicUsize,
+    contained_panics: AtomicUsize,
+    backoff_micros: AtomicU64,
+}
+
+impl RetryStats {
+    /// Total retry attempts performed.
+    pub fn retries(&self) -> usize {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// Runs that exhausted their retries and degraded to the penalty vector.
+    pub fn degraded_runs(&self) -> usize {
+        self.degraded_runs.load(Ordering::SeqCst)
+    }
+
+    /// Backend panics caught and converted into structured errors.
+    pub fn contained_panics(&self) -> usize {
+        self.contained_panics.load(Ordering::SeqCst)
+    }
+
+    /// Total simulated backoff charged by the deterministic accounting, in microseconds.
+    pub fn backoff_micros(&self) -> u64 {
+        self.backoff_micros.load(Ordering::SeqCst)
+    }
+}
+
+/// Renders a panic payload into a human-readable reason (the common `&str`/`String`
+/// payloads verbatim, anything else opaque).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -194,6 +325,8 @@ pub struct SocEvaluator {
     constraints: Option<ScenarioConstraints>,
     run_seed: u64,
     backend: Arc<dyn EvalBackend>,
+    retry: RetryPolicy,
+    retry_stats: Arc<RetryStats>,
 }
 
 impl SocEvaluator {
@@ -277,6 +410,8 @@ impl SocEvaluator {
             constraints: None,
             run_seed: DEFAULT_RUN_SEED,
             backend: Arc::new(AnalyticSim::new()),
+            retry: RetryPolicy::default(),
+            retry_stats: Arc::new(RetryStats::default()),
         }
     }
 
@@ -295,6 +430,24 @@ impl SocEvaluator {
     /// The evaluation backend in use.
     pub fn backend(&self) -> &dyn EvalBackend {
         &*self.backend
+    }
+
+    /// Sets the fault-handling policy applied around every backend run (retries with
+    /// deterministic backoff accounting, then fail-fast or skip-with-penalty).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault-handling policy in use.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The shared fault-handling ledger (clones of this evaluator update the same one, so
+    /// parallel workers aggregate into a single set of totals).
+    pub fn retry_stats(&self) -> Arc<RetryStats> {
+        self.retry_stats.clone()
     }
 
     /// The policy architecture used to decode θ.
@@ -325,8 +478,18 @@ impl SocEvaluator {
     ///
     /// # Errors
     ///
-    /// Propagates simulator failures.
+    /// Returns [`ParmisError::Evaluation`] for a θ of the wrong dimension and propagates
+    /// simulator failures.
     pub fn run_summaries(&self, theta: &[f64]) -> Result<Vec<RunSummary>> {
+        if theta.len() != self.parameter_dim() {
+            return Err(ParmisError::Evaluation {
+                reason: format!(
+                    "theta has dimension {} but the policy needs {}",
+                    theta.len(),
+                    self.parameter_dim()
+                ),
+            });
+        }
         let mut policy = self.policy_for(theta);
         self.applications
             .iter()
@@ -365,6 +528,13 @@ impl SocEvaluator {
     /// are allocated per θ. With the default [`AnalyticSim`] backend this is the platform's
     /// streaming runner with a discard sink — bit-identical to the materializing path.
     ///
+    /// Fault handling: every backend run goes through the evaluator's [`RetryPolicy`] —
+    /// a panicking backend is contained (`catch_unwind`) and converted into a structured
+    /// [`ParmisError::Backend`] carrying [`SocError::Fault`], failures are retried with
+    /// deterministic backoff accounting, and on exhaustion the policy either fails fast
+    /// or degrades the whole θ to the configured penalty vector
+    /// ([`DegradeMode::SkipWithPenalty`]).
+    ///
     /// # Errors
     ///
     /// Returns [`ParmisError::Evaluation`] for a θ of the wrong dimension or an evaluator
@@ -395,7 +565,12 @@ impl SocEvaluator {
                 application: app,
                 seed: self.run_seed,
             };
-            let aggregates = self.backend.run(&ctx, buffers)?;
+            let aggregates = match self.run_backend_with_retries(&ctx, buffers)? {
+                BackendRun::Completed(aggregates) => aggregates,
+                // Retries exhausted under SkipWithPenalty: the whole θ degrades to the
+                // penalty vector (clearly dominated, so the archive never admits it).
+                BackendRun::Degraded { penalty } => return Ok(vec![penalty; k]),
+            };
             buffers.fill_summary(app, &aggregates);
             let v = objective_vector(&self.objectives, &buffers.summary);
             for (a, x) in acc.iter_mut().zip(v) {
@@ -420,6 +595,69 @@ impl SocEvaluator {
         }
         Ok(acc)
     }
+
+    /// One backend run under the evaluator's [`RetryPolicy`]: panics contained into
+    /// structured errors, failures retried with deterministic backoff accounting, and on
+    /// exhaustion either the last error (fail-fast) or a degradation marker
+    /// (skip-with-penalty).
+    fn run_backend_with_retries(
+        &self,
+        ctx: &EvalContext<'_>,
+        buffers: &mut SimBuffers,
+    ) -> Result<BackendRun> {
+        let mut attempt = 0usize;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.backend.run(ctx, buffers)));
+            let error = match outcome {
+                Ok(Ok(aggregates)) => return Ok(BackendRun::Completed(aggregates)),
+                Ok(Err(error)) => error,
+                Err(payload) => {
+                    self.retry_stats
+                        .contained_panics
+                        .fetch_add(1, Ordering::SeqCst);
+                    ParmisError::Backend {
+                        name: self.backend.describe().name().to_string(),
+                        source: SocError::Fault {
+                            reason: format!(
+                                "backend panic contained: {}",
+                                panic_reason(payload.as_ref())
+                            ),
+                        },
+                    }
+                }
+            };
+            if attempt < self.retry.max_retries {
+                // Deterministic backoff *accounting*: attempt i charges base << i to the
+                // ledger. Nothing sleeps — retry behavior never depends on wall clock.
+                self.retry_stats
+                    .backoff_micros
+                    .fetch_add(self.retry.backoff_base_micros << attempt, Ordering::SeqCst);
+                self.retry_stats.retries.fetch_add(1, Ordering::SeqCst);
+                attempt += 1;
+                continue;
+            }
+            return match self.retry.degrade {
+                DegradeMode::FailFast => Err(error),
+                DegradeMode::SkipWithPenalty { penalty } => {
+                    self.retry_stats
+                        .degraded_runs
+                        .fetch_add(1, Ordering::SeqCst);
+                    Ok(BackendRun::Degraded { penalty })
+                }
+            };
+        }
+    }
+}
+
+/// Result of one fault-handled backend run.
+enum BackendRun {
+    /// The backend produced aggregates (possibly after retries).
+    Completed(RunAggregates),
+    /// Retries were exhausted under [`DegradeMode::SkipWithPenalty`].
+    Degraded {
+        /// The configured penalty objective value.
+        penalty: f64,
+    },
 }
 
 /// Fluent assembly of a [`SocEvaluator`], replacing the constructor sprawl
@@ -457,6 +695,7 @@ pub struct EvaluatorBuilder {
     run_seed: u64,
     backend: Option<Arc<dyn EvalBackend>>,
     backend_kind: Option<BackendKind>,
+    retry: RetryPolicy,
     deferred: Option<ParmisError>,
 }
 
@@ -478,6 +717,7 @@ impl EvaluatorBuilder {
             run_seed: DEFAULT_RUN_SEED,
             backend: None,
             backend_kind: None,
+            retry: RetryPolicy::default(),
             deferred: None,
         }
     }
@@ -571,6 +811,13 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Sets the fault-handling policy applied around every backend run
+    /// ([`SocEvaluator::with_retry_policy`]).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Builds the evaluator.
     ///
     /// # Errors
@@ -600,7 +847,8 @@ impl EvaluatorBuilder {
             self.objectives,
         )
         .with_run_seed(self.run_seed)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_retry_policy(self.retry);
         evaluator.constraints = self.constraints;
         Ok(evaluator)
     }
@@ -705,6 +953,13 @@ impl GlobalEvaluator {
         self
     }
 
+    /// Sets the fault-handling policy of the wrapped evaluator
+    /// ([`SocEvaluator::with_retry_policy`]); per-benchmark scoring uses the same policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.inner = self.inner.with_retry_policy(retry);
+        self
+    }
+
     /// Access to the wrapped [`SocEvaluator`] (e.g. to materialize policies).
     pub fn as_soc_evaluator(&self) -> &SocEvaluator {
         &self.inner
@@ -724,7 +979,8 @@ impl GlobalEvaluator {
             self.inner.objectives.clone(),
         )
         .with_run_seed(self.inner.run_seed)
-        .with_backend(self.inner.backend.clone());
+        .with_backend(self.inner.backend.clone())
+        .with_retry_policy(self.inner.retry);
         single.evaluate(theta)
     }
 }

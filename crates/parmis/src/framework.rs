@@ -1,6 +1,7 @@
 //! The PaRMIS main loop (Algorithm 1 of the paper).
 
 use crate::acquisition::{AcquisitionOptimizer, AcquisitionOptimizerConfig};
+use crate::checkpoint::{self, SearchState};
 use crate::evaluation::PolicyEvaluator;
 use crate::objective::Objective;
 use crate::pareto_sampling::{AcquisitionScratch, ParetoFrontSampler, ParetoSamplingConfig};
@@ -12,6 +13,7 @@ use moo::hypervolume::hypervolume;
 use moo::ParetoFront;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use soc_sim::scenario::BackendKind;
 
 /// Configuration of a PaRMIS run.
@@ -58,6 +60,20 @@ pub struct ParmisConfig {
     /// [`BackendKind::AnalyticSim`], is the bit-identity reference; evaluators built
     /// directly keep whatever backend they were given.
     pub backend: BackendKind,
+    /// Fuel budget of one run **segment**: the maximum number of evaluations performed
+    /// before the resumable entry points ([`Parmis::run_resumable`], [`Parmis::resume`])
+    /// suspend cleanly at an iteration boundary and return a [`SearchState`]. `0` (the
+    /// default) disables fuel accounting. The initial random design always completes
+    /// atomically (and counts toward the fuel), so every captured state is resumable.
+    /// Fuel only segments the run — it never changes the trajectory, so it is excluded
+    /// from the checkpoint's configuration digest.
+    pub max_fuel: usize,
+    /// Checkpoint cadence in evaluations: the `*_with_checkpoints` entry points invoke
+    /// their sink with a fresh [`SearchState`] after every round that crosses this many
+    /// evaluations since the last checkpoint. `0` (the default) disables cadence
+    /// checkpoints. Like [`max_fuel`](Self::max_fuel), this is a scheduling knob and does
+    /// not affect the trajectory or the configuration digest.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ParmisConfig {
@@ -75,12 +91,14 @@ impl Default for ParmisConfig {
             batch_size: 1,
             num_workers: 1,
             backend: BackendKind::AnalyticSim,
+            max_fuel: 0,
+            checkpoint_every: 0,
         }
     }
 }
 
 /// One evaluated policy: the search keeps the full trace for convergence analysis (Fig. 2).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
     /// Zero-based evaluation index (initial design included).
     pub iteration: usize,
@@ -108,10 +126,32 @@ pub struct ParmisOutcome {
     pub reference_point: Vec<f64>,
     /// Iteration at which the convergence criterion fired, if early stopping was enabled.
     pub converged_at: Option<usize>,
+    /// Per-iteration trace-hash chain ([`checkpoint::hash_chain`]) of the run: the audit
+    /// trail that proves a resumed run followed the uninterrupted trajectory bit for bit.
+    pub trace_hashes: Vec<u64>,
 }
 
 impl ParmisOutcome {
-    /// Final Pareto hypervolume (last entry of the trajectory, 0 for an empty run).
+    /// A well-defined zero-evaluation outcome: empty archive and history, an all-margin
+    /// reference point (no NaNs), `final_phv() == 0`. This is the value a degenerate
+    /// zero-iteration run reports instead of poisoning downstream consumers with NaN.
+    pub fn empty(objectives: Vec<Objective>) -> ParmisOutcome {
+        let k = objectives.len();
+        ParmisOutcome {
+            objectives,
+            front: ParetoFront::new(k),
+            history: Vec::new(),
+            phv_history: Vec::new(),
+            reference_point: vec![0.05; k],
+            converged_at: None,
+            trace_hashes: Vec::new(),
+        }
+    }
+
+    /// Final Pareto hypervolume: the last entry of the trajectory, or `0.0` for an empty
+    /// run (an empty history has an empty `phv_history` and a finite margin-only
+    /// reference point, so this is the exact hypervolume of the empty archive, not a
+    /// sentinel).
     pub fn final_phv(&self) -> f64 {
         self.phv_history.last().copied().unwrap_or(0.0)
     }
@@ -124,6 +164,40 @@ impl ParmisOutcome {
             .iter()
             .map(|v| crate::objective::reporting_vector(&self.objectives, v))
             .collect()
+    }
+}
+
+/// Result of one resumable run segment: either the search finished, or the fuel budget
+/// ([`ParmisConfig::max_fuel`]) expired at an iteration boundary and the search suspended.
+#[derive(Debug, Clone)]
+pub enum SearchStep {
+    /// The search ran to completion (budget exhausted or converged).
+    Completed(Box<ParmisOutcome>),
+    /// The fuel budget expired; the state can be serialized ([`SearchState::to_json`]) and
+    /// later handed to [`Parmis::resume`] to continue bit-identically.
+    Suspended(Box<SearchState>),
+}
+
+impl SearchStep {
+    /// `true` if this segment suspended on fuel exhaustion.
+    pub fn is_suspended(&self) -> bool {
+        matches!(self, SearchStep::Suspended(_))
+    }
+
+    /// The completed outcome, if the search finished.
+    pub fn into_completed(self) -> Option<ParmisOutcome> {
+        match self {
+            SearchStep::Completed(outcome) => Some(*outcome),
+            SearchStep::Suspended(_) => None,
+        }
+    }
+
+    /// The suspended state, if the fuel budget expired.
+    pub fn into_suspended(self) -> Option<SearchState> {
+        match self {
+            SearchStep::Completed(_) => None,
+            SearchStep::Suspended(state) => Some(*state),
+        }
     }
 }
 
@@ -187,17 +261,104 @@ impl Parmis {
     where
         F: FnMut(usize, &IterationRecord),
     {
+        match self.drive(evaluator, None, &mut progress, &mut |_| Ok(()))? {
+            SearchStep::Completed(outcome) => Ok(*outcome),
+            SearchStep::Suspended(_) => Err(ParmisError::Checkpoint {
+                reason: "the fuel budget expired before the search completed; call \
+                         run_resumable to obtain the suspended state"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Runs Algorithm 1 under the fuel budget: completes, or suspends cleanly at an
+    /// iteration boundary once [`ParmisConfig::max_fuel`] evaluations have been performed
+    /// this segment, returning a serializable [`SearchState`].
+    ///
+    /// With `max_fuel == 0` this never suspends and behaves exactly like
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_resumable(&self, evaluator: &dyn PolicyEvaluator) -> Result<SearchStep> {
+        self.drive(evaluator, None, &mut |_, _| {}, &mut |_| Ok(()))
+    }
+
+    /// Like [`run_resumable`](Self::run_resumable), additionally invoking `on_checkpoint`
+    /// with a fresh [`SearchState`] every [`ParmisConfig::checkpoint_every`] evaluations
+    /// (a durability sink: write the state to disk so a crash loses at most one cadence
+    /// window). A sink error aborts the run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run), plus whatever `on_checkpoint` returns.
+    pub fn run_resumable_with_checkpoints<F>(
+        &self,
+        evaluator: &dyn PolicyEvaluator,
+        mut on_checkpoint: F,
+    ) -> Result<SearchStep>
+    where
+        F: FnMut(&SearchState) -> Result<()>,
+    {
+        self.drive(evaluator, None, &mut |_, _| {}, &mut on_checkpoint)
+    }
+
+    /// Continues a suspended search from `state`, bit-identically to the uninterrupted
+    /// run: the observation history, Pareto archive, RNG cursor and convergence counters
+    /// are restored, the GP cache is rebuilt by replaying the recorded model-fitting call
+    /// sequence, and the per-iteration trace-hash chain is re-verified before any new
+    /// evaluation happens. The segment again honors [`ParmisConfig::max_fuel`], so a long
+    /// run can be carried across many suspend/resume cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmisError::Checkpoint`] if the state fails integrity verification or
+    /// is incompatible with this configuration/evaluator, plus everything
+    /// [`run`](Self::run) can return.
+    pub fn resume(
+        &self,
+        state: SearchState,
+        evaluator: &dyn PolicyEvaluator,
+    ) -> Result<SearchStep> {
+        self.drive(evaluator, Some(state), &mut |_, _| {}, &mut |_| Ok(()))
+    }
+
+    /// [`resume`](Self::resume) with a cadence checkpoint sink, mirroring
+    /// [`run_resumable_with_checkpoints`](Self::run_resumable_with_checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume`](Self::resume), plus whatever `on_checkpoint` returns.
+    pub fn resume_with_checkpoints<F>(
+        &self,
+        state: SearchState,
+        evaluator: &dyn PolicyEvaluator,
+        mut on_checkpoint: F,
+    ) -> Result<SearchStep>
+    where
+        F: FnMut(&SearchState) -> Result<()>,
+    {
+        self.drive(evaluator, Some(state), &mut |_, _| {}, &mut on_checkpoint)
+    }
+
+    /// The search engine behind every entry point: fresh runs (`resume_from == None`) and
+    /// resumed segments share this loop, which is what makes resume bit-identity a
+    /// structural property rather than a test assertion.
+    fn drive(
+        &self,
+        evaluator: &dyn PolicyEvaluator,
+        resume_from: Option<SearchState>,
+        progress: &mut dyn FnMut(usize, &IterationRecord),
+        on_checkpoint: &mut dyn FnMut(&SearchState) -> Result<()>,
+    ) -> Result<SearchStep> {
         self.validate(evaluator)?;
         let cfg = &self.config;
         let dim = evaluator.parameter_dim();
         let bound = evaluator.parameter_bound();
         let objectives = evaluator.objectives().to_vec();
         let k = objectives.len();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-        let mut history: Vec<IterationRecord> = Vec::with_capacity(cfg.max_iterations);
-        let mut front: ParetoFront<Vec<f64>> = ParetoFront::new(k);
-        let mut stale_iterations = 0usize;
         let mut converged_at = None;
         // One fitted GP per objective, carried across iterations: on non-hyperopt rounds the
         // models are advanced incrementally (rank-one Cholesky extension + target swap)
@@ -207,40 +368,101 @@ impl Parmis {
         // buffers and batched output column warm up on the first Pareto-front sample and
         // are reused by every later iteration instead of rebuilding solver state.
         let mut acquisition_scratch = AcquisitionScratch::default();
+        // Fuel/cadence accounting is per segment: a resumed run gets a fresh budget.
+        let mut segment_evaluations = 0usize;
+        let mut evals_since_checkpoint = 0usize;
 
-        // --- Initial design (Algorithm 1, line 1) -------------------------------------------
-        // The candidate parameters are drawn from a single sequential stream (independent of
-        // batch size and worker count) and then evaluated as one batch.
-        let initial = cfg.initial_samples.min(cfg.max_iterations).max(2);
-        let initial_thetas: Vec<Vec<f64>> = (0..initial)
-            .map(|_| (0..dim).map(|_| rng.gen_range(-bound..bound)).collect())
-            .collect();
-        let initial_values = evaluator.evaluate_batch(&initial_thetas)?;
-        for (i, (theta, objectives_value)) in
-            initial_thetas.into_iter().zip(initial_values).enumerate()
-        {
-            self.check_objective_vector(&objectives_value, k)?;
-            front.insert(objectives_value.clone(), theta.clone());
-            let record = IterationRecord {
-                iteration: i,
-                theta,
-                objectives: objectives_value,
-                acquisition_value: None,
-            };
-            progress(i, &record);
-            history.push(record);
+        let (
+            mut rng,
+            mut history,
+            mut front,
+            mut stale_iterations,
+            mut trace_hashes,
+            mut round_starts,
+        );
+        match resume_from {
+            None => {
+                rng = StdRng::seed_from_u64(cfg.seed);
+                history = Vec::with_capacity(cfg.max_iterations);
+                front = ParetoFront::new(k);
+                stale_iterations = 0usize;
+                trace_hashes = Vec::with_capacity(cfg.max_iterations);
+                round_starts = Vec::new();
+
+                // --- Initial design (Algorithm 1, line 1) -----------------------------------
+                // The candidate parameters are drawn from a single sequential stream
+                // (independent of batch size and worker count) and then evaluated as one
+                // batch. This is the only place the main RNG is consumed, so its cursor is
+                // constant from here on — one stored state word set covers the whole chain.
+                let initial = cfg.initial_samples.min(cfg.max_iterations).max(2);
+                let initial_thetas: Vec<Vec<f64>> = (0..initial)
+                    .map(|_| (0..dim).map(|_| rng.gen_range(-bound..bound)).collect())
+                    .collect();
+                let initial_values = evaluator.evaluate_batch(&initial_thetas)?;
+                let rng_words = rng.state();
+                for (i, (theta, objectives_value)) in
+                    initial_thetas.into_iter().zip(initial_values).enumerate()
+                {
+                    self.check_objective_vector(&objectives_value, k)?;
+                    front.insert(objectives_value.clone(), theta.clone());
+                    let record = IterationRecord {
+                        iteration: i,
+                        theta,
+                        objectives: objectives_value,
+                        acquisition_value: None,
+                    };
+                    let prev = trace_hashes
+                        .last()
+                        .copied()
+                        .unwrap_or(checkpoint::TRACE_HASH_SEED);
+                    trace_hashes.push(checkpoint::record_hash(prev, &record, &rng_words));
+                    progress(i, &record);
+                    history.push(record);
+                }
+                segment_evaluations += initial;
+                evals_since_checkpoint += initial;
+            }
+            Some(state) => {
+                // Integrity + compatibility verification (format version, digests, hash
+                // chain, front snapshot) happens before a single evaluation is spent.
+                front = state.verify_for(cfg, &objectives)?;
+                rng = StdRng::from_state(state.rng_words()?);
+                stale_iterations = state.stale_iterations;
+                history = state.history;
+                trace_hashes = state.trace_hashes;
+                round_starts = state.round_starts;
+                // Rebuild the GP cache exactly as the uninterrupted run would have left it
+                // by replaying the recorded model-fitting call sequence.
+                model_cache = self.replay_model_cache(&history, &round_starts, k, dim, bound)?;
+            }
         }
 
         // --- Model-guided iterations (Algorithm 1, lines 2-8), q candidates per round ------
         // Every stochastic choice below is seeded from (cfg.seed, iteration), and candidate
         // slots within a round are merged in order, so the full trajectory is a pure function
-        // of the configuration — independent of batch evaluation scheduling.
-        let mut iteration = initial;
+        // of the configuration — independent of batch evaluation scheduling, worker count,
+        // and suspend/resume segmentation.
+        let rng_words = rng.state();
+        let mut iteration = history.len();
         'rounds: while iteration < cfg.max_iterations {
+            // Fuel check at the round boundary: suspend with a resumable state instead of
+            // starting a round the budget cannot pay for.
+            if cfg.max_fuel > 0 && segment_evaluations >= cfg.max_fuel {
+                return Ok(SearchStep::Suspended(Box::new(self.snapshot(
+                    &objectives,
+                    &history,
+                    &front,
+                    stale_iterations,
+                    &rng,
+                    &trace_hashes,
+                    &round_starts,
+                ))));
+            }
             let q = cfg.batch_size.min(cfg.max_iterations - iteration).max(1);
 
             // Line 3: learn statistical models from the aggregate training data.
             let xs: Vec<Vec<f64>> = history.iter().map(|r| r.theta.clone()).collect();
+            round_starts.push(iteration);
             self.fit_models(&xs, &history, k, dim, bound, iteration, &mut model_cache)?;
             let models = model_cache.as_deref().expect("fit_models fills the cache");
 
@@ -286,6 +508,11 @@ impl Parmis {
                     objectives: objectives_value,
                     acquisition_value: Some(acq_value),
                 };
+                let prev = trace_hashes
+                    .last()
+                    .copied()
+                    .unwrap_or(checkpoint::TRACE_HASH_SEED);
+                trace_hashes.push(checkpoint::record_hash(prev, &record, &rng_words));
                 progress(iteration + slot, &record);
                 history.push(record);
 
@@ -300,20 +527,118 @@ impl Parmis {
                 }
             }
             iteration += evaluated;
+            segment_evaluations += evaluated;
+            evals_since_checkpoint += evaluated;
+
+            // Cadence checkpoint: hand a durable snapshot to the sink at the round
+            // boundary (never after the final round — that segment returns an outcome).
+            if cfg.checkpoint_every > 0
+                && evals_since_checkpoint >= cfg.checkpoint_every
+                && iteration < cfg.max_iterations
+            {
+                on_checkpoint(&self.snapshot(
+                    &objectives,
+                    &history,
+                    &front,
+                    stale_iterations,
+                    &rng,
+                    &trace_hashes,
+                    &round_starts,
+                ))?;
+                evals_since_checkpoint = 0;
+            }
         }
 
-        // --- Post-processing: PHV trajectory against a common reference ---------------------
-        let reference_point = phv_reference(&history, k);
-        let phv_history = phv_trajectory(&history, &reference_point, k);
-
-        Ok(ParmisOutcome {
+        Ok(SearchStep::Completed(Box::new(build_outcome(
             objectives,
             front,
             history,
-            phv_history,
-            reference_point,
+            trace_hashes,
             converged_at,
-        })
+        ))))
+    }
+
+    /// Captures the running search as a [`SearchState`] (round-boundary invariant: the
+    /// history, archive, hash chain and round structure are all mutually consistent here).
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        objectives: &[Objective],
+        history: &[IterationRecord],
+        front: &ParetoFront<Vec<f64>>,
+        stale_iterations: usize,
+        rng: &StdRng,
+        trace_hashes: &[u64],
+        round_starts: &[usize],
+    ) -> SearchState {
+        let k = objectives.len();
+        let reference = phv_reference(history, k);
+        let phv_trace = phv_trajectory(history, &reference, k);
+        SearchState::capture(
+            &self.config,
+            objectives,
+            history,
+            front,
+            stale_iterations,
+            rng.state(),
+            trace_hashes,
+            round_starts,
+            phv_trace,
+        )
+    }
+
+    /// Rebuilds the GP model cache a resumed segment starts from, bit-identically to the
+    /// cache the uninterrupted run would be carrying.
+    ///
+    /// The cache at iteration `n` is the result of a *sequence* of [`fit_models`] calls —
+    /// a hyperopt refit at the last refit boundary followed by one incremental extension
+    /// per later round. Replaying that exact call sequence (recorded in `round_starts`)
+    /// reproduces the cache including its incremental Cholesky extensions; fitting from
+    /// scratch on the full history would produce subtly different factors and break
+    /// bit-identity. When the next round will refit anyway, the cache contents are
+    /// irrelevant and the replay is skipped.
+    fn replay_model_cache(
+        &self,
+        history: &[IterationRecord],
+        round_starts: &[usize],
+        k: usize,
+        dim: usize,
+        bound: f64,
+    ) -> Result<Option<Vec<GaussianProcess>>> {
+        let cfg = &self.config;
+        let next_iteration = history.len();
+        if round_starts.is_empty() {
+            return Ok(None);
+        }
+        if next_iteration.saturating_sub(cfg.initial_samples) % cfg.refit_hyperparameters_every == 0
+        {
+            return Ok(None);
+        }
+        // The first recorded round always refit (the cache was empty); later boundaries
+        // refit on the hyperopt cadence.
+        let mut last_refit = round_starts[0];
+        for &boundary in &round_starts[1..] {
+            if boundary.saturating_sub(cfg.initial_samples) % cfg.refit_hyperparameters_every == 0 {
+                last_refit = boundary;
+            }
+        }
+        let mut cache = None;
+        for &boundary in round_starts.iter().filter(|&&b| b >= last_refit) {
+            let xs: Vec<Vec<f64>> = history[..boundary]
+                .iter()
+                .map(|r| r.theta.clone())
+                .collect();
+            self.fit_models(
+                &xs,
+                &history[..boundary],
+                k,
+                dim,
+                bound,
+                boundary,
+                &mut cache,
+            )?;
+        }
+        Ok(cache)
     }
 
     fn validate(&self, evaluator: &dyn PolicyEvaluator) -> Result<()> {
@@ -338,6 +663,12 @@ impl Parmis {
                 reason: "the acquisition optimizer needs at least one random candidate".into(),
             });
         }
+        if cfg.refit_hyperparameters_every == 0 {
+            return Err(ParmisError::InvalidConfig {
+                reason: "refit_hyperparameters_every must be positive (1 refits every round)"
+                    .into(),
+            });
+        }
         if evaluator.objectives().len() < 2 {
             return Err(ParmisError::InvalidConfig {
                 reason: "PaRMIS needs at least two objectives to trade off".into(),
@@ -348,9 +679,12 @@ impl Parmis {
                 reason: "the policy parameter space must have positive dimension".into(),
             });
         }
-        if evaluator.parameter_bound() <= 0.0 {
+        let bound = evaluator.parameter_bound();
+        if !(bound.is_finite() && bound > 0.0) {
             return Err(ParmisError::InvalidConfig {
-                reason: "the parameter bound must be positive".into(),
+                reason: format!(
+                    "the parameter bound must be a positive finite number, got {bound}"
+                ),
             });
         }
         Ok(())
@@ -445,8 +779,36 @@ fn lengthscale_grid(dim: usize, bound: f64) -> Vec<f64> {
         .collect()
 }
 
-/// Reference point: component-wise worst observed value plus a 5 % margin.
+/// Builds the final outcome of a completed run (PHV trajectory against the full-history
+/// reference point). Fresh and resumed segments share this, so resume bit-identity extends
+/// to the post-processed fields.
+fn build_outcome(
+    objectives: Vec<Objective>,
+    front: ParetoFront<Vec<f64>>,
+    history: Vec<IterationRecord>,
+    trace_hashes: Vec<u64>,
+    converged_at: Option<usize>,
+) -> ParmisOutcome {
+    let k = objectives.len();
+    let reference_point = phv_reference(&history, k);
+    let phv_history = phv_trajectory(&history, &reference_point, k);
+    ParmisOutcome {
+        objectives,
+        front,
+        history,
+        phv_history,
+        reference_point,
+        converged_at,
+        trace_hashes,
+    }
+}
+
+/// Reference point: component-wise worst observed value plus a 5 % margin. An empty
+/// history gets the all-margin point (no `NEG_INFINITY` leaking into PHV math).
 fn phv_reference(history: &[IterationRecord], k: usize) -> Vec<f64> {
+    if history.is_empty() {
+        return vec![0.05; k];
+    }
     let mut worst = vec![f64::NEG_INFINITY; k];
     for r in history {
         for (w, v) in worst.iter_mut().zip(&r.objectives) {

@@ -33,11 +33,25 @@
 //! # Evaluation backends
 //!
 //! The policy→aggregates step lives behind the small object-safe
-//! [`backend::EvalBackend`] trait. Three implementations ship: the streaming analytic
+//! [`backend::EvalBackend`] trait. Four implementations ship: the streaming analytic
 //! simulator ([`backend::AnalyticSim`], the default and bit-identity reference, with a
-//! fixture-recording mode), recorded-trace replay ([`backend::TraceReplay`]) and a
-//! perf-counter profiling fold ([`backend::CounterProfile`]). Evaluators are assembled
+//! fixture-recording mode), recorded-trace replay ([`backend::TraceReplay`]), a
+//! perf-counter profiling fold ([`backend::CounterProfile`]) and a deterministic
+//! fault-injection decorator ([`backend::FaultInject`]). Evaluators are assembled
 //! with [`evaluation::SocEvaluator::builder`].
+//!
+//! # Robustness: checkpoint/resume, trace hashes, fault tolerance
+//!
+//! Long-budget searches are **resumable and auditable**: [`ParmisConfig::max_fuel`] makes
+//! [`framework::Parmis::run_resumable`] suspend cleanly at an iteration boundary with a
+//! serializable [`checkpoint::SearchState`] that [`framework::Parmis::resume`] continues
+//! **bit-identically** — verified by a per-iteration trace-hash chain
+//! ([`checkpoint::hash_chain`]) recorded in every checkpoint and outcome. The evaluation
+//! seam is fault-tolerant: backend panics are contained into structured errors, failures
+//! are retried under a deterministic [`evaluation::RetryPolicy`], and exhausted retries
+//! either fail fast or degrade the candidate to a penalty vector
+//! ([`evaluation::DegradeMode`]). [`backend::FaultInject`] drills all of it with seeded
+//! failure schedules.
 //!
 //! # Quick start
 //!
@@ -61,6 +75,7 @@
 
 pub mod acquisition;
 pub mod backend;
+pub mod checkpoint;
 mod error;
 pub mod evaluation;
 pub mod framework;
@@ -84,13 +99,15 @@ pub type Result<T> = std::result::Result<T, ParmisError>;
 /// `std::result::Result`.
 pub mod prelude {
     pub use crate::backend::{
-        AnalyticSim, BackendInfo, CounterProfile, EvalBackend, EvalContext, TraceReplay,
+        AnalyticSim, BackendInfo, CounterProfile, EvalBackend, EvalContext, FaultInject, FaultKind,
+        TraceReplay,
     };
+    pub use crate::checkpoint::SearchState;
     pub use crate::evaluation::{
-        EvaluatorBuilder, GlobalEvaluator, ParallelEvaluator, PolicyEvaluator, SimBuffers,
-        SocEvaluator,
+        DegradeMode, EvaluatorBuilder, GlobalEvaluator, ParallelEvaluator, PolicyEvaluator,
+        RetryPolicy, RetryStats, SimBuffers, SocEvaluator,
     };
-    pub use crate::framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome};
+    pub use crate::framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome, SearchStep};
     pub use crate::objective::Objective;
     pub use crate::ParmisError;
     pub use soc_sim::apps::Benchmark;

@@ -120,17 +120,19 @@ impl ParetoFrontSampler {
     ///
     /// # Errors
     ///
-    /// Propagates RFF construction failures.
+    /// Returns [`ParmisError::InvalidConfig`](crate::ParmisError::InvalidConfig) for an
+    /// empty model set and propagates RFF construction failures.
     pub fn new(
         models: &[GaussianProcess],
         parameter_bound: f64,
         config: ParetoSamplingConfig,
         seed: u64,
     ) -> Result<Self> {
-        assert!(
-            !models.is_empty(),
-            "at least one objective model is required"
-        );
+        if models.is_empty() {
+            return Err(crate::ParmisError::InvalidConfig {
+                reason: "Pareto-front sampling needs at least one objective model".into(),
+            });
+        }
         let dim = models[0].dim();
         let samplers = models
             .iter()

@@ -1,0 +1,334 @@
+//! Kill-and-resume equivalence suite: a search that is suspended by the fuel budget,
+//! serialized to checkpoint JSON, deserialized and resumed — possibly across many
+//! segments — must produce an outcome bit-identical to the uninterrupted run, with the
+//! per-iteration trace-hash chain as the audit trail. The suite covers the synthetic
+//! test problem across (seed × interrupt point), a registry scenario on the real SoC
+//! evaluator, resume on top of the [`TraceReplay`] backend, cadence checkpoints, and the
+//! rejection paths for incompatible or tampered states.
+
+use parmis::acquisition::AcquisitionOptimizerConfig;
+use parmis::backend::{AnalyticSim, TraceReplay};
+use parmis::checkpoint::SearchState;
+use parmis::evaluation::{PolicyEvaluator, SocEvaluator};
+use parmis::framework::{Parmis, ParmisConfig, ParmisOutcome, SearchStep};
+use parmis::objective::Objective;
+use parmis::pareto_sampling::ParetoSamplingConfig;
+use parmis::{ParmisError, Result};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Cheap synthetic evaluator (Schaffer-like trade-off over 3 parameters) so the full
+/// suspend/resume machinery can be property-tested without the SoC simulator.
+struct SyntheticEvaluator {
+    objectives: Vec<Objective>,
+}
+
+impl SyntheticEvaluator {
+    fn new() -> Self {
+        SyntheticEvaluator {
+            objectives: vec![Objective::ExecutionTime, Objective::Energy],
+        }
+    }
+}
+
+impl PolicyEvaluator for SyntheticEvaluator {
+    fn parameter_dim(&self) -> usize {
+        3
+    }
+
+    fn parameter_bound(&self) -> f64 {
+        2.0
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        let o1 = theta[0].powi(2) + 0.05 * theta[1].powi(2) + 0.05 * theta[2].powi(2) + 1.0;
+        let o2 = (theta[0] - 1.0).powi(2) + 0.05 * theta[1].powi(2) + 0.05 * theta[2].powi(2) + 1.0;
+        Ok(vec![o1, o2])
+    }
+}
+
+fn tiny_config(seed: u64, max_iterations: usize) -> ParmisConfig {
+    ParmisConfig {
+        max_iterations,
+        initial_samples: 5,
+        num_pareto_samples: 1,
+        sampling: ParetoSamplingConfig {
+            rff_features: 40,
+            nsga_population: 12,
+            nsga_generations: 5,
+        },
+        acquisition: AcquisitionOptimizerConfig {
+            random_candidates: 12,
+            local_candidates: 4,
+            local_perturbation: 0.2,
+        },
+        refit_hyperparameters_every: 4,
+        batch_size: 2,
+        seed,
+        ..ParmisConfig::default()
+    }
+}
+
+fn assert_outcomes_identical(a: &ParmisOutcome, b: &ParmisOutcome, label: &str) {
+    assert_eq!(
+        a.trace_hashes, b.trace_hashes,
+        "{label}: trace hashes diverged"
+    );
+    assert_eq!(a.phv_history, b.phv_history, "{label}: PHV trace diverged");
+    assert_eq!(
+        a.reference_point, b.reference_point,
+        "{label}: reference point diverged"
+    );
+    assert_eq!(
+        a.converged_at, b.converged_at,
+        "{label}: convergence diverged"
+    );
+    assert_eq!(
+        a.history.len(),
+        b.history.len(),
+        "{label}: history length diverged"
+    );
+    for (ra, rb) in a.history.iter().zip(&b.history) {
+        assert_eq!(
+            ra.theta, rb.theta,
+            "{label}: θ diverged at {}",
+            ra.iteration
+        );
+        assert_eq!(ra.objectives, rb.objectives, "{label}: objectives diverged");
+        assert_eq!(
+            ra.acquisition_value, rb.acquisition_value,
+            "{label}: acquisition diverged"
+        );
+    }
+    assert_eq!(
+        a.front.objective_values(),
+        b.front.objective_values(),
+        "{label}: Pareto front diverged"
+    );
+    let tags =
+        |o: &ParmisOutcome| -> Vec<Vec<f64>> { o.front.iter().map(|e| e.tag.clone()).collect() };
+    assert_eq!(tags(a), tags(b), "{label}: front parameter tags diverged");
+}
+
+/// Drives a fuel-bounded search to completion, forcing every suspended state through the
+/// checkpoint JSON format before resuming it. Returns the outcome and the segment count.
+fn run_segmented(
+    config: &ParmisConfig,
+    fuel: usize,
+    evaluator: &dyn PolicyEvaluator,
+) -> (ParmisOutcome, usize) {
+    let fueled = ParmisConfig {
+        max_fuel: fuel,
+        ..config.clone()
+    };
+    let search = Parmis::new(fueled);
+    let mut segments = 1;
+    let mut step = search.run_resumable(evaluator).unwrap();
+    while let SearchStep::Suspended(state) = step {
+        // The kill: nothing survives except the serialized checkpoint.
+        let json = state.to_json().unwrap();
+        let restored = SearchState::from_json(&json).unwrap();
+        assert_eq!(
+            *state, restored,
+            "checkpoint JSON round trip must be lossless"
+        );
+        segments += 1;
+        assert!(segments < 100, "resume loop failed to make progress");
+        step = search.resume(restored, evaluator).unwrap();
+    }
+    (step.into_completed().unwrap(), segments)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Core resume equivalence property: for arbitrary seeds and arbitrary interrupt
+    /// points (including mid-initial-design and fuel so small the search suspends after
+    /// every round), the segmented run is bit-identical to the uninterrupted one.
+    #[test]
+    fn segmented_run_is_bit_identical_to_uninterrupted(
+        seed in 0u64..1000,
+        fuel in 1usize..9,
+    ) {
+        let evaluator = SyntheticEvaluator::new();
+        let config = tiny_config(seed, 11);
+        let uninterrupted = Parmis::new(config.clone())
+            .run_resumable(&evaluator)
+            .unwrap()
+            .into_completed()
+            .unwrap();
+        let (resumed, segments) = run_segmented(&config, fuel, &evaluator);
+        prop_assert!(segments >= 2, "fuel {fuel} never suspended");
+        assert_outcomes_identical(&uninterrupted, &resumed, &format!("fuel {fuel}"));
+    }
+}
+
+/// The same equivalence on the real SoC evaluator for a registry scenario, across more
+/// than one suspend/resume cycle.
+#[test]
+fn registry_scenario_resumes_bit_identically() {
+    let scenario = soc_sim::scenario::registry().into_iter().next().unwrap();
+    let evaluator = SocEvaluator::for_scenario(&scenario, Objective::TIME_ENERGY.to_vec()).unwrap();
+    let config = tiny_config(91, 9);
+    let uninterrupted = Parmis::new(config.clone())
+        .run_resumable(&evaluator)
+        .unwrap()
+        .into_completed()
+        .unwrap();
+    let (resumed, segments) = run_segmented(&config, 3, &evaluator);
+    assert!(segments >= 2);
+    assert_outcomes_identical(
+        &uninterrupted,
+        &resumed,
+        &format!("scenario {}", scenario.name),
+    );
+}
+
+/// Resume composes with the backend seam: a search riding on recorded-trace replay
+/// fixtures suspends and resumes exactly like the live simulator.
+#[test]
+fn resume_on_trace_replay_fixtures_is_bit_identical() {
+    // Record fixtures by running the search once on the recording simulator. Replay is a
+    // function of (application, run seed) only, so one full pass records every trace the
+    // replayed searches will request.
+    let (recording, _) = AnalyticSim::recording();
+    let recorder = Arc::new(recording);
+    let live = SocEvaluator::for_benchmark(
+        soc_sim::apps::Benchmark::Qsort,
+        Objective::TIME_ENERGY.to_vec(),
+    )
+    .with_backend(recorder.clone());
+    let config = tiny_config(23, 9);
+    Parmis::new(config.clone()).run(&live).unwrap();
+
+    let store = recorder.snapshot_traces().unwrap();
+    let replayed = SocEvaluator::for_benchmark(
+        soc_sim::apps::Benchmark::Qsort,
+        Objective::TIME_ENERGY.to_vec(),
+    )
+    .with_backend(Arc::new(TraceReplay::new(store)));
+
+    let uninterrupted = Parmis::new(config.clone())
+        .run_resumable(&replayed)
+        .unwrap()
+        .into_completed()
+        .unwrap();
+    let (resumed, segments) = run_segmented(&config, 4, &replayed);
+    assert!(segments >= 2);
+    assert_outcomes_identical(&uninterrupted, &resumed, "trace-replay resume");
+}
+
+/// Cadence checkpoints are valid resume points: every state handed to the sink passes
+/// integrity verification, evaluation counts are strictly increasing, and resuming from
+/// the last one completes identically to the uninterrupted run.
+#[test]
+fn cadence_checkpoints_are_valid_resume_points() {
+    let evaluator = SyntheticEvaluator::new();
+    let config = ParmisConfig {
+        checkpoint_every: 3,
+        ..tiny_config(7, 11)
+    };
+    let search = Parmis::new(config.clone());
+    let mut checkpoints: Vec<SearchState> = Vec::new();
+    let uninterrupted = search
+        .run_resumable_with_checkpoints(&evaluator, |state| {
+            checkpoints.push(state.clone());
+            Ok(())
+        })
+        .unwrap()
+        .into_completed()
+        .unwrap();
+    assert!(!checkpoints.is_empty(), "cadence sink never fired");
+    let mut last_seen = 0;
+    for state in &checkpoints {
+        state.verify_integrity().unwrap();
+        assert!(state.evaluations() > last_seen, "cadence must advance");
+        last_seen = state.evaluations();
+        assert!(state.evaluations() < config.max_iterations);
+    }
+
+    let restored = SearchState::from_json(&checkpoints.last().unwrap().to_json().unwrap()).unwrap();
+    let finished = search
+        .resume(restored, &evaluator)
+        .unwrap()
+        .into_completed()
+        .unwrap();
+    assert_outcomes_identical(&uninterrupted, &finished, "resume from cadence checkpoint");
+
+    // A sink error aborts the run instead of being swallowed.
+    let err = search
+        .run_resumable_with_checkpoints(&evaluator, |_| {
+            Err(ParmisError::Checkpoint {
+                reason: "disk full".into(),
+            })
+        })
+        .unwrap_err();
+    assert!(matches!(err, ParmisError::Checkpoint { .. }), "{err}");
+}
+
+/// A suspended state is refused by incompatible resumers: a configuration whose
+/// trajectory-affecting fields differ, or an evaluator with different objectives. Both
+/// are structured [`ParmisError::Checkpoint`] failures, not silent divergence.
+#[test]
+fn resume_rejects_incompatible_config_and_evaluator() {
+    let evaluator = SyntheticEvaluator::new();
+    let config = tiny_config(3, 11);
+    let state = Parmis::new(ParmisConfig {
+        max_fuel: 6,
+        ..config.clone()
+    })
+    .run_resumable(&evaluator)
+    .unwrap()
+    .into_suspended()
+    .unwrap();
+
+    // Different seed → different trajectory → refused.
+    let reseeded = Parmis::new(ParmisConfig {
+        seed: config.seed + 1,
+        ..config.clone()
+    });
+    let err = reseeded.resume(state.clone(), &evaluator).unwrap_err();
+    assert!(matches!(err, ParmisError::Checkpoint { .. }), "{err}");
+
+    // Same config, evaluator optimizing different objectives → refused.
+    let other = SyntheticEvaluator {
+        objectives: vec![Objective::ExecutionTime, Objective::PeakTemperature],
+    };
+    let err = Parmis::new(config.clone())
+        .resume(state.clone(), &other)
+        .unwrap_err();
+    assert!(matches!(err, ParmisError::Checkpoint { .. }), "{err}");
+
+    // Scheduling knobs are resume-compatible: a different worker count or fuel budget
+    // accepts the state (this is the whole point of fuel-bounded segments).
+    let rescheduled = Parmis::new(ParmisConfig {
+        max_fuel: 0,
+        num_workers: 3,
+        ..config
+    });
+    let outcome = rescheduled
+        .resume(state, &evaluator)
+        .unwrap()
+        .into_completed()
+        .unwrap();
+    assert_eq!(outcome.history.len(), 11);
+}
+
+/// The non-resumable entry points refuse to drop a suspended state on the floor:
+/// `run()` under a fuel budget reports a structured checkpoint error telling the caller
+/// to use `run_resumable`.
+#[test]
+fn plain_run_surfaces_fuel_exhaustion_as_an_error() {
+    let evaluator = SyntheticEvaluator::new();
+    let config = ParmisConfig {
+        max_fuel: 6,
+        ..tiny_config(5, 11)
+    };
+    let err = Parmis::new(config).run(&evaluator).unwrap_err();
+    assert!(matches!(err, ParmisError::Checkpoint { .. }), "{err}");
+    assert!(err.to_string().contains("run_resumable"), "{err}");
+}

@@ -35,6 +35,13 @@ pub enum SocError {
         /// Human-readable description of what was wrong.
         reason: String,
     },
+    /// A fault was injected into (or contained at) the evaluation seam: a scheduled
+    /// failure from a fault-injection backend, or a worker panic caught and converted
+    /// into a structured error.
+    Fault {
+        /// Human-readable description of the fault.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SocError {
@@ -49,6 +56,7 @@ impl fmt::Display for SocError {
             }
             SocError::Scenario { reason } => write!(f, "invalid scenario: {reason}"),
             SocError::Trace { reason } => write!(f, "invalid run trace: {reason}"),
+            SocError::Fault { reason } => write!(f, "evaluation fault: {reason}"),
         }
     }
 }

@@ -99,14 +99,19 @@ pub enum BackendKind {
     /// Synthetic perf-counter profiling folded through the collector/stats split
     /// ([`crate::counters::CounterCollector`] / [`crate::counters::CounterStats`]).
     CounterProfile,
+    /// Deterministic fault-injection decorator layered over another backend (robustness
+    /// drills; selecting it by kind wraps the consumer's default backend with a benign
+    /// schedule unless the consumer configures one explicitly).
+    FaultInject,
 }
 
 impl BackendKind {
     /// Every backend kind, in declaration order.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::AnalyticSim,
         BackendKind::TraceReplay,
         BackendKind::CounterProfile,
+        BackendKind::FaultInject,
     ];
 
     /// Stable kebab-case name used in reports and scenario files.
@@ -115,6 +120,7 @@ impl BackendKind {
             BackendKind::AnalyticSim => "analytic-sim",
             BackendKind::TraceReplay => "trace-replay",
             BackendKind::CounterProfile => "counter-profile",
+            BackendKind::FaultInject => "fault-inject",
         }
     }
 

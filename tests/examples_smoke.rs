@@ -6,13 +6,14 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "governor_comparison",
     "energy_performance_tradeoff",
     "ppw_optimization",
     "global_policy",
     "thermal_aware_optimization",
+    "resumable_search",
 ];
 
 #[test]

@@ -144,6 +144,18 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Returns the raw xoshiro256++ state words, e.g. for checkpointing a generator
+        /// mid-stream. Restoring the same words with [`StdRng::from_state`] continues the
+        /// stream exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words previously captured by [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
