@@ -24,6 +24,7 @@ use bench::seedpath_acq::{
     self, build_seed_samplers, probe_models, probe_sampling_config, sample_front_seed,
 };
 use criterion::Criterion;
+use fastmath::Precision;
 use gp::RffSampler;
 use moo::nsga2::{Nsga2, Nsga2Config, Nsga2Engine};
 use parmis::pareto_sampling::{AcquisitionScratch, ParetoFrontSampler, ParetoSamplingConfig};
@@ -197,6 +198,81 @@ fn bench_rff_eval_batch(c: &mut Criterion, rows: &mut Vec<AcqBenchRow>) {
     rows.push(row("rff_eval_batch80", seed, flat));
 }
 
+/// Fast-tier rows: the same shapes as above, but comparing the seed-exact tier against
+/// [`Precision::Fast`] (polynomial cosine kernels) on the *same* flat engine. Here
+/// `seed_ms` is the seed-exact tier and `flat_ms` the fast tier, so `speedup` is the
+/// exact→fast ratio the release gate (`fastmath_speed_gate`) asserts on.
+fn bench_fast_tier(c: &mut Criterion, rows: &mut Vec<AcqBenchRow>) {
+    let models = probe_models();
+    let config = ParetoSamplingConfig {
+        nsga_generations: 25,
+        ..probe_sampling_config()
+    };
+    let sampler_seed = 5u64;
+    let exact =
+        ParetoFrontSampler::new(&models, 3.0, config.clone(), sampler_seed).expect("valid sampler");
+    let fast = ParetoFrontSampler::new_with_precision(
+        &models,
+        3.0,
+        config.clone(),
+        sampler_seed,
+        Precision::Fast,
+    )
+    .expect("valid sampler");
+    let mut scratch = AcquisitionScratch::default();
+    exact.sample_with(&mut scratch, 0).expect("valid sample");
+    fast.sample_with(&mut scratch, 0).expect("valid sample");
+
+    let mut sample_seed = 0u64;
+    let exact_time = c.bench_timed("front_sample_fast_tier/seed_exact", |b| {
+        b.iter(|| {
+            sample_seed = sample_seed.wrapping_add(1);
+            exact
+                .sample_with(&mut scratch, sample_seed)
+                .expect("valid sample")
+        })
+    });
+    let mut sample_seed = 0u64;
+    let fast_time = c.bench_timed("front_sample_fast_tier/fast", |b| {
+        b.iter(|| {
+            sample_seed = sample_seed.wrapping_add(1);
+            fast.sample_with(&mut scratch, sample_seed)
+                .expect("valid sample")
+        })
+    });
+    rows.push(row("front_sample_fast_tier", exact_time, fast_time));
+
+    // The 80-point batched posterior evaluation in isolation — the cosine-bound inner loop
+    // the fast tier targets.
+    let exact_sampler = RffSampler::new(&models[0], 200, 7).expect("valid sampler");
+    let fast_sampler = RffSampler::new(&models[0], 200, 7)
+        .expect("valid sampler")
+        .with_precision(Precision::Fast);
+    let exact_f = exact_sampler.sample(1).expect("valid draw");
+    let fast_f = fast_sampler.sample(1).expect("valid draw");
+    let dim = exact_sampler.dim();
+    let points: Vec<f64> = (0..80 * dim)
+        .map(|i| -2.0 + 0.05 * (i % 80) as f64)
+        .collect();
+    let mut out = vec![0.0; 80];
+
+    // The fast batched path shares the exact path's allocation contract: warm, then zero.
+    fast_f.eval_batch_into(&points, &mut out);
+    let fast_allocs = allocations_during(|| fast_f.eval_batch_into(&points, &mut out));
+    assert_eq!(
+        fast_allocs, 0,
+        "the fast-tier batched posterior evaluation must stay allocation-free"
+    );
+
+    let exact_time = c.bench_timed("rff_eval_batch80_fast_tier/seed_exact", |b| {
+        b.iter(|| exact_f.eval_batch_into(&points, &mut out))
+    });
+    let fast_time = c.bench_timed("rff_eval_batch80_fast_tier/fast", |b| {
+        b.iter(|| fast_f.eval_batch_into(&points, &mut out))
+    });
+    rows.push(row("rff_eval_batch80_fast_tier", exact_time, fast_time));
+}
+
 fn bench_nsga2_machinery(c: &mut Criterion, rows: &mut Vec<AcqBenchRow>) {
     // The shared machinery probe ([`seedpath_acq::probe_machinery_problem`]) isolates the
     // evolutionary machinery with a near-free objective — the gate asserts >= 2x on this
@@ -239,6 +315,7 @@ fn main() {
     let mut rows = Vec::new();
     bench_front_sample(&mut criterion, &mut rows);
     bench_rff_eval_batch(&mut criterion, &mut rows);
+    bench_fast_tier(&mut criterion, &mut rows);
     bench_nsga2_machinery(&mut criterion, &mut rows);
 
     if criterion.is_test_mode() {

@@ -32,6 +32,7 @@ use soc_sim::config::DrmDecision;
 use soc_sim::platform::{DiscardEpochs, Platform};
 use soc_sim::scenario;
 use soc_sim::workload::Application;
+use soc_sim::Precision;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -195,6 +196,43 @@ fn bench_full_application(
     rows.push(row(&name, seed, streaming));
 }
 
+/// Fast-tier row: the same noisy 1000-epoch application on the same streaming engine,
+/// comparing the seed-exact noise pipeline (scalar Box–Muller through libm) against
+/// [`Precision::Fast`] (blocked Box–Muller through the `fastmath` kernels). Here
+/// `seed_ms` is the seed-exact tier and `streaming_ms` the fast tier, so `speedup` is
+/// the exact→fast ratio the release gate (`fastmath_speed_gate`) asserts on.
+fn bench_full_application_fast_tier(c: &mut Criterion, rows: &mut Vec<SimBenchRow>) {
+    let exact = Platform::odroid_xu3();
+    let fast = Platform::odroid_xu3().with_precision(Precision::Fast);
+    let app = probe_app(1000);
+    let decision = DrmDecision {
+        big_cores: 4,
+        little_cores: 4,
+        big_freq_mhz: 1800,
+        little_freq_mhz: 1200,
+    };
+    let exact_time = c.bench_timed("full_application_1000_fast_tier/seed_exact", |b| {
+        b.iter(|| {
+            let mut controller = FixedController(decision);
+            exact
+                .run_application_with(&app, &mut controller, 7, &mut DiscardEpochs)
+                .unwrap()
+        })
+    });
+    let fast_time = c.bench_timed("full_application_1000_fast_tier/fast", |b| {
+        b.iter(|| {
+            let mut controller = FixedController(decision);
+            fast.run_application_with(&app, &mut controller, 7, &mut DiscardEpochs)
+                .unwrap()
+        })
+    });
+    rows.push(row(
+        "full_application_1000_fast_tier",
+        exact_time,
+        fast_time,
+    ));
+}
+
 fn bench_evaluate_batch16(c: &mut Criterion, rows: &mut Vec<SimBenchRow>) {
     let evaluator = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
     let dim = evaluator.parameter_dim();
@@ -286,6 +324,9 @@ fn main() {
         "streaming/table-driven simulation engine vs the seed epoch loop",
     );
     assert_allocations_stay_flat(&Platform::odroid_xu3());
+    // The fast-tier noise pipeline (blocked Box–Muller over a fixed-size buffer) shares
+    // the zero-per-epoch-allocation contract with the exact path.
+    assert_allocations_stay_flat(&Platform::odroid_xu3().with_precision(Precision::Fast));
 
     let mut rows = Vec::new();
     bench_epoch_loop(&mut criterion, &mut rows);
@@ -297,6 +338,7 @@ fn main() {
         0.0,
     ));
     bench_full_application(&mut criterion, &mut rows, &quiet, "_quiet", 1000);
+    bench_full_application_fast_tier(&mut criterion, &mut rows);
     bench_evaluate_batch16(&mut criterion, &mut rows);
     bench_scenario_matrix_row(&mut criterion, &mut rows);
 

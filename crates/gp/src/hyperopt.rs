@@ -287,7 +287,15 @@ mod tests {
         };
         let base = fit_with_hyperopt(xs.clone(), ys.clone(), &no_refine).unwrap();
         let refined = fit_with_hyperopt(xs, ys, &refine).unwrap();
-        assert!(refined.log_marginal_likelihood >= base.log_marginal_likelihood - 1e-9);
+        // Refinement may only improve the LML, up to accumulated round-off.
+        if refined.log_marginal_likelihood < base.log_marginal_likelihood {
+            tolerance::assert_close_abs(
+                refined.log_marginal_likelihood,
+                base.log_marginal_likelihood,
+                1e-9,
+                "refinement regressed the log marginal likelihood",
+            );
+        }
     }
 
     #[test]
@@ -306,9 +314,11 @@ mod tests {
             let direct = GaussianProcess::fit(xs.clone(), ys.clone(), kernel, nv)
                 .unwrap()
                 .log_marginal_likelihood();
-            assert!(
-                (scored - direct).abs() < 1e-9,
-                "score {scored} diverged from direct fit {direct} at ({ls}, {sv}, {nv})"
+            tolerance::assert_close_abs(
+                scored,
+                direct,
+                1e-9,
+                &format!("cached-Gram score vs direct fit at ({ls}, {sv}, {nv})"),
             );
         }
         // Invalid cells are skipped, not fatal.

@@ -31,6 +31,7 @@
 
 use crate::kernel::KernelFamily;
 use crate::{GaussianProcess, GpError, Result};
+use fastmath::Precision;
 use linalg::{vector, Cholesky, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +73,9 @@ pub struct RffSampler {
     offset: f64,
     /// Input dimensionality.
     dim: usize,
+    /// Which math tier drawn samples evaluate on (construction and weight draws are
+    /// tier-independent; only the cosine in `eval`/`eval_batch_into` differs).
+    precision: Precision,
 }
 
 /// A single deterministic function drawn from the GP posterior.
@@ -86,6 +90,7 @@ pub struct PosteriorSample {
     weights: Vec<f64>,
     offset: f64,
     dim: usize,
+    precision: Precision,
 }
 
 /// Reusable buffers for the weight draw inside [`RffSampler::sample_with`].
@@ -177,7 +182,24 @@ impl RffSampler {
             weight_cov_chol,
             offset: gp.target_mean(),
             dim,
+            precision: Precision::SeedExact,
         })
+    }
+
+    /// Returns this sampler drawing samples that evaluate on the given math tier.
+    ///
+    /// Frequencies, phases and the weight posterior are identical across tiers (the
+    /// spectral draw happens at construction, before the knob applies); only the cosine
+    /// inside [`PosteriorSample::eval`] / [`PosteriorSample::eval_batch_into`] switches,
+    /// to [`fastmath::fast_cos`] under [`Precision::Fast`] (absolute error `<= 1e-12`).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The math tier drawn samples evaluate on.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Number of random features in use.
@@ -227,6 +249,7 @@ impl RffSampler {
             weights,
             offset: self.offset,
             dim: self.dim,
+            precision: self.precision,
         })
     }
 
@@ -255,11 +278,29 @@ impl PosteriorSample {
         crate::stats::record_rff_point_eval();
         let m = self.weights.len();
         let mut acc = 0.0;
-        for j in 0..m {
-            acc += feature(&self.frequencies, &self.phases, self.feature_scale, j, x)
-                * self.weights[j];
+        match self.precision {
+            Precision::SeedExact => {
+                for j in 0..m {
+                    acc += feature(&self.frequencies, &self.phases, self.feature_scale, j, x)
+                        * self.weights[j];
+                }
+            }
+            Precision::Fast => {
+                // Same feature order as the exact path; the cosine and the coefficient
+                // association ((scale·w)·cos instead of (scale·cos)·w) match the fast
+                // batch path exactly, so eval ≡ eval_batch_into stays bit-true per tier.
+                for j in 0..m {
+                    let arg = vector::dot(self.frequencies.row(j), x) + self.phases[j];
+                    acc += (self.feature_scale * self.weights[j]) * fastmath::fast_cos(arg);
+                }
+            }
         }
         acc + self.offset
+    }
+
+    /// The math tier this sample evaluates on.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Evaluates the sampled function at a whole row-major block of query points at once,
@@ -283,13 +324,43 @@ impl PosteriorSample {
         crate::stats::record_rff_feature_matrix_product();
         out.fill(0.0);
         let m = self.weights.len();
-        for j in 0..m {
-            let row = self.frequencies.row(j);
-            let phase = self.phases[j];
-            let weight = self.weights[j];
-            for (p, out_p) in out.iter_mut().enumerate() {
-                let x = &points[p * self.dim..(p + 1) * self.dim];
-                *out_p += (self.feature_scale * (vector::dot(row, x) + phase).cos()) * weight;
+        match self.precision {
+            Precision::SeedExact => {
+                for j in 0..m {
+                    let row = self.frequencies.row(j);
+                    let phase = self.phases[j];
+                    let weight = self.weights[j];
+                    for (p, out_p) in out.iter_mut().enumerate() {
+                        let x = &points[p * self.dim..(p + 1) * self.dim];
+                        *out_p +=
+                            (self.feature_scale * (vector::dot(row, x) + phase).cos()) * weight;
+                    }
+                }
+            }
+            Precision::Fast => {
+                // The fast tier batches the cosine: per feature, fill a fixed stack
+                // chunk with `w·x + b` over a stretch of points and fold the weighted
+                // fast_cos straight into the accumulator (fastmath::fused_cos_axpy).
+                // No heap use — the acquisition engine's zero-allocations-per-generation
+                // contract holds on this tier too.
+                const CHUNK: usize = 16;
+                let mut args = [0.0f64; CHUNK];
+                for j in 0..m {
+                    let row = self.frequencies.row(j);
+                    let phase = self.phases[j];
+                    let coeff = self.feature_scale * self.weights[j];
+                    let mut base = 0;
+                    while base < count {
+                        let n = CHUNK.min(count - base);
+                        for (i, arg) in args[..n].iter_mut().enumerate() {
+                            let p = base + i;
+                            let x = &points[p * self.dim..(p + 1) * self.dim];
+                            *arg = vector::dot(row, x) + phase;
+                        }
+                        fastmath::fused_cos_axpy(&mut args[..n], coeff, &mut out[base..base + n]);
+                        base += n;
+                    }
+                }
             }
         }
         for v in out.iter_mut() {
@@ -484,6 +555,70 @@ mod tests {
         let fresh = sampler.sample(42).unwrap();
         for q in [0.0, 0.7, 2.9] {
             assert_eq!(reused.eval(&[q]), fresh.eval(&[q]));
+        }
+    }
+
+    #[test]
+    fn fast_tier_eval_batch_into_is_bit_identical_to_per_point_eval() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.3],
+            vec![0.2, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![-0.4, 0.9],
+        ];
+        let ys = vec![0.0, 1.3, 1.2, 2.0, 1.0, 0.5];
+        for kernel in [Kernel::rbf(1.0, 0.8), Kernel::matern52(1.2, 0.9)] {
+            let gp = GaussianProcess::fit(xs.clone(), ys.clone(), kernel, 1e-4).unwrap();
+            let sampler = RffSampler::new(&gp, 120, 31)
+                .unwrap()
+                .with_precision(Precision::Fast);
+            let f = sampler.sample(4).unwrap();
+            assert_eq!(f.precision(), Precision::Fast);
+            let queries: Vec<Vec<f64>> = (0..17)
+                .map(|i| vec![-1.0 + 0.17 * i as f64, 2.0 - 0.21 * i as f64])
+                .collect();
+            let flat: Vec<f64> = queries.iter().flatten().copied().collect();
+            let mut batched = vec![0.0; queries.len()];
+            f.eval_batch_into(&flat, &mut batched);
+            for (q, b) in queries.iter().zip(&batched) {
+                assert_eq!(f.eval(q), *b, "fast batched eval diverged at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tier_sample_tracks_exact_tier_within_tolerance() {
+        let gp = fitted_gp();
+        let exact = RffSampler::new(&gp, 200, 13).unwrap();
+        let fast = RffSampler::new(&gp, 200, 13)
+            .unwrap()
+            .with_precision(Precision::Fast);
+        // Frequencies, phases and weight posterior are tier-independent, so the same
+        // seed draws the same posterior function; only the cosine evaluation differs.
+        let fe = exact.sample(7).unwrap();
+        let ff = fast.sample(7).unwrap();
+        let mut stats = tolerance::ErrorStats::new("fast-vs-exact rff sample");
+        for i in 0..200 {
+            let q = -2.0 + 0.04 * i as f64;
+            stats.record(q, ff.eval(&[q]), fe.eval(&[q]));
+        }
+        // 200 features, each cosine within 1e-12 abs, scaled by feature weights: the
+        // accumulated divergence stays far below any modelling tolerance.
+        stats.assert_max_abs(1e-9);
+    }
+
+    #[test]
+    fn fast_tier_sampling_is_deterministic() {
+        let gp = fitted_gp();
+        let sampler = RffSampler::new(&gp, 100, 5)
+            .unwrap()
+            .with_precision(Precision::Fast);
+        let a = sampler.sample(99).unwrap();
+        let b = sampler.sample(99).unwrap();
+        for q in [0.0, 1.0, 2.0, 17.5] {
+            assert_eq!(a.eval(&[q]), b.eval(&[q]));
         }
     }
 }

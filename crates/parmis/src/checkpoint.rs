@@ -37,6 +37,7 @@
 use crate::framework::{IterationRecord, ParmisConfig};
 use crate::objective::Objective;
 use crate::{ParmisError, Result};
+use fastmath::Precision;
 use gp::kernel::KernelFamily;
 use moo::ParetoFront;
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,9 @@ pub fn hash_chain(history: &[IterationRecord], rng_state: &[u64; 4]) -> Vec<u64>
 ///
 /// Scheduling/segmentation knobs (`num_workers`, `max_fuel`, `checkpoint_every`, the
 /// backend selection) are excluded: they change wall-clock behavior, never the trajectory.
+/// The precision tier *is* trajectory-affecting, but is folded in only when it differs
+/// from the default [`Precision::SeedExact`] so digests of pre-precision checkpoints stay
+/// valid.
 pub fn config_digest(config: &ParmisConfig) -> u64 {
     let mut h = fold(TRACE_HASH_SEED, config.max_iterations as u64);
     h = fold(h, config.initial_samples as u64);
@@ -135,6 +139,9 @@ pub fn config_digest(config: &ParmisConfig) -> u64 {
     h = fold(h, config.convergence_window as u64);
     h = fold(h, config.seed);
     h = fold(h, config.batch_size as u64);
+    if config.precision != Precision::SeedExact {
+        h = fold_str(h, config.precision.name());
+    }
     h
 }
 
@@ -501,6 +508,14 @@ mod tests {
         ] {
             assert_ne!(config_digest(&changed), digest);
         }
+
+        // The fast precision tier changes the trajectory and must move the digest, but
+        // the default SeedExact tier is folded as *absence* so legacy digests stay valid.
+        let fast = ParmisConfig {
+            precision: Precision::Fast,
+            ..base.clone()
+        };
+        assert_ne!(config_digest(&fast), digest);
 
         // …scheduling/segmentation knobs do not.
         let rescheduled = ParmisConfig {

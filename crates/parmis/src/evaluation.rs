@@ -10,6 +10,7 @@
 use crate::backend::{AnalyticSim, EvalBackend, EvalContext};
 use crate::objective::{objective_vector, Objective};
 use crate::{ParmisError, Result};
+use fastmath::Precision;
 use policy::drm_policy::{DrmPolicy, PolicyArchitecture};
 use soc_sim::apps::Benchmark;
 use soc_sim::platform::{DrmController, Platform, RunAggregates, RunSummary};
@@ -695,6 +696,7 @@ pub struct EvaluatorBuilder {
     run_seed: u64,
     backend: Option<Arc<dyn EvalBackend>>,
     backend_kind: Option<BackendKind>,
+    precision: Option<Precision>,
     retry: RetryPolicy,
     deferred: Option<ParmisError>,
 }
@@ -717,6 +719,7 @@ impl EvaluatorBuilder {
             run_seed: DEFAULT_RUN_SEED,
             backend: None,
             backend_kind: None,
+            precision: None,
             retry: RetryPolicy::default(),
             deferred: None,
         }
@@ -754,6 +757,9 @@ impl EvaluatorBuilder {
                 self.constraints = Some(scenario.constraints);
                 if let Some(kind) = scenario.backend {
                     self.backend_kind = Some(kind);
+                }
+                if let Some(precision) = scenario.precision {
+                    self.precision = Some(precision);
                 }
             }
             Err(e) => {
@@ -811,6 +817,16 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Sets the numeric precision tier the platform simulates under. Like
+    /// [`backend_kind`](Self::backend_kind), the last call wins — including a
+    /// scenario-pinned tier picked up by [`scenario`](Self::scenario). When never set,
+    /// the platform keeps its own tier (seed-exact unless the platform was built with
+    /// [`Platform::with_precision`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
     /// Sets the fault-handling policy applied around every backend run
     /// ([`SocEvaluator::with_retry_policy`]).
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
@@ -840,8 +856,12 @@ impl EvaluatorBuilder {
             (None, Some(kind)) => crate::backend::default_backend_for(kind),
             (None, None) => Arc::new(AnalyticSim::new()),
         };
+        let mut platform = self.platform.unwrap_or_else(Platform::odroid_xu3);
+        if let Some(precision) = self.precision {
+            platform = platform.with_precision(precision);
+        }
         let mut evaluator = SocEvaluator::new(
-            self.platform.unwrap_or_else(Platform::odroid_xu3),
+            platform,
             self.architecture,
             self.applications,
             self.objectives,

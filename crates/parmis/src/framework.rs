@@ -6,6 +6,7 @@ use crate::evaluation::PolicyEvaluator;
 use crate::objective::Objective;
 use crate::pareto_sampling::{AcquisitionScratch, ParetoFrontSampler, ParetoSamplingConfig};
 use crate::{ParmisError, Result};
+use fastmath::Precision;
 use gp::hyperopt::{fit_with_hyperopt, HyperoptConfig};
 use gp::kernel::KernelFamily;
 use gp::GaussianProcess;
@@ -60,6 +61,13 @@ pub struct ParmisConfig {
     /// [`BackendKind::AnalyticSim`], is the bit-identity reference; evaluators built
     /// directly keep whatever backend they were given.
     pub backend: BackendKind,
+    /// Numeric precision tier of the model-side math: [`Precision::SeedExact`] (the
+    /// default) reproduces the seed trajectory bit for bit, while [`Precision::Fast`]
+    /// switches the RFF posterior-sample cosines inside the Pareto-front sampling step to
+    /// the [`fastmath`] kernels (bounded, contract-tested error; still deterministic and
+    /// seeded, but a *different* deterministic trajectory than the exact tier). Excluded
+    /// from the configuration digest while `SeedExact` so legacy checkpoints stay valid.
+    pub precision: Precision,
     /// Fuel budget of one run **segment**: the maximum number of evaluations performed
     /// before the resumable entry points ([`Parmis::run_resumable`], [`Parmis::resume`])
     /// suspend cleanly at an iteration boundary and return a [`SearchState`]. `0` (the
@@ -91,6 +99,7 @@ impl Default for ParmisConfig {
             batch_size: 1,
             num_workers: 1,
             backend: BackendKind::AnalyticSim,
+            precision: Precision::SeedExact,
             max_fuel: 0,
             checkpoint_every: 0,
         }
@@ -467,11 +476,12 @@ impl Parmis {
             let models = model_cache.as_deref().expect("fit_models fills the cache");
 
             // Line 4 (part 1): sample Pareto fronts of the model.
-            let sampler = ParetoFrontSampler::new(
+            let sampler = ParetoFrontSampler::new_with_precision(
                 models,
                 bound,
                 cfg.sampling.clone(),
                 cfg.seed ^ (iteration as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                cfg.precision,
             )?;
             let samples = sampler.sample_many_with(
                 &mut acquisition_scratch,

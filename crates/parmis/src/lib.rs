@@ -110,6 +110,7 @@ pub mod prelude {
     pub use crate::framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome, SearchStep};
     pub use crate::objective::Objective;
     pub use crate::ParmisError;
+    pub use fastmath::Precision;
     pub use soc_sim::apps::Benchmark;
     pub use soc_sim::scenario::{BackendKind, Scenario};
     pub use soc_sim::trace::{RunTrace, TraceStore};

@@ -21,6 +21,7 @@
 //! `acq_equivalence` suite in the bench crate pins this against the preserved seed path.
 
 use crate::{ParmisError, Result};
+use fastmath::Precision;
 use gp::{GaussianProcess, PosteriorSample, RffSampler, WeightScratch};
 use moo::nsga2::{Nsga2, Nsga2Config, Nsga2Engine};
 
@@ -128,6 +129,26 @@ impl ParetoFrontSampler {
         config: ParetoSamplingConfig,
         seed: u64,
     ) -> Result<Self> {
+        Self::new_with_precision(models, parameter_bound, config, seed, Precision::SeedExact)
+    }
+
+    /// [`new`](Self::new) with an explicit evaluation [`Precision`] tier.
+    ///
+    /// The posterior draws (frequencies, phases, weights) are tier-independent, so the
+    /// sampled functions are the *same* functions under either tier; only the cosine
+    /// feature evaluation inside NSGA-II switches to the fast kernels, within the error
+    /// contract documented in [`fastmath`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn new_with_precision(
+        models: &[GaussianProcess],
+        parameter_bound: f64,
+        config: ParetoSamplingConfig,
+        seed: u64,
+        precision: Precision,
+    ) -> Result<Self> {
         if models.is_empty() {
             return Err(crate::ParmisError::InvalidConfig {
                 reason: "Pareto-front sampling needs at least one objective model".into(),
@@ -139,6 +160,7 @@ impl ParetoFrontSampler {
             .enumerate()
             .map(|(i, m)| {
                 RffSampler::new(m, config.rff_features, seed.wrapping_add(i as u64 * 0x9e37))
+                    .map(|s| s.with_precision(precision))
             })
             .collect::<std::result::Result<Vec<_>, _>>()?;
         Ok(ParetoFrontSampler {

@@ -68,6 +68,7 @@ pub use config::{DecisionSpace, DrmDecision};
 pub use counters::CounterSnapshot;
 pub use engine::{DecisionEntry, DecisionTable};
 pub use error::SocError;
+pub use fastmath::Precision;
 pub use platform::{
     CollectEpochs, DiscardEpochs, DrmController, EpochResult, EpochSink, Platform, RunAggregates,
     RunSummary, SocSpec, TransitionModel,

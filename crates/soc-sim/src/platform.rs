@@ -9,6 +9,8 @@ use crate::perf::PerfModel;
 use crate::power::{PowerBreakdown, PowerModel, ThermalModel};
 use crate::workload::Application;
 use crate::{Result, SocError};
+use fastmath::normal::LogNormalBlock;
+use fastmath::Precision;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, LogNormal};
@@ -446,6 +448,34 @@ pub struct Platform {
     spec: SocSpec,
     table: Arc<DecisionTable>,
     noise_dist: Option<LogNormal>,
+    precision: Precision,
+}
+
+/// The per-run measurement-noise source, resolved once per application run from the
+/// platform's precision tier.
+///
+/// Both variants consume the dedicated noise RNG in the same per-factor order (two
+/// uniforms per factor), so the fast tier's factors track the exact tier's to kernel
+/// error (~1e-12 relative) instead of being an independent realization.
+// The `Fast` variant carries its fixed 128-draw block inline (~1 KiB): the source is
+// resolved once per application run and lives on the runner's stack, and boxing it would
+// put a heap allocation on the zero-allocation streaming path the bench asserts flat.
+#[allow(clippy::large_enum_variant)]
+enum NoiseSource {
+    /// The seed's scalar Box–Muller (`rand_distr::LogNormal`), bit-identical.
+    Exact(LogNormal),
+    /// Batched Box–Muller over pre-drawn uniform blocks ([`fastmath::normal`]).
+    Fast(LogNormalBlock),
+}
+
+impl NoiseSource {
+    #[inline]
+    fn next_factor(&mut self, rng: &mut StdRng) -> f64 {
+        match self {
+            NoiseSource::Exact(dist) => dist.sample(rng),
+            NoiseSource::Fast(stream) => stream.next_factor(rng),
+        }
+    }
 }
 
 impl Platform {
@@ -477,7 +507,26 @@ impl Platform {
             spec,
             table: Arc::new(table),
             noise_dist,
+            precision: Precision::SeedExact,
         }
+    }
+
+    /// Returns this platform running on the given math tier.
+    ///
+    /// [`Precision::SeedExact`] (the default) keeps the seed's scalar Box–Muller noise
+    /// path, bit-identical to every committed golden. [`Precision::Fast`] swaps the
+    /// per-epoch draws for [`fastmath::normal::LogNormalBlock`] batches fed by the same
+    /// dedicated noise RNG — deterministic, pinned by `tests/goldens/fastmath_sim.json`,
+    /// and within ~1e-12 relative of the exact factors. Cloning shares the decision
+    /// table either way.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The math tier this platform runs on.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The platform's static description.
@@ -594,7 +643,13 @@ impl Platform {
     ) -> Result<RunAggregates> {
         controller.reset();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-        let noise_dist = self.noise_dist;
+        let mut noise = match (self.noise_dist, self.precision) {
+            (Some(dist), Precision::SeedExact) => Some(NoiseSource::Exact(dist)),
+            (Some(_), Precision::Fast) => Some(NoiseSource::Fast(LogNormalBlock::new(
+                self.spec.measurement_noise,
+            ))),
+            (None, _) => None,
+        };
 
         let mut previous = self.spec.decision_space().initial_decision();
         let mut counters = CounterSnapshot::zeroed();
@@ -686,9 +741,9 @@ impl Platform {
             if switch_s > 0.0 {
                 result.time_s += switch_s;
             }
-            if let Some(dist) = &noise_dist {
-                let time_factor: f64 = dist.sample(&mut rng);
-                let power_factor: f64 = dist.sample(&mut rng);
+            if let Some(source) = &mut noise {
+                let time_factor: f64 = source.next_factor(&mut rng);
+                let power_factor: f64 = source.next_factor(&mut rng);
                 result.time_s *= time_factor;
                 result.power_w *= power_factor;
                 result.big_power_w *= power_factor;

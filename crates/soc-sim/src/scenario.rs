@@ -22,6 +22,7 @@ use crate::apps::Benchmark;
 use crate::platform::{Platform, RunSummary, SocSpec};
 use crate::workload::{self, Application, PhaseSpec};
 use crate::{Result, SocError};
+use fastmath::Precision;
 use serde::{Deserialize, Serialize};
 
 /// A named, fully static platform definition.
@@ -464,12 +465,18 @@ pub struct Scenario {
     /// Which evaluation backend runs this scenario's policies (`None` = consumer default,
     /// the analytic simulator). Optional so pre-backend scenario JSON still parses.
     pub backend: Option<BackendKind>,
+    /// Which math tier this scenario's platform runs on (`None` = consumer default,
+    /// [`Precision::SeedExact`]). Optional so pre-precision scenario JSON still parses.
+    pub precision: Option<Precision>,
 }
 
 impl Scenario {
-    /// A runnable platform for this scenario.
+    /// A runnable platform for this scenario, on the scenario's pinned precision tier
+    /// (or [`Precision::SeedExact`] when the scenario does not pin one).
     pub fn platform(&self) -> Platform {
-        self.platform.platform()
+        self.platform
+            .platform()
+            .with_precision(self.precision.unwrap_or_default())
     }
 
     /// The concrete application this scenario runs.
@@ -512,6 +519,7 @@ pub fn registry() -> Vec<Scenario> {
         workload,
         constraints,
         backend: None,
+        precision: None,
     };
     vec![
         scenario(
@@ -688,28 +696,68 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(BackendKind::from_name("nope"), None);
-
-        // The registry default carries no backend pin; an explicit pin survives the JSON
-        // round trip.
-        let mut s = by_name("odroid-qsort-baseline").unwrap();
-        assert_eq!(s.backend, None);
-        s.backend = Some(BackendKind::TraceReplay);
-        let back = Scenario::from_json(&s.to_json()).unwrap();
-        assert_eq!(back.backend, Some(BackendKind::TraceReplay));
-        assert_eq!(back, s);
-
-        // Scenario files written before the backend axis existed (no `backend` key at all)
-        // still parse, as None.
-        let pristine = by_name("odroid-qsort-baseline").unwrap();
-        let mut value = serde_json::from_str_value(&pristine.to_json()).unwrap();
-        if let serde::Value::Object(fields) = &mut value {
-            let before = fields.len();
-            fields.retain(|(k, _)| k != "backend");
-            assert_eq!(fields.len(), before - 1);
+        for tier in Precision::ALL {
+            assert_eq!(Precision::from_name(tier.name()), Some(tier));
+            assert_eq!(tier.to_string(), tier.name());
         }
-        let legacy = <Scenario as serde::Deserialize>::from_json_value(&value).unwrap();
-        assert_eq!(legacy, pristine);
-        assert_eq!(legacy.backend, None);
+        assert_eq!(Precision::from_name("exactish"), None);
+
+        // The registry default pins neither optional axis; every (backend, precision)
+        // combination — pinned or absent — survives the JSON round trip.
+        let pristine = by_name("odroid-qsort-baseline").unwrap();
+        assert_eq!(pristine.backend, None);
+        assert_eq!(pristine.precision, None);
+        let backends = [
+            None,
+            Some(BackendKind::TraceReplay),
+            Some(BackendKind::AnalyticSim),
+        ];
+        let precisions = [None, Some(Precision::SeedExact), Some(Precision::Fast)];
+        for backend in backends {
+            for precision in precisions {
+                let mut s = pristine.clone();
+                s.backend = backend;
+                s.precision = precision;
+                let back = Scenario::from_json(&s.to_json()).unwrap();
+                assert_eq!(back.backend, backend);
+                assert_eq!(back.precision, precision);
+                assert_eq!(
+                    back, s,
+                    "round trip for backend {backend:?} / {precision:?}"
+                );
+            }
+        }
+
+        // A pinned precision reaches the scenario's platform; absent means SeedExact.
+        assert_eq!(pristine.platform().precision(), Precision::SeedExact);
+        let mut fast = pristine.clone();
+        fast.precision = Some(Precision::Fast);
+        assert_eq!(fast.platform().precision(), Precision::Fast);
+
+        // Scenario files written before these axes existed still parse, as None: strip
+        // the `backend` key (pre-PR 6 files), the `precision` key (pre-fast-tier files),
+        // and both at once (pre-PR 6 files again), and re-parse each variant.
+        let strip = |keys: &[&str]| {
+            let mut value = serde_json::from_str_value(&pristine.to_json()).unwrap();
+            if let serde::Value::Object(fields) = &mut value {
+                let before = fields.len();
+                fields.retain(|(k, _)| !keys.contains(&k.as_str()));
+                assert_eq!(fields.len(), before - keys.len());
+            }
+            value
+        };
+        for missing in [
+            &["backend"][..],
+            &["precision"][..],
+            &["backend", "precision"][..],
+        ] {
+            let value = strip(missing);
+            let legacy = <Scenario as serde::Deserialize>::from_json_value(&value)
+                .unwrap_or_else(|e| panic!("legacy JSON without {missing:?} must parse: {e}"));
+            assert_eq!(legacy, pristine, "legacy JSON without {missing:?}");
+            assert_eq!(legacy.backend, None);
+            assert_eq!(legacy.precision, None);
+        }
     }
 
     #[test]

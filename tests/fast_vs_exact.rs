@@ -1,0 +1,133 @@
+//! End-to-end fast-vs-exact agreement suite.
+//!
+//! The fast precision tier ([`Precision::Fast`]) replaces the RFF cosines and the
+//! lognormal measurement-noise pipeline with the `fastmath` kernels. Those kernels carry
+//! per-call error contracts (see `crates/fastmath`), and this suite pins the *end-to-end*
+//! consequence on every registered scenario:
+//!
+//! * fixed policies produce the same objective vectors under both tiers to within
+//!   [`OBJECTIVE_REL_TOL`] (the per-draw noise factors track the exact stream to a few
+//!   ULPs, so whole-run aggregates agree to ~1e-12), and
+//! * full (small-budget) PaRMIS searches produce Pareto fronts whose hypervolume under a
+//!   shared reference point agrees to within [`PHV_REL_TOL`].
+//!
+//! Both runs are deterministic, so a failure here is a kernel or threading regression,
+//! never flake.
+
+use fastmath::Precision;
+use moo::hypervolume::hypervolume;
+use parmis::evaluation::{PolicyEvaluator, SocEvaluator};
+use parmis::framework::{Parmis, ParmisConfig};
+use parmis::objective::Objective;
+use parmis_repro::example_parmis_config;
+use soc_sim::scenario::Scenario;
+
+/// Relative tolerance on fixed-θ objective vectors between the tiers. Observed
+/// divergence is ~1e-16 (the fast noise factors track the exact stream to 1–2 ULPs and
+/// mostly cancel in the run aggregates); 1e-9 leaves six orders of margin while still
+/// catching any real kernel regression.
+const OBJECTIVE_REL_TOL: f64 = 1e-9;
+
+/// Relative tolerance on the Pareto-front hypervolume between the tiers. The search
+/// trajectory is *not* guaranteed identical — a near-tie in an acquisition argmax may
+/// resolve differently under ~1e-12 score perturbations — so this is a front-level
+/// agreement bound, not a trajectory bound.
+const PHV_REL_TOL: f64 = 1e-3;
+
+fn evaluator_for(scenario: &Scenario, precision: Precision) -> SocEvaluator {
+    SocEvaluator::builder()
+        .scenario(scenario)
+        .objectives(Objective::TIME_ENERGY.to_vec())
+        .precision(precision)
+        .build()
+        .expect("scenario evaluator builds")
+}
+
+/// A deterministic fan of policy vectors spanning the search box.
+fn probe_thetas(dim: usize, bound: f64) -> Vec<Vec<f64>> {
+    (0..5)
+        .map(|k| {
+            (0..dim)
+                .map(|j| {
+                    let t = ((k * dim + j) as f64 * 0.73).sin();
+                    t * bound * 0.9
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fixed_policy_objectives_agree_between_tiers_on_every_scenario() {
+    for scenario in soc_sim::scenario::registry() {
+        let exact = evaluator_for(&scenario, Precision::SeedExact);
+        let fast = evaluator_for(&scenario, Precision::Fast);
+        let mut stats = tolerance::ErrorStats::new("fast-vs-exact objectives");
+        for theta in probe_thetas(exact.parameter_dim(), exact.parameter_bound()) {
+            let oe = exact.evaluate(&theta).expect("exact tier evaluates");
+            let of = fast.evaluate(&theta).expect("fast tier evaluates");
+            assert_eq!(oe.len(), of.len());
+            for (i, (e, f)) in oe.iter().zip(&of).enumerate() {
+                let rel = tolerance::rel_diff(*e, *f);
+                assert!(
+                    rel <= OBJECTIVE_REL_TOL,
+                    "{}: objective {i} diverged between tiers: exact {e} fast {f} (rel {rel:e})",
+                    scenario.name,
+                );
+                stats.record(i as f64, *f, *e);
+            }
+        }
+        assert!(stats.count() > 0);
+    }
+}
+
+fn tiny_search_config(precision: Precision) -> ParmisConfig {
+    let mut cfg = ParmisConfig {
+        precision,
+        // Hyperparameters are fitted once for the whole (short) run: the grid search is
+        // the dominant cost here and is tier-independent anyway.
+        refit_hyperparameters_every: 50,
+        ..example_parmis_config(10, 41)
+    };
+    cfg.sampling.rff_features = 40;
+    cfg.sampling.nsga_population = 12;
+    cfg.sampling.nsga_generations = 6;
+    cfg.acquisition.random_candidates = 24;
+    cfg.acquisition.local_candidates = 8;
+    cfg
+}
+
+#[test]
+fn pareto_fronts_agree_between_tiers_on_every_scenario() {
+    for scenario in soc_sim::scenario::registry() {
+        let run = |precision: Precision| {
+            let evaluator = evaluator_for(&scenario, precision);
+            Parmis::new(tiny_search_config(precision))
+                .run(&evaluator)
+                .expect("search succeeds")
+        };
+        let exact = run(Precision::SeedExact);
+        let fast = run(Precision::Fast);
+
+        // Hypervolume under a shared reference point dominating both fronts.
+        let exact_points = exact.front.objective_values();
+        let fast_points = fast.front.objective_values();
+        let mut reference = exact.reference_point.clone();
+        for p in exact_points.iter().chain(fast_points.iter()) {
+            for (r, v) in reference.iter_mut().zip(p.iter()) {
+                *r = r.max(v * 1.1 + 1.0);
+            }
+        }
+        let hv_exact = hypervolume(exact_points, &reference);
+        let hv_fast = hypervolume(fast_points, &reference);
+        let rel = tolerance::rel_diff(hv_exact, hv_fast);
+        assert!(
+            rel <= PHV_REL_TOL,
+            "{}: front hypervolume diverged between tiers: exact {hv_exact} fast {hv_fast} \
+             (rel {rel:e}, exact front {} points, fast front {} points)",
+            scenario.name,
+            exact.front.len(),
+            fast.front.len(),
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Fast-tier golden regression suite.
+//!
+//! [`Precision::Fast`] promises *bounded* error against the seed-exact tier, not
+//! bit-identity — but it is still fully deterministic, so its outputs are pinned by their
+//! own committed goldens, exactly like the seed-exact scenario matrix:
+//!
+//! * `tests/goldens/fastmath_sim.json` — every registry scenario run under every stock
+//!   governor with the scenario pinned to `Precision::Fast` (the batched Box–Muller
+//!   noise path).
+//! * `tests/goldens/fastmath_acq.json` — fast-tier RFF posterior-sample evaluations
+//!   (the fused-cosine acquisition path) on a fixed fitted GP over a fixed query grid.
+//!
+//! Regenerating after an *intentional* kernel change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test fastmath_goldens
+//! ```
+//!
+//! then commit the refreshed JSON together with the change. On mismatch the suite writes
+//! the full diff to `target/fastmath-goldens-diff.json` (uploaded as a CI artifact)
+//! before failing, so triage never requires rerunning locally.
+
+use bench::harness::run_scenario_matrix;
+use fastmath::Precision;
+use gp::kernel::Kernel;
+use gp::{GaussianProcess, RffSampler};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+
+/// Relative tolerance for golden comparison. Fast-tier kernels are our own polynomial
+/// code (bit-stable across hosts), but the surrounding pipeline (GP factorization,
+/// lognormal parameters) still goes through libm, which may differ by an ulp or two
+/// across builds — so demand one part in a million, same as the scenario matrix.
+const REL_TOL: f64 = 1e-6;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+fn diff_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("fastmath-goldens-diff.json")
+}
+
+fn update_goldens() -> bool {
+    std::env::var("UPDATE_GOLDENS")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+fn rel_err(golden: f64, actual: f64) -> f64 {
+    (actual - golden).abs() / golden.abs().max(1e-12)
+}
+
+/// One named scalar pinned by a golden file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenValue {
+    key: String,
+    value: f64,
+}
+
+/// One observed divergence, written to the diff artifact.
+#[derive(Debug, Serialize)]
+struct GoldenDiff {
+    suite: String,
+    key: String,
+    golden: f64,
+    actual: f64,
+    relative_error: f64,
+}
+
+/// Compares `actual` against the committed goldens at `tests/goldens/<file>` (or rewrites
+/// them under `UPDATE_GOLDENS=1`), writing the diff artifact and panicking on mismatch.
+fn check_against_goldens(suite: &str, file: &str, actual: &[GoldenValue]) {
+    let path = goldens_dir().join(file);
+    if update_goldens() {
+        let json = serde_json::to_string_pretty(&actual.to_vec()).expect("goldens serialize");
+        fs::create_dir_all(path.parent().unwrap()).expect("create goldens dir");
+        fs::write(&path, json + "\n").expect("write goldens");
+        println!(
+            "regenerated {} with {} values",
+            path.display(),
+            actual.len()
+        );
+        return;
+    }
+
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing goldens ({e}); run `UPDATE_GOLDENS=1 cargo test --test fastmath_goldens` \
+             and commit {}",
+            path.display()
+        )
+    });
+    let golden: Vec<GoldenValue> = serde_json::from_str(&text).expect("goldens parse");
+
+    let mut diffs: Vec<GoldenDiff> = Vec::new();
+    if golden.len() != actual.len() {
+        diffs.push(GoldenDiff {
+            suite: suite.to_string(),
+            key: "<value count>".into(),
+            golden: golden.len() as f64,
+            actual: actual.len() as f64,
+            relative_error: f64::MAX,
+        });
+    }
+    for (g, a) in golden.iter().zip(actual) {
+        if g.key != a.key {
+            diffs.push(GoldenDiff {
+                suite: suite.to_string(),
+                key: format!("key order: golden {} vs actual {}", g.key, a.key),
+                golden: 0.0,
+                actual: 0.0,
+                relative_error: f64::MAX,
+            });
+            continue;
+        }
+        let relative_error = rel_err(g.value, a.value);
+        if relative_error > REL_TOL {
+            diffs.push(GoldenDiff {
+                suite: suite.to_string(),
+                key: g.key.clone(),
+                golden: g.value,
+                actual: a.value,
+                relative_error,
+            });
+        }
+    }
+
+    if !diffs.is_empty() {
+        if let Ok(json) = serde_json::to_string_pretty(&diffs) {
+            let _ = fs::create_dir_all(diff_path().parent().unwrap());
+            let _ = fs::write(diff_path(), json);
+        }
+        panic!(
+            "{} fast-tier golden value(s) diverged in suite {suite} (full diff at {}); \
+             first: {} golden {} actual {}. If the kernel change is intentional, \
+             regenerate with UPDATE_GOLDENS=1.",
+            diffs.len(),
+            diff_path().display(),
+            diffs[0].key,
+            diffs[0].golden,
+            diffs[0].actual,
+        );
+    }
+}
+
+/// The registry with every scenario pinned to the fast precision tier.
+fn fast_registry() -> Vec<soc_sim::scenario::Scenario> {
+    soc_sim::scenario::registry()
+        .into_iter()
+        .map(|mut s| {
+            s.precision = Some(Precision::Fast);
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn fast_tier_sim_matrix_matches_committed_goldens() {
+    let cells = run_scenario_matrix(&fast_registry())
+        .expect("every registered scenario must run under every stock governor");
+    assert!(cells.len() >= 12 * 4, "expected >=12x4 cells");
+    let mut values = Vec::new();
+    for c in &cells {
+        let base = format!("{}/{}", c.scenario, c.governor);
+        values.push(GoldenValue {
+            key: format!("{base}/execution_time_s"),
+            value: c.execution_time_s,
+        });
+        values.push(GoldenValue {
+            key: format!("{base}/energy_j"),
+            value: c.energy_j,
+        });
+        values.push(GoldenValue {
+            key: format!("{base}/peak_temperature_c"),
+            value: c.peak_temperature_c,
+        });
+    }
+    check_against_goldens("sim", "fastmath_sim.json", &values);
+}
+
+/// A small deterministic GP the acquisition goldens are pinned against.
+fn golden_gp() -> GaussianProcess {
+    let xs: Vec<Vec<f64>> = (0..12)
+        .map(|i| vec![i as f64 * 0.4 - 2.0, (i as f64 * 0.7).sin()])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x[0].sin() + 0.5 * x[1]).collect();
+    GaussianProcess::fit(xs, ys, Kernel::matern52(1.0, 1.2), 1e-5).expect("golden GP fits")
+}
+
+#[test]
+fn fast_tier_acq_samples_match_committed_goldens() {
+    let gp = golden_gp();
+    let sampler = RffSampler::new(&gp, 96, 7)
+        .expect("sampler builds")
+        .with_precision(Precision::Fast);
+    let mut values = Vec::new();
+    for seed in [0u64, 3, 11] {
+        let f = sampler.sample(seed).expect("posterior sample draws");
+        // Exercise both the per-point and the fused batched fast paths; they are
+        // bit-identical by contract, so pin the batched one and assert the invariant.
+        let queries: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![-2.0 + 0.5 * i as f64, 1.0 - 0.25 * i as f64])
+            .collect();
+        let flat: Vec<f64> = queries.iter().flatten().copied().collect();
+        let mut batched = vec![0.0; queries.len()];
+        f.eval_batch_into(&flat, &mut batched);
+        for (i, (q, v)) in queries.iter().zip(&batched).enumerate() {
+            assert_eq!(f.eval(q), *v, "fast eval/eval_batch_into diverged");
+            values.push(GoldenValue {
+                key: format!("seed{seed}/q{i}"),
+                value: *v,
+            });
+        }
+    }
+    check_against_goldens("acq", "fastmath_acq.json", &values);
+}
