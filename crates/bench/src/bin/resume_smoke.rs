@@ -14,6 +14,7 @@
 //! `BENCH_resume_smoke.json` as artifacts.
 
 use bench::report;
+use parmis::jobs::atomic_write;
 use parmis::prelude::*;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -78,11 +79,13 @@ fn phase_first(quick: bool, checkpoint: &Path) {
     let json = state
         .to_json()
         .unwrap_or_else(|e| die(&format!("checkpoint serialization failed: {e}")));
-    std::fs::write(checkpoint, &json)
+    // Durable atomic writes (temp + fsync + rename): a kill during persistence leaves
+    // no torn checkpoint for the resume phase to trip over.
+    atomic_write(checkpoint, json.as_bytes())
         .unwrap_or_else(|e| die(&format!("writing {} failed: {e}", checkpoint.display())));
-    std::fs::write(
-        checkpoint.with_extension("first.hashes"),
-        hash_log(&state.trace_hashes),
+    atomic_write(
+        &checkpoint.with_extension("first.hashes"),
+        hash_log(&state.trace_hashes).as_bytes(),
     )
     .unwrap_or_else(|e| die(&format!("writing hash log failed: {e}")));
     println!(
@@ -109,9 +112,9 @@ fn phase_resume(quick: bool, checkpoint: &Path) {
         .unwrap_or_else(|e| die(&format!("resume failed: {e}")))
         .into_completed()
         .unwrap_or_else(|| die("resumed segment suspended again (fuel should be unlimited)"));
-    std::fs::write(
-        checkpoint.with_extension("final.hashes"),
-        hash_log(&outcome.trace_hashes),
+    atomic_write(
+        &checkpoint.with_extension("final.hashes"),
+        hash_log(&outcome.trace_hashes).as_bytes(),
     )
     .unwrap_or_else(|e| die(&format!("writing final hash log failed: {e}")));
     println!(

@@ -62,7 +62,7 @@ pub fn fold_f64(hash: u64, value: f64) -> u64 {
     fold(hash, value.to_bits())
 }
 
-fn fold_str(hash: u64, text: &str) -> u64 {
+pub(crate) fn fold_str(hash: u64, text: &str) -> u64 {
     let mut h = fold(hash, text.len() as u64);
     for b in text.bytes() {
         h = fold(h, u64::from(b));
@@ -186,10 +186,10 @@ pub struct SearchState {
     pub state_digest: u64,
 }
 
-fn checkpoint_error(reason: impl Into<String>) -> ParmisError {
-    ParmisError::Checkpoint {
-        reason: reason.into(),
-    }
+use crate::error::CheckpointFault;
+
+fn checkpoint_error(fault: CheckpointFault, reason: impl Into<String>) -> ParmisError {
+    ParmisError::checkpoint(fault, reason)
 }
 
 impl SearchState {
@@ -242,8 +242,12 @@ impl SearchState {
     /// Returns [`ParmisError::Checkpoint`] if a captured value cannot be represented
     /// (non-finite floats never occur in a state captured by the framework).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| checkpoint_error(format!("checkpoint serialization failed: {e}")))
+        serde_json::to_string_pretty(self).map_err(|e| {
+            checkpoint_error(
+                CheckpointFault::Serialize,
+                format!("checkpoint serialization failed: {e}"),
+            )
+        })
     }
 
     /// Parses and fully verifies a checkpoint previously written by
@@ -255,16 +259,24 @@ impl SearchState {
     /// Returns [`ParmisError::Checkpoint`] for malformed JSON, an unknown format version,
     /// or any integrity violation (a tampered or truncated state).
     pub fn from_json(text: &str) -> Result<SearchState> {
-        let state: SearchState = serde_json::from_str(text)
-            .map_err(|e| checkpoint_error(format!("checkpoint parse failed: {e}")))?;
+        let state: SearchState = serde_json::from_str(text).map_err(|e| {
+            checkpoint_error(
+                CheckpointFault::Parse,
+                format!("checkpoint parse failed: {e}"),
+            )
+        })?;
         state.verify_integrity()?;
         Ok(state)
     }
 
     /// The RNG state words as a fixed-size array.
     pub(crate) fn rng_words(&self) -> Result<[u64; 4]> {
-        <[u64; 4]>::try_from(self.rng_state.as_slice())
-            .map_err(|_| checkpoint_error("checkpoint RNG state must have exactly 4 words"))
+        <[u64; 4]>::try_from(self.rng_state.as_slice()).map_err(|_| {
+            checkpoint_error(
+                CheckpointFault::Invariant,
+                "checkpoint RNG state must have exactly 4 words",
+            )
+        })
     }
 
     fn compute_state_digest(&self) -> u64 {
@@ -306,49 +318,67 @@ impl SearchState {
     /// Returns [`ParmisError::Checkpoint`] naming the first violated invariant.
     pub fn verify_integrity(&self) -> Result<()> {
         if self.format_version != FORMAT_VERSION {
-            return Err(checkpoint_error(format!(
-                "checkpoint format version {} is not the supported version {FORMAT_VERSION}",
-                self.format_version
-            )));
+            return Err(checkpoint_error(
+                CheckpointFault::VersionMismatch,
+                format!(
+                    "checkpoint format version {} is not the supported version {FORMAT_VERSION}",
+                    self.format_version
+                ),
+            ));
         }
         if self.rng_state.len() != 4 {
             return Err(checkpoint_error(
+                CheckpointFault::Invariant,
                 "checkpoint RNG state must have exactly 4 words",
             ));
         }
         if self.objectives.is_empty() {
-            return Err(checkpoint_error("checkpoint has no objectives"));
+            return Err(checkpoint_error(
+                CheckpointFault::Invariant,
+                "checkpoint has no objectives",
+            ));
         }
         let n = self.history.len();
         if self.next_iteration != n {
-            return Err(checkpoint_error(format!(
-                "next_iteration {} disagrees with history length {n}",
-                self.next_iteration
-            )));
+            return Err(checkpoint_error(
+                CheckpointFault::Invariant,
+                format!(
+                    "next_iteration {} disagrees with history length {n}",
+                    self.next_iteration
+                ),
+            ));
         }
         if self.trace_hashes.len() != n || self.phv_trace.len() != n {
             return Err(checkpoint_error(
+                CheckpointFault::Invariant,
                 "trace-hash chain / PHV trace length disagrees with the history",
             ));
         }
         if self.front_objectives.len() != self.front_tags.len() {
             return Err(checkpoint_error(
+                CheckpointFault::Invariant,
                 "front snapshot objectives/tags are misaligned",
             ));
         }
         let k = self.objectives.len();
         for (i, record) in self.history.iter().enumerate() {
             if record.iteration != i {
-                return Err(checkpoint_error(format!(
-                    "history record {i} carries iteration index {}",
-                    record.iteration
-                )));
+                return Err(checkpoint_error(
+                    CheckpointFault::Invariant,
+                    format!(
+                        "history record {i} carries iteration index {}",
+                        record.iteration
+                    ),
+                ));
             }
             if record.objectives.len() != k {
-                return Err(checkpoint_error(format!(
-                    "history record {i} has {} objectives, expected {k}",
-                    record.objectives.len()
-                )));
+                return Err(checkpoint_error(
+                    CheckpointFault::Invariant,
+                    format!(
+                        "history record {i} has {} objectives, expected {k}",
+                        record.objectives.len()
+                    ),
+                ));
             }
             let finite = record
                 .theta
@@ -357,23 +387,29 @@ impl SearchState {
                 .all(|x| x.is_finite())
                 && record.acquisition_value.map_or(true, f64::is_finite);
             if !finite {
-                return Err(checkpoint_error(format!(
-                    "history record {i} contains non-finite values"
-                )));
+                return Err(checkpoint_error(
+                    CheckpointFault::Invariant,
+                    format!("history record {i} contains non-finite values"),
+                ));
             }
         }
         if !self.phv_trace.iter().all(|x| x.is_finite()) {
-            return Err(checkpoint_error("PHV trace contains non-finite values"));
+            return Err(checkpoint_error(
+                CheckpointFault::Invariant,
+                "PHV trace contains non-finite values",
+            ));
         }
         let rng = self.rng_words()?;
         if hash_chain(&self.history, &rng) != self.trace_hashes {
             return Err(checkpoint_error(
+                CheckpointFault::TraceHashBreak,
                 "trace-hash chain does not match the recorded history (state was tampered \
                  with, or written by an incompatible build)",
             ));
         }
         if self.compute_state_digest() != self.state_digest {
             return Err(checkpoint_error(
+                CheckpointFault::DigestMismatch,
                 "state digest mismatch (checkpoint is corrupt)",
             ));
         }
@@ -395,15 +431,19 @@ impl SearchState {
         self.verify_integrity()?;
         if self.config_digest != config_digest(config) {
             return Err(checkpoint_error(
+                CheckpointFault::Incompatible,
                 "configuration digest mismatch: the resuming ParmisConfig differs from the \
                  one that wrote this checkpoint in a trajectory-affecting field",
             ));
         }
         if self.objectives != objectives {
-            return Err(checkpoint_error(format!(
-                "checkpoint objectives {:?} do not match the evaluator's {objectives:?}",
-                self.objectives
-            )));
+            return Err(checkpoint_error(
+                CheckpointFault::Incompatible,
+                format!(
+                    "checkpoint objectives {:?} do not match the evaluator's {objectives:?}",
+                    self.objectives
+                ),
+            ));
         }
         let mut front: ParetoFront<Vec<f64>> = ParetoFront::new(objectives.len());
         for record in &self.history {
@@ -415,6 +455,7 @@ impl SearchState {
         let snapshot_tags: Vec<&Vec<f64>> = self.front_tags.iter().collect();
         if rebuilt_objectives != snapshot_objectives || rebuilt_tags != snapshot_tags {
             return Err(checkpoint_error(
+                CheckpointFault::Invariant,
                 "Pareto archive rebuilt from the history does not match the checkpoint's \
                  front snapshot",
             ));

@@ -3,6 +3,64 @@
 use std::error::Error;
 use std::fmt;
 
+/// The distinct failure modes of the checkpoint/journal layer, carried by
+/// [`ParmisError::Checkpoint`] so callers (and the job supervisor's quarantine logic) can
+/// react to *what* went wrong instead of parsing a message string.
+///
+/// Every fault is structured and recoverable: a corrupt or incompatible artifact is
+/// reported, never panicked on, and the durable store uses the fault class to decide
+/// between quarantining a file and falling back to an older generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointFault {
+    /// A filesystem operation on a checkpoint, journal, or quarantine path failed.
+    Io,
+    /// The artifact is not well-formed JSON, or its JSON shape does not match the
+    /// expected layout (truncation usually surfaces here).
+    Parse,
+    /// The artifact declares a format version this build does not support.
+    VersionMismatch,
+    /// A recomputed content digest disagrees with the recorded one (bit rot, torn write,
+    /// or tampering).
+    DigestMismatch,
+    /// The per-iteration trace-hash chain does not match the recorded history.
+    TraceHashBreak,
+    /// An internal shape invariant is violated (misaligned lengths, non-finite values,
+    /// malformed RNG state, …).
+    Invariant,
+    /// The artifact is internally valid but incompatible with the resuming
+    /// configuration, evaluator, or job (config digest / objectives mismatch).
+    Incompatible,
+    /// A state could not be serialized for persistence.
+    Serialize,
+    /// A supervised segment exceeded its watchdog budget and was suspended at the next
+    /// checkpoint boundary (the job supervisor's internal suspension signal).
+    Watchdog,
+}
+
+impl CheckpointFault {
+    /// Stable lower-kebab-case name of the fault class (used in displays and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointFault::Io => "io",
+            CheckpointFault::Parse => "parse",
+            CheckpointFault::VersionMismatch => "version-mismatch",
+            CheckpointFault::DigestMismatch => "digest-mismatch",
+            CheckpointFault::TraceHashBreak => "trace-hash-break",
+            CheckpointFault::Invariant => "invariant",
+            CheckpointFault::Incompatible => "incompatible",
+            CheckpointFault::Serialize => "serialize",
+            CheckpointFault::Watchdog => "watchdog",
+        }
+    }
+}
+
+impl fmt::Display for CheckpointFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Error returned by PaRMIS operations.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -38,12 +96,34 @@ pub enum ParmisError {
         /// The underlying simulator or trace error.
         source: soc_sim::SocError,
     },
-    /// A checkpoint could not be written, parsed, or verified, or a resume was attempted
-    /// with a state that is incompatible with the resuming configuration/evaluator.
+    /// A checkpoint or job-journal artifact could not be written, parsed, or verified, or
+    /// a resume was attempted with a state that is incompatible with the resuming
+    /// configuration/evaluator. `fault` carries the distinct failure mode
+    /// ([`CheckpointFault`]); `reason` the human-readable detail.
     Checkpoint {
+        /// The structured failure mode.
+        fault: CheckpointFault,
         /// Human-readable description of the problem.
         reason: String,
     },
+}
+
+impl ParmisError {
+    /// Constructs a [`ParmisError::Checkpoint`] with the given fault class and detail.
+    pub fn checkpoint(fault: CheckpointFault, reason: impl Into<String>) -> ParmisError {
+        ParmisError::Checkpoint {
+            fault,
+            reason: reason.into(),
+        }
+    }
+
+    /// The checkpoint fault class, if this is a [`ParmisError::Checkpoint`].
+    pub fn checkpoint_fault(&self) -> Option<CheckpointFault> {
+        match self {
+            ParmisError::Checkpoint { fault, .. } => Some(*fault),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ParmisError {
@@ -59,7 +139,9 @@ impl fmt::Display for ParmisError {
             ParmisError::Backend { name, source } => {
                 write!(f, "evaluation backend `{name}` failed: {source}")
             }
-            ParmisError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
+            ParmisError::Checkpoint { fault, reason } => {
+                write!(f, "checkpoint failure [{fault}]: {reason}")
+            }
         }
     }
 }
@@ -119,6 +201,32 @@ mod tests {
         assert!(e.to_string().contains("no recording"));
         let source = Error::source(&e).expect("backend errors expose their source");
         assert!(source.to_string().contains("invalid run trace"));
+    }
+
+    #[test]
+    fn checkpoint_faults_are_distinct_and_named() {
+        let faults = [
+            CheckpointFault::Io,
+            CheckpointFault::Parse,
+            CheckpointFault::VersionMismatch,
+            CheckpointFault::DigestMismatch,
+            CheckpointFault::TraceHashBreak,
+            CheckpointFault::Invariant,
+            CheckpointFault::Incompatible,
+            CheckpointFault::Serialize,
+            CheckpointFault::Watchdog,
+        ];
+        let mut names: Vec<&str> = faults.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), faults.len(), "fault names must be unique");
+
+        let e = ParmisError::checkpoint(CheckpointFault::DigestMismatch, "bad digest");
+        assert_eq!(e.checkpoint_fault(), Some(CheckpointFault::DigestMismatch));
+        assert!(e.to_string().contains("[digest-mismatch]"));
+        assert!(e.to_string().contains("bad digest"));
+        let other = ParmisError::InvalidConfig { reason: "x".into() };
+        assert_eq!(other.checkpoint_fault(), None);
     }
 
     #[test]

@@ -272,11 +272,11 @@ impl Parmis {
     {
         match self.drive(evaluator, None, &mut progress, &mut |_| Ok(()))? {
             SearchStep::Completed(outcome) => Ok(*outcome),
-            SearchStep::Suspended(_) => Err(ParmisError::Checkpoint {
-                reason: "the fuel budget expired before the search completed; call \
-                         run_resumable to obtain the suspended state"
-                    .into(),
-            }),
+            SearchStep::Suspended(_) => Err(ParmisError::checkpoint(
+                crate::error::CheckpointFault::Incompatible,
+                "the fuel budget expired before the search completed; call run_resumable \
+                 to obtain the suspended state",
+            )),
         }
     }
 

@@ -51,7 +51,10 @@
 //! are retried under a deterministic [`evaluation::RetryPolicy`], and exhausted retries
 //! either fail fast or degrade the candidate to a penalty vector
 //! ([`evaluation::DegradeMode`]). [`backend::FaultInject`] drills all of it with seeded
-//! failure schedules.
+//! failure schedules. For whole fleets, the [`jobs`] module adds a crash-safe
+//! supervisor: a durable atomic-write checkpoint store with corruption quarantine, a
+//! journaled job table, and watchdog-supervised multi-search scheduling that survives
+//! `SIGKILL` at any point with bit-identical final fronts.
 //!
 //! # Quick start
 //!
@@ -79,11 +82,12 @@ pub mod checkpoint;
 mod error;
 pub mod evaluation;
 pub mod framework;
+pub mod jobs;
 pub mod objective;
 pub mod parallel;
 pub mod pareto_sampling;
 
-pub use error::ParmisError;
+pub use error::{CheckpointFault, ParmisError};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ParmisError>;
@@ -108,7 +112,11 @@ pub mod prelude {
         RetryPolicy, RetryStats, SimBuffers, SocEvaluator,
     };
     pub use crate::framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome, SearchStep};
+    pub use crate::jobs::{
+        CheckpointStore, FleetReport, JobPhase, JobReport, JobSpec, JobSupervisor, SupervisorConfig,
+    };
     pub use crate::objective::Objective;
+    pub use crate::CheckpointFault;
     pub use crate::ParmisError;
     pub use fastmath::Precision;
     pub use soc_sim::apps::Benchmark;

@@ -262,9 +262,10 @@ fn cadence_checkpoints_are_valid_resume_points() {
     // A sink error aborts the run instead of being swallowed.
     let err = search
         .run_resumable_with_checkpoints(&evaluator, |_| {
-            Err(ParmisError::Checkpoint {
-                reason: "disk full".into(),
-            })
+            Err(ParmisError::checkpoint(
+                parmis::CheckpointFault::Io,
+                "disk full",
+            ))
         })
         .unwrap_err();
     assert!(matches!(err, ParmisError::Checkpoint { .. }), "{err}");

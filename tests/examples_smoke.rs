@@ -6,7 +6,7 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "governor_comparison",
     "energy_performance_tradeoff",
@@ -14,6 +14,7 @@ const EXAMPLES: [&str; 7] = [
     "global_policy",
     "thermal_aware_optimization",
     "resumable_search",
+    "job_supervisor",
 ];
 
 #[test]
