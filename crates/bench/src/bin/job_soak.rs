@@ -1,12 +1,16 @@
 //! Job-supervisor kill soak: the CI gate for crash-safe fleet supervision.
 //!
 //! ```text
-//! cargo run --release -p bench --bin job_soak -- [--quick] [--seed N]
+//! cargo run --release -p bench --bin job_soak -- [--quick] [--seed N] [--max-seconds N]
 //! ```
 //!
 //! The orchestrator (no `--phase` flag) first computes reference outcome digests by
 //! running a 4-job fleet uninterrupted in-process. Then, for worker counts {1, 2, 4},
-//! it repeatedly spawns **itself** as a supervisor process over a shared checkpoint
+//! it first drills the **graceful path** — a supervisor child armed with
+//! [`SupervisorConfig::drain_on_signals`] receives a real `SIGTERM` mid-fleet, drains
+//! every job to a checkpoint boundary, and must exit 0 with only resumable phases and
+//! zero quarantined files (a polite shutdown is not a crash) — and then the **crash
+//! path**: it repeatedly spawns itself as a supervisor process over the same checkpoint
 //! directory and kills it at a randomized point (seed logged; rerun with `--seed` to
 //! reproduce):
 //!
@@ -18,8 +22,11 @@
 //! place to exercise quarantine fallback. Each restart must recover cleanly (no
 //! corrupt-state panic); the final run completes the fleet and writes per-job outcome
 //! digests, which must be **bit-identical** to the uninterrupted references for every
-//! worker count. Set `PARMIS_RESULTS_DIR` to keep the fleet directories (journal +
-//! quarantine) and `BENCH_job_soak.json` as artifacts.
+//! worker count. `--max-seconds` maps the whole drill schedule onto a
+//! [`parmis::cancel`] deadline source: once the budget expires, remaining drain/kill
+//! drills are skipped and every fleet is driven straight to completion, so soak length
+//! is time-bounded instead of fuel-guessed. Set `PARMIS_RESULTS_DIR` to keep the fleet
+//! directories (journal + quarantine) and `BENCH_job_soak.json` as artifacts.
 
 use bench::report;
 use parmis::jobs::{
@@ -68,11 +75,12 @@ fn fleet_specs(quick: bool) -> Vec<JobSpec> {
         .collect()
 }
 
-fn supervisor_config(workers: usize) -> SupervisorConfig {
+fn supervisor_config(workers: usize, drain_on_signals: bool) -> SupervisorConfig {
     SupervisorConfig {
         workers,
         segment_fuel: 4,
         checkpoint_every: 2,
+        drain_on_signals,
         ..SupervisorConfig::default()
     }
 }
@@ -112,9 +120,18 @@ enum KillMode {
 }
 
 /// Child phase: open the supervisor over `dir` (recovering whatever the previous
-/// process left), optionally arm a kill, drive the fleet, and persist the per-job
-/// digests on completion.
-fn phase_drive(quick: bool, dir: &Path, workers: usize, kill: KillMode) {
+/// process left), optionally arm a kill or a delayed `SIGTERM`, drive the fleet, and
+/// persist the per-job digests on completion. Under `term_after_ms` the supervisor is
+/// opened with [`SupervisorConfig::drain_on_signals`]: the signal drains the fleet to a
+/// checkpoint boundary and the process exits **0** with only resumable phases — the
+/// graceful path the orchestrator asserts is distinct from the SIGKILL crash path.
+fn phase_drive(
+    quick: bool,
+    dir: &Path,
+    workers: usize,
+    kill: KillMode,
+    term_after_ms: Option<u64>,
+) {
     if let KillMode::Timer(ms) = kill {
         std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -126,7 +143,7 @@ fn phase_drive(quick: bool, dir: &Path, workers: usize, kill: KillMode) {
         });
     }
 
-    let config = supervisor_config(workers);
+    let config = supervisor_config(workers, term_after_ms.is_some());
     let supervisor = match kill {
         KillMode::Write(on_write, stage) => {
             JobSupervisor::open_with_crash_plan(dir, config, CrashPlan { on_write, stage })
@@ -140,10 +157,47 @@ fn phase_drive(quick: bool, dir: &Path, workers: usize, kill: KillMode) {
         recovery.interrupted, recovery.quarantined, recovery.journal_rebuilt
     );
 
+    if let Some(ms) = term_after_ms {
+        // The drain handler is armed (the supervisor is open): a real SIGTERM from here
+        // on is a graceful drain, not a kill.
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            let pid = std::process::id().to_string();
+            let _ = Command::new("kill").args(["-TERM", &pid]).status();
+        });
+    }
+
     let specs = fleet_specs(quick);
     let fleet = supervisor
         .run(&specs, evaluator_factory)
         .unwrap_or_else(|e| die(&format!("fleet run failed: {e}")));
+
+    if term_after_ms.is_some() && !fleet.all_done() {
+        // Drained mid-fleet: every job must have parked at a checkpoint boundary in a
+        // resumable phase — nothing failed, nothing quarantined, journal flushed.
+        for job in &fleet.jobs {
+            if !matches!(
+                job.phase,
+                JobPhase::Done | JobPhase::Suspended | JobPhase::Pending
+            ) {
+                die(&format!(
+                    "drain left job {} in non-resumable phase {} (note: {:?})",
+                    job.id,
+                    job.phase.name(),
+                    job.note
+                ));
+            }
+            println!(
+                "drive: {} drained as {} at {} evaluations",
+                job.id,
+                job.phase.name(),
+                job.evaluations
+            );
+        }
+        println!("drive: SIGTERM drain complete, exiting cleanly");
+        return;
+    }
+
     let mut lines = String::new();
     for job in &fleet.jobs {
         if job.phase != JobPhase::Done {
@@ -198,6 +252,7 @@ fn corrupt_one_checkpoint(dir: &Path, rng: &mut SoakRng) {
 #[derive(Serialize)]
 struct WorkerSoakReport {
     workers: usize,
+    drain_drills: usize,
     kills: usize,
     attempts: usize,
     corruption_drills: usize,
@@ -210,6 +265,8 @@ struct JobSoakReport {
     quick: bool,
     seed: u64,
     fleet: usize,
+    max_seconds: Option<u64>,
+    time_budget_expired: bool,
     runs: Vec<WorkerSoakReport>,
 }
 
@@ -224,12 +281,21 @@ fn read_digests(dir: &Path) -> Vec<(String, String)> {
         .collect()
 }
 
-fn orchestrate(quick: bool, seed: u64, results_dir: &Path) {
+fn orchestrate(quick: bool, seed: u64, max_seconds: Option<u64>, results_dir: &Path) {
     report::print_header(
         "job soak",
-        "supervised fleet vs randomized SIGKILL / mid-write crashes / checkpoint rot",
+        "supervised fleet vs SIGTERM drain / randomized SIGKILL / mid-write crashes / rot",
     );
     println!("kill-schedule seed = {seed} (rerun with --seed {seed})");
+    // The soak's wall-clock bound rides the same deadline machinery the searches use:
+    // a cancel scope whose deadline trips once the budget is spent. Expiry never
+    // abandons a fleet — it skips the remaining drills and drives straight to Clean.
+    let time_budget = max_seconds.map(|secs| {
+        println!("time budget: {secs}s (--max-seconds, mapped onto a cancel deadline scope)");
+        CancelSource::new().child_with_deadline(std::time::Duration::from_secs(secs))
+    });
+    let budget_expired =
+        |budget: &Option<CancelSource>| budget.as_ref().is_some_and(CancelSource::is_cancelled);
     std::fs::create_dir_all(results_dir)
         .unwrap_or_else(|e| die(&format!("creating {} failed: {e}", results_dir.display())));
 
@@ -264,12 +330,53 @@ fn orchestrate(quick: bool, seed: u64, results_dir: &Path) {
     for workers in [1usize, 2, 4] {
         let dir = results_dir.join(format!("fleet-w{workers}"));
         let _ = std::fs::remove_dir_all(&dir);
+        let mut drain_drills = 0usize;
         let mut kills = 0usize;
         let mut attempts = 0usize;
         let mut corruption_drills = 0usize;
+
+        // Graceful-drain drill: a SIGTERM mid-fleet must come back exit-0 (the drain
+        // path, unlike every SIGKILL below, is not a crash), leave only resumable
+        // phases in the journal, and quarantine nothing.
+        if !budget_expired(&time_budget) {
+            attempts += 1;
+            drain_drills += 1;
+            // The handler is armed before the child's timer starts counting, so even a
+            // near-zero delay is a graceful drain, never a default-disposition kill.
+            let term_ms = rng.range(5, if quick { 100 } else { 1000 });
+            let mut cmd = Command::new(&exe);
+            cmd.args(["--phase", "drive", "--dir"])
+                .arg(&dir)
+                .args(["--workers", &workers.to_string()])
+                .args(["--term-after-ms", &term_ms.to_string()]);
+            if quick {
+                cmd.arg("--quick");
+            }
+            println!("orchestrator: workers={workers} drain drill (SIGTERM after {term_ms} ms)");
+            let status = cmd
+                .status()
+                .unwrap_or_else(|e| die(&format!("spawning drain drill failed: {e}")));
+            if !status.success() {
+                die(&format!(
+                    "drain drill (workers={workers}) exited with {status}: SIGTERM must \
+                     drain gracefully, not crash"
+                ));
+            }
+            let quarantined = parmis::jobs::CheckpointStore::open(&dir, 32)
+                .and_then(|s| s.quarantined_files())
+                .map(|q| q.len())
+                .unwrap_or(0);
+            if quarantined != 0 {
+                die(&format!(
+                    "drain drill (workers={workers}) quarantined {quarantined} files: a \
+                     graceful drain must not tear state"
+                ));
+            }
+        }
+
         loop {
             attempts += 1;
-            let mode = if kills >= max_kills {
+            let mode = if kills >= max_kills || budget_expired(&time_budget) {
                 KillMode::Clean
             } else if rng.next() % 2 == 0 {
                 KillMode::Timer(rng.range(5, if quick { 400 } else { 1500 }))
@@ -335,11 +442,12 @@ fn orchestrate(quick: bool, seed: u64, results_dir: &Path) {
             .map(|q| q.len())
             .unwrap_or(0);
         println!(
-            "workers={workers}: {kills} kills, {attempts} attempts, {quarantined_files} \
-             quarantined, bitwise_match={matched}"
+            "workers={workers}: {drain_drills} drains, {kills} kills, {attempts} attempts, \
+             {quarantined_files} quarantined, bitwise_match={matched}"
         );
         runs.push(WorkerSoakReport {
             workers,
+            drain_drills,
             kills,
             attempts,
             corruption_drills,
@@ -348,12 +456,17 @@ fn orchestrate(quick: bool, seed: u64, results_dir: &Path) {
         });
     }
 
+    if budget_expired(&time_budget) {
+        println!("time budget expired: remaining drills were skipped, all fleets completed");
+    }
     report::write_json(
         "BENCH_job_soak",
         &JobSoakReport {
             quick,
             seed,
             fleet: FLEET as usize,
+            max_seconds,
+            time_budget_expired: budget_expired(&time_budget),
             runs,
         },
     );
@@ -371,8 +484,10 @@ fn main() {
     let mut dir: Option<PathBuf> = None;
     let mut workers = 1usize;
     let mut kill_after_ms: Option<u64> = None;
+    let mut term_after_ms: Option<u64> = None;
     let mut crash_write: Option<u64> = None;
     let mut crash_stage = CrashStage::BeforeRename;
+    let mut max_seconds: Option<u64> = None;
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -402,6 +517,20 @@ fn main() {
                     value(&args, &mut i, "--kill-after-ms")
                         .parse()
                         .unwrap_or_else(|_| die("--kill-after-ms needs a u64")),
+                )
+            }
+            "--term-after-ms" => {
+                term_after_ms = Some(
+                    value(&args, &mut i, "--term-after-ms")
+                        .parse()
+                        .unwrap_or_else(|_| die("--term-after-ms needs a u64")),
+                )
+            }
+            "--max-seconds" => {
+                max_seconds = Some(
+                    value(&args, &mut i, "--max-seconds")
+                        .parse()
+                        .unwrap_or_else(|_| die("--max-seconds needs a u64")),
                 )
             }
             "--crash-write" => {
@@ -435,7 +564,7 @@ fn main() {
                     .unwrap_or(0);
                 (u64::from(std::process::id()) << 20) ^ nanos | 1
             });
-            orchestrate(quick, seed, &results_dir);
+            orchestrate(quick, seed, max_seconds, &results_dir);
         }
         Some("drive") => {
             let dir = dir.unwrap_or_else(|| die("--phase drive needs --dir"));
@@ -444,7 +573,7 @@ fn main() {
                 (None, Some(n)) => KillMode::Write(n, crash_stage),
                 (None, None) => KillMode::Clean,
             };
-            phase_drive(quick, &dir, workers, kill);
+            phase_drive(quick, &dir, workers, kill, term_after_ms);
         }
         Some(other) => die(&format!("unknown phase {other}")),
     }

@@ -1,7 +1,7 @@
 //! Two-process checkpoint→kill→resume smoke: the CI gate for crash durability.
 //!
 //! ```text
-//! cargo run --release -p bench --bin resume_smoke -- [--quick]
+//! cargo run --release -p bench --bin resume_smoke -- [--quick] [--max-seconds N]
 //! ```
 //!
 //! The orchestrator (no `--phase` flag) spawns **itself** twice: a `first` phase that runs
@@ -10,8 +10,11 @@
 //! survives it but the files — and a `resume` phase in a fresh process that loads the
 //! checkpoint, verifies it, and finishes the search. The orchestrator then runs the same
 //! search uninterrupted in-process and compares the full trace-hash chains link by link.
-//! Set `PARMIS_RESULTS_DIR` to keep the checkpoint, the hash logs and
-//! `BENCH_resume_smoke.json` as artifacts.
+//! `--max-seconds` additionally puts the first segment on [`ParmisConfig::deadline_ms`]
+//! (the cooperative wall-clock budget): the segment suspends on whichever of the deadline
+//! or the fuel backstop fires first, and the audit is unchanged either way — deadlines
+//! decide *when* a segment suspends, never what it computes. Set `PARMIS_RESULTS_DIR` to
+//! keep the checkpoint, the hash logs and `BENCH_resume_smoke.json` as artifacts.
 
 use bench::report;
 use parmis::jobs::atomic_write;
@@ -61,21 +64,25 @@ fn die(message: &str) -> ! {
     std::process::exit(1)
 }
 
-/// Phase 1 (child process): run until the fuel budget suspends the search, persist the
-/// checkpoint and its trace-hash log, and exit. The process boundary *is* the kill.
-fn phase_first(quick: bool, checkpoint: &Path) {
+/// Phase 1 (child process): run until the fuel budget — or, with `--max-seconds`, the
+/// wall-clock deadline — suspends the search, persist the checkpoint and its trace-hash
+/// log, and exit. The process boundary *is* the kill.
+fn phase_first(quick: bool, checkpoint: &Path, max_seconds: Option<u64>) {
     let config = smoke_config(quick);
     let fueled = ParmisConfig {
         max_fuel: config.max_iterations / 2,
+        deadline_ms: max_seconds.map(|s| s.saturating_mul(1000)),
         ..config
     };
     let step = Parmis::new(fueled)
         .run_resumable(&evaluator())
         .unwrap_or_else(|e| die(&format!("first segment failed: {e}")));
+    let reason = step.stop_reason();
     let state = match step {
-        SearchStep::Suspended(state) => *state,
+        SearchStep::Suspended { state, .. } => *state,
         SearchStep::Completed(_) => die("first segment completed instead of suspending"),
     };
+    println!("first: suspended by `{reason}`");
     let json = state
         .to_json()
         .unwrap_or_else(|e| die(&format!("checkpoint serialization failed: {e}")));
@@ -137,7 +144,7 @@ struct ResumeSmokeReport {
 
 /// Orchestrator: drive both phases as separate OS processes, then audit them against an
 /// uninterrupted in-process run.
-fn orchestrate(quick: bool, results_dir: &Path) {
+fn orchestrate(quick: bool, max_seconds: Option<u64>, results_dir: &Path) {
     report::print_header(
         "resume smoke",
         "two-process checkpoint → kill → resume with trace-hash audit",
@@ -154,6 +161,9 @@ fn orchestrate(quick: bool, results_dir: &Path) {
             .arg(&checkpoint);
         if quick {
             cmd.arg("--quick");
+        }
+        if let (Some(secs), "first") = (max_seconds, phase) {
+            cmd.args(["--max-seconds", &secs.to_string()]);
         }
         let status = cmd
             .status()
@@ -198,10 +208,23 @@ fn main() {
     let mut quick = false;
     let mut phase: Option<String> = None;
     let mut checkpoint: Option<PathBuf> = None;
+    let mut max_seconds: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--max-seconds" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--max-seconds needs a u64"));
+                if secs == 0 {
+                    // ParmisConfig rejects deadline_ms == Some(0) as degenerate.
+                    die("--max-seconds must be positive");
+                }
+                max_seconds = Some(secs);
+            }
             "--phase" => {
                 i += 1;
                 phase = Some(
@@ -227,11 +250,12 @@ fn main() {
             let results_dir = std::env::var("PARMIS_RESULTS_DIR")
                 .map(PathBuf::from)
                 .unwrap_or_else(|_| std::env::temp_dir().join("parmis_resume_smoke"));
-            orchestrate(quick, &results_dir);
+            orchestrate(quick, max_seconds, &results_dir);
         }
         Some("first") => phase_first(
             quick,
             &checkpoint.unwrap_or_else(|| die("--phase first needs --checkpoint")),
+            max_seconds,
         ),
         Some("resume") => phase_resume(
             quick,

@@ -28,15 +28,18 @@
 //! because the batched search relies on evaluations being pure to keep the Pareto front
 //! bit-identical for any worker count.
 
+use crate::cancel::CancelToken;
 use crate::evaluation::SimBuffers;
 use crate::{ParmisError, Result};
 use soc_sim::counters::{CounterCollector, CounterStats};
-use soc_sim::platform::{CollectEpochs, DiscardEpochs, Platform, RunAggregates};
+use soc_sim::platform::{
+    CancelEpochs, CollectEpochs, DiscardEpochs, EpochSink, Platform, RunAggregates,
+};
 use soc_sim::scenario::BackendKind;
 use soc_sim::trace::{RunTrace, TraceStore};
 use soc_sim::workload::Application;
 use soc_sim::SocError;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Static description of an evaluation backend.
@@ -66,7 +69,17 @@ pub struct EvalContext<'a> {
     pub application: &'a Application,
     /// Measurement-noise seed of the run.
     pub seed: u64,
+    /// Cooperative-cancellation token polled by streaming backends every
+    /// [`CANCEL_EPOCH_STRIDE`] simulated epochs (`None` = never cancelled, zero
+    /// overhead). A tripped token aborts the run with [`ParmisError::Cancelled`],
+    /// discarding the partial aggregates — cancellation can never truncate results.
+    pub cancel: Option<&'a CancelToken>,
 }
+
+/// How many simulated epochs a streaming backend runs between two cancellation polls of
+/// [`EvalContext::cancel`]. Small enough to notice a drain within a fraction of one
+/// application run, large enough to keep the per-epoch cost negligible.
+pub const CANCEL_EPOCH_STRIDE: usize = 64;
 
 /// The policy→aggregates step: turns the policy currently decoded in `buffers` into the
 /// [`RunAggregates`] of one application run.
@@ -100,6 +113,55 @@ fn backend_error(kind: BackendKind, source: SocError) -> ParmisError {
 /// streaming runner seeds its peak-temperature fold with before the first epoch.
 fn initial_temperature_c(platform: &Platform) -> f64 {
     platform.spec().thermal_model().initial_state().hottest_c()
+}
+
+/// Drives one streaming application run through `sink`, honoring [`EvalContext::cancel`]:
+/// with a token present the sink is wrapped in a [`CancelEpochs`] decorator that polls the
+/// token every [`CANCEL_EPOCH_STRIDE`] epochs (and beats its heartbeat, so the stall
+/// monitor sees in-run progress); without one the plain runner is invoked with zero
+/// overhead. Both paths fold bit-identical aggregates — the wrapper never touches epochs.
+fn run_streaming<S: EpochSink>(
+    ctx: &EvalContext<'_>,
+    buffers: &mut SimBuffers,
+    mut sink: S,
+) -> std::result::Result<RunAggregates, SocError> {
+    match ctx.cancel {
+        None => ctx.platform.run_application_with(
+            ctx.application,
+            buffers.policy_mut(),
+            ctx.seed,
+            &mut sink,
+        ),
+        Some(token) => {
+            let mut wrapped = CancelEpochs::new(sink, CANCEL_EPOCH_STRIDE, move || {
+                token.beat();
+                match token.cancelled() {
+                    Some(reason) => Err(SocError::Cancelled {
+                        reason: reason.name().to_string(),
+                    }),
+                    None => Ok(()),
+                }
+            });
+            ctx.platform.run_application_with(
+                ctx.application,
+                buffers.policy_mut(),
+                ctx.seed,
+                &mut wrapped,
+            )
+        }
+    }
+}
+
+/// Maps a streaming-run failure to the structured error contract: a cancellation probe
+/// abort becomes [`ParmisError::Cancelled`] (re-reading the token for the latched reason);
+/// everything else is a [`ParmisError::Backend`] naming `kind`.
+fn streaming_error(kind: BackendKind, ctx: &EvalContext<'_>, source: SocError) -> ParmisError {
+    if let SocError::Cancelled { .. } = source {
+        if let Some(reason) = ctx.cancel.and_then(|token| token.cancelled()) {
+            return ParmisError::cancelled(reason);
+        }
+    }
+    backend_error(kind, source)
 }
 
 /// The streaming analytic simulator (the default backend), with an optional record mode.
@@ -160,26 +222,12 @@ impl EvalBackend for AnalyticSim {
 
     fn run(&self, ctx: &EvalContext<'_>, buffers: &mut SimBuffers) -> Result<RunAggregates> {
         match &self.recorder {
-            None => ctx
-                .platform
-                .run_application_with(
-                    ctx.application,
-                    buffers.policy_mut(),
-                    ctx.seed,
-                    &mut DiscardEpochs,
-                )
-                .map_err(|e| backend_error(BackendKind::AnalyticSim, e)),
+            None => run_streaming(ctx, buffers, DiscardEpochs)
+                .map_err(|e| streaming_error(BackendKind::AnalyticSim, ctx, e)),
             Some(store) => {
                 let mut collector = CollectEpochs::with_capacity(ctx.application.epoch_count());
-                let aggregates = ctx
-                    .platform
-                    .run_application_with(
-                        ctx.application,
-                        buffers.policy_mut(),
-                        ctx.seed,
-                        &mut collector,
-                    )
-                    .map_err(|e| backend_error(BackendKind::AnalyticSim, e))?;
+                let aggregates = run_streaming(ctx, buffers, &mut collector)
+                    .map_err(|e| streaming_error(BackendKind::AnalyticSim, ctx, e))?;
                 store
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -295,14 +343,8 @@ impl EvalBackend for CounterProfile {
 
     fn run(&self, ctx: &EvalContext<'_>, buffers: &mut SimBuffers) -> Result<RunAggregates> {
         let mut collector = CounterCollector::with_capacity(ctx.application.epoch_count());
-        ctx.platform
-            .run_application_with(
-                ctx.application,
-                buffers.policy_mut(),
-                ctx.seed,
-                &mut collector,
-            )
-            .map_err(|e| backend_error(BackendKind::CounterProfile, e))?;
+        run_streaming(ctx, buffers, &mut collector)
+            .map_err(|e| streaming_error(BackendKind::CounterProfile, ctx, e))?;
         Ok(CounterStats::aggregate(
             collector.samples(),
             initial_temperature_c(ctx.platform),
@@ -320,7 +362,11 @@ pub enum FaultKind {
     /// (the parallel evaluator must convert it into a structured error, not abort).
     Panic,
     /// The run stalls for the given number of microseconds, then delegates normally. A
-    /// latency fault must never change results, only wall-clock time.
+    /// latency fault must never change results, only (virtual or real) wall-clock time.
+    /// By default the stall is **charged to a deterministic virtual-clock ledger**
+    /// ([`FaultInject::charged_latency_micros`]) instead of sleeping, so latency drills
+    /// do not slow the test suite down; [`FaultInject::with_real_latency`] opts into
+    /// actually sleeping for stall-detector drills that need elapsed time.
     LatencySpike {
         /// Stall duration in microseconds.
         micros: u64,
@@ -349,6 +395,11 @@ pub struct FaultInject {
     seed: u64,
     error_rate: f64,
     runs: AtomicUsize,
+    /// Virtual-clock ledger of latency-spike stalls (mirrors the retry policy's backoff
+    /// ledger): total microseconds charged instead of slept.
+    charged_latency_micros: AtomicU64,
+    /// When `true`, latency spikes actually sleep (stall-detector drills only).
+    real_latency: bool,
 }
 
 impl FaultInject {
@@ -360,6 +411,8 @@ impl FaultInject {
             seed: 0,
             error_rate: 0.0,
             runs: AtomicUsize::new(0),
+            charged_latency_micros: AtomicU64::new(0),
+            real_latency: false,
         }
     }
 
@@ -380,9 +433,25 @@ impl FaultInject {
         self
     }
 
+    /// Makes latency spikes actually block the worker thread instead of charging the
+    /// virtual-clock ledger. Only stall-detection drills (which measure real elapsed
+    /// time) should want this; everything else gets the same determinism for free from
+    /// the ledger.
+    #[must_use]
+    pub fn with_real_latency(mut self) -> Self {
+        self.real_latency = true;
+        self
+    }
+
     /// Number of `run` calls made so far (injected faults included).
     pub fn runs(&self) -> usize {
         self.runs.load(Ordering::SeqCst)
+    }
+
+    /// Total latency-spike microseconds charged to the virtual-clock ledger so far
+    /// (always 0 with [`with_real_latency`](Self::with_real_latency)).
+    pub fn charged_latency_micros(&self) -> u64 {
+        self.charged_latency_micros.load(Ordering::SeqCst)
     }
 
     /// Uniform `[0, 1)` draw for run `n`: splitmix64 finalizer over `seed ^ f(n)`.
@@ -424,7 +493,12 @@ impl EvalBackend for FaultInject {
             )),
             Some(FaultKind::Panic) => panic!("injected panic at run {n} (fault-injection drill)"),
             Some(FaultKind::LatencySpike { micros }) => {
-                std::thread::sleep(std::time::Duration::from_micros(micros));
+                if self.real_latency {
+                    std::thread::sleep(std::time::Duration::from_micros(micros));
+                } else {
+                    self.charged_latency_micros
+                        .fetch_add(micros, Ordering::SeqCst);
+                }
                 self.inner.run(ctx, buffers)
             }
             None => self.inner.run(ctx, buffers),
@@ -493,6 +567,7 @@ mod tests {
             platform: &platform,
             application: &application,
             seed: 17,
+            cancel: None,
         };
         let baseline = AnalyticSim::new().run(&ctx, &mut buffers).unwrap();
 
@@ -502,8 +577,8 @@ mod tests {
         assert_eq!(faulty.describe().kind, BackendKind::FaultInject);
         assert!(!faulty.describe().deterministic);
 
-        // Run 0 is clean, run 1 errors structurally, run 2 stalls but returns the same
-        // aggregates bit for bit.
+        // Run 0 is clean, run 1 errors structurally, run 2 stalls (charged to the
+        // virtual-clock ledger, not slept) but returns the same aggregates bit for bit.
         assert_eq!(faulty.run(&ctx, &mut buffers).unwrap(), baseline);
         let err = faulty.run(&ctx, &mut buffers).unwrap_err();
         match err {
@@ -516,8 +591,19 @@ mod tests {
             }
             other => panic!("expected Backend error, got {other:?}"),
         }
+        assert_eq!(faulty.charged_latency_micros(), 0);
         assert_eq!(faulty.run(&ctx, &mut buffers).unwrap(), baseline);
         assert_eq!(faulty.runs(), 3);
+        assert_eq!(faulty.charged_latency_micros(), 50);
+
+        // Opting into real latency leaves the ledger untouched and actually blocks.
+        let sleeper = FaultInject::new(Arc::new(AnalyticSim::new()))
+            .fault_on(0, FaultKind::LatencySpike { micros: 2_000 })
+            .with_real_latency();
+        let started = std::time::Instant::now();
+        assert_eq!(sleeper.run(&ctx, &mut buffers).unwrap(), baseline);
+        assert!(started.elapsed() >= std::time::Duration::from_micros(2_000));
+        assert_eq!(sleeper.charged_latency_micros(), 0);
 
         // The seeded random schedule is a pure function of (seed, run index): two
         // instances with the same seed fail the same runs.
@@ -534,6 +620,52 @@ mod tests {
     }
 
     #[test]
+    fn streaming_backends_abort_with_a_cancelled_error_and_ignore_untripped_tokens() {
+        use crate::cancel::{CancelReason, CancelSource};
+        let (platform, application) = context_fixture();
+        let evaluator =
+            SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let mut buffers = evaluator.sim_buffers();
+        buffers
+            .policy_mut()
+            .set_flat_parameters(&vec![0.2; evaluator.parameter_dim()]);
+        let plain = EvalContext {
+            platform: &platform,
+            application: &application,
+            seed: 17,
+            cancel: None,
+        };
+        let baseline = AnalyticSim::new().run(&plain, &mut buffers).unwrap();
+
+        // An untripped token changes nothing: same aggregates bit for bit, and the probe
+        // beats the heartbeat so the stall monitor sees in-run progress.
+        let source = CancelSource::new();
+        let token = source.token();
+        let watched = EvalContext {
+            cancel: Some(&token),
+            ..plain
+        };
+        assert_eq!(
+            AnalyticSim::new().run(&watched, &mut buffers).unwrap(),
+            baseline
+        );
+        assert!(token.heartbeats() > 0);
+        assert_eq!(
+            CounterProfile::new().run(&watched, &mut buffers).unwrap(),
+            CounterProfile::new().run(&plain, &mut buffers).unwrap()
+        );
+
+        // A tripped token aborts the run with the structured cancellation error.
+        source.cancel(CancelReason::User);
+        let err = AnalyticSim::new().run(&watched, &mut buffers).unwrap_err();
+        assert_eq!(err.cancel_reason(), Some(CancelReason::User));
+        let err = CounterProfile::new()
+            .run(&watched, &mut buffers)
+            .unwrap_err();
+        assert_eq!(err.cancel_reason(), Some(CancelReason::User));
+    }
+
+    #[test]
     fn record_mode_captures_the_stream_without_changing_aggregates() {
         let (platform, application) = context_fixture();
         let evaluator =
@@ -545,6 +677,7 @@ mod tests {
             platform: &platform,
             application: &application,
             seed: 17,
+            cancel: None,
         };
 
         let plain = AnalyticSim::new();
@@ -578,6 +711,7 @@ mod tests {
             platform: &platform,
             application: &application,
             seed: 5,
+            cancel: None,
         };
         let (recording, _) = AnalyticSim::recording();
         let live = recording.run(&ctx, &mut buffers).unwrap();
@@ -613,6 +747,7 @@ mod tests {
             platform: &platform,
             application: &application,
             seed: 9,
+            cancel: None,
         };
         let profile = CounterProfile::new();
         let a = profile.run(&ctx, &mut buffers).unwrap();
@@ -646,6 +781,7 @@ mod tests {
             platform: &hexa,
             application: &app,
             seed: 9,
+            cancel: None,
         };
         let prof = CounterProfile::new()
             .run(&hexa_ctx, &mut hexa_buffers)

@@ -106,6 +106,14 @@ pub enum ParmisError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// The operation was cooperatively cancelled mid-flight (between two checkpoint
+    /// boundaries), abandoning work that a resumed run recomputes deterministically.
+    /// Cancellations that land exactly on an iteration boundary surface as a clean
+    /// [`SearchStep::Suspended`](crate::framework::SearchStep) instead of this error.
+    Cancelled {
+        /// Why the cancellation was raised.
+        reason: crate::cancel::CancelReason,
+    },
 }
 
 impl ParmisError {
@@ -121,6 +129,19 @@ impl ParmisError {
     pub fn checkpoint_fault(&self) -> Option<CheckpointFault> {
         match self {
             ParmisError::Checkpoint { fault, .. } => Some(*fault),
+            _ => None,
+        }
+    }
+
+    /// Constructs a [`ParmisError::Cancelled`] with the given reason.
+    pub fn cancelled(reason: crate::cancel::CancelReason) -> ParmisError {
+        ParmisError::Cancelled { reason }
+    }
+
+    /// The cancellation reason, if this is a [`ParmisError::Cancelled`].
+    pub fn cancel_reason(&self) -> Option<crate::cancel::CancelReason> {
+        match self {
+            ParmisError::Cancelled { reason } => Some(*reason),
             _ => None,
         }
     }
@@ -141,6 +162,9 @@ impl fmt::Display for ParmisError {
             }
             ParmisError::Checkpoint { fault, reason } => {
                 write!(f, "checkpoint failure [{fault}]: {reason}")
+            }
+            ParmisError::Cancelled { reason } => {
+                write!(f, "cancelled [{reason}] between checkpoint boundaries")
             }
         }
     }
@@ -227,6 +251,19 @@ mod tests {
         assert!(e.to_string().contains("bad digest"));
         let other = ParmisError::InvalidConfig { reason: "x".into() };
         assert_eq!(other.checkpoint_fault(), None);
+    }
+
+    #[test]
+    fn cancelled_errors_carry_their_reason() {
+        let e = ParmisError::cancelled(crate::cancel::CancelReason::Deadline);
+        assert_eq!(
+            e.cancel_reason(),
+            Some(crate::cancel::CancelReason::Deadline)
+        );
+        assert_eq!(e.checkpoint_fault(), None);
+        assert!(e.to_string().contains("[deadline]"));
+        let other = ParmisError::InvalidConfig { reason: "x".into() };
+        assert_eq!(other.cancel_reason(), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! pre-backend evaluation path.
 
 use crate::backend::{AnalyticSim, EvalBackend, EvalContext};
+use crate::cancel::CancelToken;
 use crate::objective::{objective_vector, Objective};
 use crate::{ParmisError, Result};
 use fastmath::Precision;
@@ -121,6 +122,7 @@ impl<E: PolicyEvaluator + ?Sized> PolicyEvaluator for &E {
 pub struct ParallelEvaluator<E> {
     inner: E,
     num_workers: usize,
+    cancel: CancelToken,
 }
 
 impl<E: PolicyEvaluator + Sync> ParallelEvaluator<E> {
@@ -129,7 +131,20 @@ impl<E: PolicyEvaluator + Sync> ParallelEvaluator<E> {
         ParallelEvaluator {
             inner,
             num_workers: crate::parallel::resolve_workers(num_workers),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cancellation token checked at the batch-dispatch boundary: before each
+    /// worker's chunk starts, a tripped token aborts the whole batch with
+    /// [`ParmisError::Cancelled`] instead of evaluating it. Each completed chunk also
+    /// [beats](CancelToken::beat) the token so the supervisor's stall monitor sees
+    /// batch-level progress. Chunking and result order are unaffected — a cancelled batch
+    /// is simply recomputed identically on resume.
+    #[must_use]
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The effective worker count after resolving the "all CPUs" sentinel.
@@ -166,21 +181,35 @@ impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
     }
 
     fn evaluate_batch(&self, thetas: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        if let Some(reason) = self.cancel.cancelled() {
+            return Err(ParmisError::cancelled(reason));
+        }
         if self.num_workers <= 1 || thetas.len() <= 1 {
-            return self.inner.evaluate_batch(thetas);
+            let results = self.inner.evaluate_batch(thetas);
+            if results.is_ok() {
+                self.cancel.beat();
+            }
+            return results;
         }
         let workers = self.num_workers.min(thetas.len());
         let chunk_len = thetas.len().div_ceil(workers);
         let chunks: Vec<&[Vec<f64>]> = thetas.chunks(chunk_len).collect();
         let mut results = Vec::with_capacity(thetas.len());
         for chunk in crate::parallel::parallel_map(&chunks, workers, |_, c| {
+            // Cooperative cancellation at the chunk-dispatch boundary: a chunk whose
+            // token is already tripped is never evaluated. The abort discards the whole
+            // batch (the first chunk's error wins below), so a resumed run recomputes it
+            // bit-identically — cancellation never changes what is computed.
+            if let Some(reason) = self.cancel.cancelled() {
+                return Err(ParmisError::cancelled(reason));
+            }
             // Panic containment at the worker boundary: a panicking inner evaluator (one
             // without its own containment) becomes a structured error for its chunk
             // instead of tearing down the process at the scope join. Because the inner
             // serial loop stops at its first failing slot — panic or error alike — the
             // contained error still corresponds to the chunk's lowest failing slot.
-            catch_unwind(AssertUnwindSafe(|| self.inner.evaluate_batch(c))).unwrap_or_else(
-                |payload| {
+            let chunk_results = catch_unwind(AssertUnwindSafe(|| self.inner.evaluate_batch(c)))
+                .unwrap_or_else(|payload| {
                     Err(ParmisError::Backend {
                         name: "parallel-worker".to_string(),
                         source: SocError::Fault {
@@ -190,8 +219,11 @@ impl<E: PolicyEvaluator + Sync> PolicyEvaluator for ParallelEvaluator<E> {
                             ),
                         },
                     })
-                },
-            )
+                });
+            if chunk_results.is_ok() {
+                self.cancel.beat();
+            }
+            chunk_results
         }) {
             // Propagate the first error in slot order, exactly like the serial loop:
             // chunks are contiguous and merged in slot order, and within a chunk the inner
@@ -328,6 +360,7 @@ pub struct SocEvaluator {
     backend: Arc<dyn EvalBackend>,
     retry: RetryPolicy,
     retry_stats: Arc<RetryStats>,
+    cancel: CancelToken,
 }
 
 impl SocEvaluator {
@@ -413,7 +446,19 @@ impl SocEvaluator {
             backend: Arc::new(AnalyticSim::new()),
             retry: RetryPolicy::default(),
             retry_stats: Arc::new(RetryStats::default()),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cancellation token threaded into every backend run's [`EvalContext`]:
+    /// streaming backends probe it every [`crate::backend::CANCEL_EPOCH_STRIDE`] simulator
+    /// epochs (beating the heartbeat, aborting with [`ParmisError::Cancelled`] when
+    /// tripped). A cancelled run's partial work is discarded and recomputed identically on
+    /// resume — the token never changes what an evaluation produces.
+    #[must_use]
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Overrides the measurement-noise seed used for every evaluation run.
@@ -565,6 +610,11 @@ impl SocEvaluator {
                 platform: &self.platform,
                 application: app,
                 seed: self.run_seed,
+                cancel: if self.cancel.is_never() {
+                    None
+                } else {
+                    Some(&self.cancel)
+                },
             };
             let aggregates = match self.run_backend_with_retries(&ctx, buffers)? {
                 BackendRun::Completed(aggregates) => aggregates,
@@ -627,6 +677,12 @@ impl SocEvaluator {
                     }
                 }
             };
+            // Cancellation is a request to stop, not a fault: it is never retried and
+            // never degraded to a penalty vector — it propagates immediately so the
+            // search suspends at its checkpoint boundary.
+            if error.cancel_reason().is_some() {
+                return Err(error);
+            }
             if attempt < self.retry.max_retries {
                 // Deterministic backoff *accounting*: attempt i charges base << i to the
                 // ledger. Nothing sleeps — retry behavior never depends on wall clock.
@@ -698,6 +754,7 @@ pub struct EvaluatorBuilder {
     backend_kind: Option<BackendKind>,
     precision: Option<Precision>,
     retry: RetryPolicy,
+    cancel: CancelToken,
     deferred: Option<ParmisError>,
 }
 
@@ -721,6 +778,7 @@ impl EvaluatorBuilder {
             backend_kind: None,
             precision: None,
             retry: RetryPolicy::default(),
+            cancel: CancelToken::never(),
             deferred: None,
         }
     }
@@ -834,6 +892,17 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Attaches a cancellation token to the evaluator
+    /// ([`SocEvaluator::with_cancel_token`]). Share the same [`CancelSource`]'s tokens
+    /// with [`crate::framework::Parmis::with_cancel_token`] so a single cancel request
+    /// stops both the round loop and any in-flight simulator run.
+    ///
+    /// [`CancelSource`]: crate::cancel::CancelSource
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Builds the evaluator.
     ///
     /// # Errors
@@ -868,7 +937,8 @@ impl EvaluatorBuilder {
         )
         .with_run_seed(self.run_seed)
         .with_backend(backend)
-        .with_retry_policy(self.retry);
+        .with_retry_policy(self.retry)
+        .with_cancel_token(self.cancel);
         evaluator.constraints = self.constraints;
         Ok(evaluator)
     }
@@ -1151,6 +1221,53 @@ mod tests {
         for (theta, row) in thetas.iter().zip(&batch) {
             assert_eq!(row, &eval.evaluate(theta).unwrap());
         }
+    }
+
+    #[test]
+    fn cancellation_bypasses_retries_and_penalty_degradation() {
+        use crate::cancel::{CancelReason, CancelSource};
+        // A tripped token must abort immediately: no retries charged to the ledger, no
+        // degradation to the penalty vector — even under the most forgiving policy.
+        let source = CancelSource::new();
+        source.cancel(CancelReason::Deadline);
+        let eval = SocEvaluator::builder()
+            .benchmark(Benchmark::Qsort)
+            .objectives(Objective::TIME_ENERGY.to_vec())
+            .retry_policy(RetryPolicy::retries(3).skip_with_penalty(1e9))
+            .cancel_token(source.token())
+            .build()
+            .unwrap();
+        let theta = vec![0.1; eval.parameter_dim()];
+        let err = eval.evaluate(&theta).unwrap_err();
+        assert_eq!(err.cancel_reason(), Some(CancelReason::Deadline));
+        let stats = eval.retry_stats();
+        assert_eq!(stats.retries(), 0);
+        assert_eq!(stats.degraded_runs(), 0);
+        assert_eq!(stats.backoff_micros(), 0);
+    }
+
+    #[test]
+    fn parallel_evaluator_checks_its_token_at_the_batch_boundary() {
+        use crate::cancel::{CancelReason, CancelSource};
+        let serial = SocEvaluator::for_benchmark(Benchmark::Qsort, Objective::TIME_ENERGY.to_vec());
+        let dim = serial.parameter_dim();
+        let thetas: Vec<Vec<f64>> = (0..4).map(|i| vec![0.05 * i as f64; dim]).collect();
+        let baseline = serial.evaluate_batch(&thetas).unwrap();
+
+        // An untripped token leaves results bit-identical and records batch progress.
+        let source = CancelSource::new();
+        let watched = ParallelEvaluator::new(&serial, 2).with_cancel_token(source.token());
+        assert_eq!(watched.evaluate_batch(&thetas).unwrap(), baseline);
+        assert!(source.heartbeats() > 0);
+
+        // A tripped token aborts the batch before any evaluation starts.
+        source.cancel(CancelReason::User);
+        let err = watched.evaluate_batch(&thetas).unwrap_err();
+        assert_eq!(err.cancel_reason(), Some(CancelReason::User));
+        // Same boundary check on the serial fast path.
+        let solo = ParallelEvaluator::new(&serial, 1).with_cancel_token(source.token());
+        let err = solo.evaluate_batch(&thetas).unwrap_err();
+        assert_eq!(err.cancel_reason(), Some(CancelReason::User));
     }
 
     #[test]

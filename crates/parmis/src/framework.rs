@@ -1,6 +1,7 @@
 //! The PaRMIS main loop (Algorithm 1 of the paper).
 
 use crate::acquisition::{AcquisitionOptimizer, AcquisitionOptimizerConfig};
+use crate::cancel::{CancelReason, CancelToken};
 use crate::checkpoint::{self, SearchState};
 use crate::evaluation::PolicyEvaluator;
 use crate::objective::Objective;
@@ -16,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use soc_sim::scenario::BackendKind;
+use std::time::{Duration, Instant};
 
 /// Configuration of a PaRMIS run.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +84,15 @@ pub struct ParmisConfig {
     /// checkpoints. Like [`max_fuel`](Self::max_fuel), this is a scheduling knob and does
     /// not affect the trajectory or the configuration digest.
     pub checkpoint_every: usize,
+    /// Wall-clock deadline of one run **segment**, in milliseconds: once this much time has
+    /// elapsed, the resumable entry points suspend at the next iteration boundary with
+    /// [`StopReason::Cancelled`]\([`CancelReason::Deadline`]) instead of starting another
+    /// round. `None` (the default) disables the budget; `Some(0)` is rejected by
+    /// validation (it could never pay for a single round — use cancellation for
+    /// "stop now"). Like [`max_fuel`](Self::max_fuel), the deadline only decides *when*
+    /// the segment suspends, never what is computed, so it is excluded from the
+    /// checkpoint's configuration digest and resumed runs stay bit-identical.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ParmisConfig {
@@ -102,6 +113,7 @@ impl Default for ParmisConfig {
             precision: Precision::SeedExact,
             max_fuel: 0,
             checkpoint_every: 0,
+            deadline_ms: None,
         }
     }
 }
@@ -117,6 +129,48 @@ pub struct IterationRecord {
     pub objectives: Vec<f64>,
     /// Acquisition value of the selected candidate (`None` during the initial design).
     pub acquisition_value: Option<f64>,
+}
+
+/// Why a run segment stopped driving the search: the terminal causes recorded in a
+/// completed [`ParmisOutcome`] and the suspension causes carried by
+/// [`SearchStep::Suspended`]. One table, so reports and journal notes never have to
+/// stitch two vocabularies together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// The evaluation budget ([`ParmisConfig::max_iterations`]) was spent.
+    BudgetExhausted,
+    /// The convergence criterion fired ([`ParmisConfig::convergence_window`]).
+    Converged,
+    /// The segment's fuel budget ([`ParmisConfig::max_fuel`]) expired at an iteration
+    /// boundary.
+    FuelExhausted,
+    /// The segment was cooperatively cancelled at an iteration boundary — by an explicit
+    /// request, a wall-clock deadline, a stall monitor, a process signal, or an ancestor
+    /// scope (see [`CancelReason`]).
+    Cancelled(CancelReason),
+}
+
+impl StopReason {
+    /// Stable kebab-case name, used in journal notes and reports. [`Display`](std::fmt::Display)
+    /// additionally includes the [`CancelReason`] of a cancellation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StopReason::BudgetExhausted => "budget-exhausted",
+            StopReason::Converged => "converged",
+            StopReason::FuelExhausted => "fuel-exhausted",
+            StopReason::Cancelled(_) => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Cancelled(reason) => write!(f, "cancelled [{reason}]"),
+            other => f.write_str(other.name()),
+        }
+    }
 }
 
 /// Result of a PaRMIS run.
@@ -138,6 +192,10 @@ pub struct ParmisOutcome {
     /// Per-iteration trace-hash chain ([`checkpoint::hash_chain`]) of the run: the audit
     /// trail that proves a resumed run followed the uninterrupted trajectory bit for bit.
     pub trace_hashes: Vec<u64>,
+    /// Why the completed run stopped: [`StopReason::Converged`] when early stopping
+    /// fired, [`StopReason::BudgetExhausted`] otherwise. (Suspension causes travel on
+    /// [`SearchStep::Suspended`] instead — a suspended segment has no outcome yet.)
+    pub stop_reason: StopReason,
 }
 
 impl ParmisOutcome {
@@ -154,6 +212,7 @@ impl ParmisOutcome {
             reference_point: vec![0.05; k],
             converged_at: None,
             trace_hashes: Vec::new(),
+            stop_reason: StopReason::BudgetExhausted,
         }
     }
 
@@ -176,36 +235,53 @@ impl ParmisOutcome {
     }
 }
 
-/// Result of one resumable run segment: either the search finished, or the fuel budget
-/// ([`ParmisConfig::max_fuel`]) expired at an iteration boundary and the search suspended.
+/// Result of one resumable run segment: either the search finished, or it suspended at an
+/// iteration boundary — because the fuel budget ([`ParmisConfig::max_fuel`]) expired, or
+/// because a cancellation (deadline, stall, signal, explicit request) was observed.
 #[derive(Debug, Clone)]
 pub enum SearchStep {
     /// The search ran to completion (budget exhausted or converged).
     Completed(Box<ParmisOutcome>),
-    /// The fuel budget expired; the state can be serialized ([`SearchState::to_json`]) and
-    /// later handed to [`Parmis::resume`] to continue bit-identically.
-    Suspended(Box<SearchState>),
+    /// The segment suspended; the state can be serialized ([`SearchState::to_json`]) and
+    /// later handed to [`Parmis::resume`] to continue bit-identically, regardless of
+    /// which `reason` ([`StopReason::FuelExhausted`] or [`StopReason::Cancelled`])
+    /// suspended it.
+    Suspended {
+        /// The resumable mid-search state, captured at the iteration boundary.
+        state: Box<SearchState>,
+        /// Why the segment suspended.
+        reason: StopReason,
+    },
 }
 
 impl SearchStep {
-    /// `true` if this segment suspended on fuel exhaustion.
+    /// `true` if this segment suspended (fuel exhaustion or cancellation).
     pub fn is_suspended(&self) -> bool {
-        matches!(self, SearchStep::Suspended(_))
+        matches!(self, SearchStep::Suspended { .. })
+    }
+
+    /// Why this segment stopped: the outcome's recorded reason if it completed, the
+    /// suspension reason otherwise.
+    pub fn stop_reason(&self) -> StopReason {
+        match self {
+            SearchStep::Completed(outcome) => outcome.stop_reason,
+            SearchStep::Suspended { reason, .. } => *reason,
+        }
     }
 
     /// The completed outcome, if the search finished.
     pub fn into_completed(self) -> Option<ParmisOutcome> {
         match self {
             SearchStep::Completed(outcome) => Some(*outcome),
-            SearchStep::Suspended(_) => None,
+            SearchStep::Suspended { .. } => None,
         }
     }
 
-    /// The suspended state, if the fuel budget expired.
+    /// The suspended state, if the segment suspended.
     pub fn into_suspended(self) -> Option<SearchState> {
         match self {
             SearchStep::Completed(_) => None,
-            SearchStep::Suspended(state) => Some(*state),
+            SearchStep::Suspended { state, .. } => Some(*state),
         }
     }
 }
@@ -214,12 +290,27 @@ impl SearchStep {
 #[derive(Debug, Clone)]
 pub struct Parmis {
     config: ParmisConfig,
+    cancel: CancelToken,
 }
 
 impl Parmis {
-    /// Creates a driver with the given configuration.
+    /// Creates a driver with the given configuration (and no cancellation wiring: the
+    /// search only stops on budget, convergence, fuel, or its own deadline).
     pub fn new(config: ParmisConfig) -> Self {
-        Parmis { config }
+        Parmis {
+            config,
+            cancel: CancelToken::never(),
+        }
+    }
+
+    /// Wires a cancellation token into the driver: the search checks it at every
+    /// iteration boundary and suspends with [`StopReason::Cancelled`] once it trips, and
+    /// beats its heartbeat as rounds complete. Evaluators carry their own token wiring
+    /// (e.g. [`crate::evaluation::EvaluatorBuilder::cancel_token`]) for the finer-grained
+    /// mid-round checks.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// The configuration in use.
@@ -272,7 +363,11 @@ impl Parmis {
     {
         match self.drive(evaluator, None, &mut progress, &mut |_| Ok(()))? {
             SearchStep::Completed(outcome) => Ok(*outcome),
-            SearchStep::Suspended(_) => Err(ParmisError::checkpoint(
+            SearchStep::Suspended {
+                reason: StopReason::Cancelled(reason),
+                ..
+            } => Err(ParmisError::cancelled(reason)),
+            SearchStep::Suspended { .. } => Err(ParmisError::checkpoint(
                 crate::error::CheckpointFault::Incompatible,
                 "the fuel budget expired before the search completed; call run_resumable \
                  to obtain the suspended state",
@@ -377,9 +472,13 @@ impl Parmis {
         // buffers and batched output column warm up on the first Pareto-front sample and
         // are reused by every later iteration instead of rebuilding solver state.
         let mut acquisition_scratch = AcquisitionScratch::default();
-        // Fuel/cadence accounting is per segment: a resumed run gets a fresh budget.
+        // Fuel/cadence accounting is per segment: a resumed run gets a fresh budget, and
+        // the wall-clock deadline (when configured) starts counting now.
         let mut segment_evaluations = 0usize;
         let mut evals_since_checkpoint = 0usize;
+        let deadline = cfg
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
 
         let (
             mut rng,
@@ -454,18 +553,33 @@ impl Parmis {
         let rng_words = rng.state();
         let mut iteration = history.len();
         'rounds: while iteration < cfg.max_iterations {
-            // Fuel check at the round boundary: suspend with a resumable state instead of
-            // starting a round the budget cannot pay for.
-            if cfg.max_fuel > 0 && segment_evaluations >= cfg.max_fuel {
-                return Ok(SearchStep::Suspended(Box::new(self.snapshot(
-                    &objectives,
-                    &history,
-                    &front,
-                    stale_iterations,
-                    &rng,
-                    &trace_hashes,
-                    &round_starts,
-                ))));
+            // Fuel / cancellation / deadline checks at the round boundary: suspend with a
+            // resumable state instead of starting a round that should not (or cannot) be
+            // paid for. The checks only gate *whether* the next round starts — the state
+            // captured is exactly the round-boundary state an uninterrupted run passes
+            // through, so resuming from it is bit-identical.
+            let suspend_reason = if let Some(reason) = self.cancel.cancelled() {
+                Some(StopReason::Cancelled(reason))
+            } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                Some(StopReason::Cancelled(CancelReason::Deadline))
+            } else if cfg.max_fuel > 0 && segment_evaluations >= cfg.max_fuel {
+                Some(StopReason::FuelExhausted)
+            } else {
+                None
+            };
+            if let Some(reason) = suspend_reason {
+                return Ok(SearchStep::Suspended {
+                    state: Box::new(self.snapshot(
+                        &objectives,
+                        &history,
+                        &front,
+                        stale_iterations,
+                        &rng,
+                        &trace_hashes,
+                        &round_starts,
+                    )),
+                    reason,
+                });
             }
             let q = cfg.batch_size.min(cfg.max_iterations - iteration).max(1);
 
@@ -539,6 +653,9 @@ impl Parmis {
             iteration += evaluated;
             segment_evaluations += evaluated;
             evals_since_checkpoint += evaluated;
+            // One heartbeat per completed round: the supervisor's stall monitor watches
+            // this counter move (evaluators additionally beat per batch slot).
+            self.cancel.beat();
 
             // Cadence checkpoint: hand a durable snapshot to the sink at the round
             // boundary (never after the final round — that segment returns an outcome).
@@ -697,6 +814,13 @@ impl Parmis {
                 ),
             });
         }
+        if cfg.deadline_ms == Some(0) {
+            return Err(ParmisError::InvalidConfig {
+                reason: "deadline_ms must be positive when set (a zero budget could never \
+                         pay for a round; use a CancelToken to stop a search immediately)"
+                    .into(),
+            });
+        }
         Ok(())
     }
 
@@ -802,6 +926,11 @@ fn build_outcome(
     let k = objectives.len();
     let reference_point = phv_reference(&history, k);
     let phv_history = phv_trajectory(&history, &reference_point, k);
+    let stop_reason = if converged_at.is_some() {
+        StopReason::Converged
+    } else {
+        StopReason::BudgetExhausted
+    };
     ParmisOutcome {
         objectives,
         front,
@@ -810,6 +939,7 @@ fn build_outcome(
         reference_point,
         converged_at,
         trace_hashes,
+        stop_reason,
     }
 }
 
@@ -1153,5 +1283,106 @@ mod tests {
         let large = lengthscale_grid(300, 3.0);
         assert!(large[0] > small[0] * 5.0);
         assert_eq!(small.len(), 4);
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_as_invalid_config() {
+        let evaluator = SyntheticEvaluator::new();
+        let bad = ParmisConfig {
+            deadline_ms: Some(0),
+            ..quick_config(10)
+        };
+        assert!(matches!(
+            Parmis::new(bad).run(&evaluator),
+            Err(ParmisError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn completed_outcomes_record_their_stop_reason() {
+        let evaluator = SyntheticEvaluator::new();
+        let outcome = Parmis::new(quick_config(12)).run(&evaluator).unwrap();
+        assert_eq!(outcome.stop_reason, StopReason::BudgetExhausted);
+
+        let converging = ParmisConfig {
+            convergence_window: 2,
+            ..quick_config(60)
+        };
+        let outcome = Parmis::new(converging).run(&evaluator).unwrap();
+        if outcome.converged_at.is_some() {
+            assert_eq!(outcome.stop_reason, StopReason::Converged);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_suspends_at_the_next_round_boundary() {
+        use crate::cancel::{CancelReason, CancelSource};
+        let evaluator = SyntheticEvaluator::new();
+        let source = CancelSource::new();
+        source.cancel(CancelReason::User);
+        let step = Parmis::new(quick_config(20))
+            .with_cancel_token(source.token())
+            .run_resumable(&evaluator)
+            .unwrap();
+        match &step {
+            SearchStep::Suspended { state, reason } => {
+                assert_eq!(*reason, StopReason::Cancelled(CancelReason::User));
+                // The initial design completes atomically before the first boundary check.
+                assert_eq!(state.evaluations(), 6);
+            }
+            SearchStep::Completed(_) => panic!("a cancelled search must suspend"),
+        }
+    }
+
+    #[test]
+    fn cancel_and_resume_is_bit_identical_to_uninterrupted() {
+        use crate::cancel::{CancelReason, CancelSource};
+        let evaluator = SyntheticEvaluator::new();
+        let uninterrupted = Parmis::new(quick_config(14)).run(&evaluator).unwrap();
+
+        let source = CancelSource::new();
+        source.cancel(CancelReason::Stall);
+        let state = Parmis::new(quick_config(14))
+            .with_cancel_token(source.token())
+            .run_resumable(&evaluator)
+            .unwrap()
+            .into_suspended()
+            .expect("cancelled search suspends");
+        let resumed = Parmis::new(quick_config(14))
+            .resume(state, &evaluator)
+            .unwrap()
+            .into_completed()
+            .expect("resume with an untripped token completes");
+        assert_eq!(uninterrupted.trace_hashes, resumed.trace_hashes);
+        assert_eq!(uninterrupted.phv_history, resumed.phv_history);
+        assert_eq!(resumed.stop_reason, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    fn expired_deadline_suspends_with_a_deadline_reason() {
+        let evaluator = SyntheticEvaluator::new();
+        let config = ParmisConfig {
+            deadline_ms: Some(1),
+            ..quick_config(40)
+        };
+        // One millisecond cannot pay for a model-guided round on any machine, so the
+        // search suspends at the first boundary after the (atomic) initial design.
+        let step = Parmis::new(config).run_resumable(&evaluator).unwrap();
+        match step {
+            SearchStep::Suspended { reason, .. } => {
+                assert_eq!(reason, StopReason::Cancelled(CancelReason::Deadline));
+            }
+            SearchStep::Completed(_) => panic!("an expired deadline must suspend"),
+        }
+    }
+
+    #[test]
+    fn stop_reason_names_and_display_are_stable() {
+        assert_eq!(StopReason::BudgetExhausted.to_string(), "budget-exhausted");
+        assert_eq!(StopReason::Converged.name(), "converged");
+        assert_eq!(StopReason::FuelExhausted.to_string(), "fuel-exhausted");
+        let cancelled = StopReason::Cancelled(CancelReason::Deadline);
+        assert_eq!(cancelled.name(), "cancelled");
+        assert_eq!(cancelled.to_string(), "cancelled [deadline]");
     }
 }

@@ -8,18 +8,30 @@
 //! every job's trajectory is a deterministic function of its own configuration —
 //! segmentation never changes a trajectory — the final fronts are bit-identical to
 //! uninterrupted runs for any worker count and any crash/restart history.
+//!
+//! On top of the crash story sits the *graceful* stop story, built on
+//! [`crate::cancel`]: the supervisor owns a drain [`CancelSource`] (tripped by
+//! [`request_drain`](JobSupervisor::request_drain), by `SIGTERM`/`SIGINT` when
+//! [`SupervisorConfig::drain_on_signals`] is set, or by the fleet-wide deadline budget),
+//! every segment runs under a per-job child of it (carrying the per-job deadline), and a
+//! stall monitor watches each child's heartbeat counter to cancel workers that stopped
+//! making progress. All of these suspend jobs at their next checkpoint boundary — never
+//! kill them — so timing decides *when* a fleet pauses, never *what* it computes.
 
 use super::journal::{JobEntry, JobJournal, JobPhase, JOURNAL_FILE};
 use super::store::{validate_job_id, CheckpointStore, CrashPlan};
+use crate::cancel::{CancelReason, CancelSource};
 use crate::checkpoint::{config_digest, fold, fold_f64, fold_str, TRACE_HASH_SEED};
 use crate::error::CheckpointFault;
 use crate::evaluation::PolicyEvaluator;
-use crate::framework::{Parmis, ParmisConfig, ParmisOutcome, SearchStep};
+use crate::framework::{Parmis, ParmisConfig, ParmisOutcome, SearchStep, StopReason};
 use crate::parallel::{parallel_map, resolve_workers};
 use crate::{ParmisError, Result};
 use std::collections::HashMap;
 use std::path::Path;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One search job: an id (stable across restarts; names the checkpoint files) and the
 /// full search configuration.
@@ -68,6 +80,28 @@ pub struct SupervisorConfig {
     pub backoff_base_micros: u64,
     /// Checkpoint generations kept per job (older ones are garbage-collected).
     pub keep_checkpoints: usize,
+    /// Per-job wall-clock budget across all of a job's segments within one
+    /// [`run`](JobSupervisor::run), in milliseconds; `0` disables. A job over budget is
+    /// suspended at its next checkpoint boundary and not rescheduled this run — it stays
+    /// resumable for a later run with a fresh budget.
+    pub job_deadline_ms: u64,
+    /// Fleet-wide wall-clock budget of one [`run`](JobSupervisor::run), in milliseconds;
+    /// `0` disables. Expiry drains the whole fleet: in-flight segments suspend at their
+    /// next checkpoint boundary, no further waves start.
+    pub fleet_deadline_ms: u64,
+    /// Stall detection window, in milliseconds; `0` disables. A monitor thread samples
+    /// every in-flight segment's heartbeat counter ([`crate::cancel::CancelToken::beat`])
+    /// and cancels a worker with [`CancelReason::Stall`] once it has made no observable
+    /// progress for this long. A stall that suspends without new evaluations charges the
+    /// bounded restart budget (like a faulted segment); one that still progressed is a
+    /// clean suspension.
+    pub stall_timeout_ms: u64,
+    /// Arms the drain source to trip on `SIGTERM`/`SIGINT`
+    /// ([`crate::cancel::CancelSource::cancel_on_signals`]) when the supervisor opens,
+    /// turning a polite kill into a graceful drain: suspend everything at the next
+    /// checkpoint boundary, flush the journal, return. (`SIGKILL` still works — it just
+    /// costs a cadence window of re-evaluation instead of nothing.)
+    pub drain_on_signals: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -80,6 +114,10 @@ impl Default for SupervisorConfig {
             max_restarts: 2,
             backoff_base_micros: 100,
             keep_checkpoints: 3,
+            job_deadline_ms: 0,
+            fleet_deadline_ms: 0,
+            stall_timeout_ms: 0,
+            drain_on_signals: false,
         }
     }
 }
@@ -102,7 +140,9 @@ pub struct RecoveryReport {
 pub struct JobReport {
     /// Job id.
     pub id: String,
-    /// Terminal phase (`Done`, `Failed` or `Quarantined`).
+    /// Final phase of the run: terminal (`Done`, `Failed`, `Quarantined`), or a
+    /// resumable `Suspended`/`Pending` when the run was drained or a deadline budget
+    /// parked the job.
     pub phase: JobPhase,
     /// Segments started across all processes that worked on this job.
     pub segments: usize,
@@ -132,6 +172,12 @@ impl FleetReport {
     /// Whether every job completed (`Done`).
     pub fn all_done(&self) -> bool {
         self.jobs.iter().all(|j| j.phase == JobPhase::Done)
+    }
+
+    /// Whether any job was left in a resumable (non-terminal) phase — the signature of
+    /// a drained or deadline-parked run.
+    pub fn any_resumable(&self) -> bool {
+        self.jobs.iter().any(|j| !j.phase.is_terminal())
     }
 
     /// The report for `id`, if present.
@@ -169,22 +215,84 @@ pub fn outcome_digest(outcome: &ParmisOutcome) -> u64 {
     fold_f64(h, outcome.final_phv())
 }
 
+/// Why a segment suspended instead of completing.
+#[derive(Debug, Clone, Copy)]
+enum SuspendCause {
+    /// The segment's fuel budget ran out (the normal segmentation rhythm).
+    Fuel,
+    /// The wall-clock watchdog suspended the segment at a checkpoint boundary.
+    Watchdog,
+    /// Cooperative cancellation (drain, deadline, stall, signal) suspended it.
+    Cancel(CancelReason),
+}
+
 /// What one segment execution produced (worker-side; applied to the journal in slot
 /// order by the supervisor thread).
 enum SegmentResult {
     /// The search ran to completion.
     Completed(Box<ParmisOutcome>),
-    /// Suspended at a checkpoint boundary (fuel exhausted or watchdog over budget).
+    /// Suspended. `saved` is the newest durable checkpoint this segment produced as
+    /// `(seq, evaluations, last_trace_hash)`; `None` means the segment was cancelled
+    /// before its first checkpoint (the job falls back to whatever the journal already
+    /// records — its previous checkpoint, or `Pending` if it never had one).
     Suspended {
-        seq: u64,
-        evaluations: usize,
-        last_trace_hash: Option<u64>,
-        watchdog: bool,
+        saved: Option<(u64, usize, Option<u64>)>,
+        cause: SuspendCause,
     },
     /// The segment faulted; subject to the bounded-restart policy.
     Faulted(ParmisError),
     /// No valid checkpoint generation survives to resume from.
     StoreBroken { quarantined: Vec<String> },
+}
+
+/// Background watcher for one wave: samples every slot scope's heartbeat counter
+/// ([`CancelSource::heartbeats`], bumped by the search layers as they make progress) and
+/// cancels any scope with [`CancelReason::Stall`] once it has not moved for the
+/// configured window. Heartbeats tick at least once per iteration round, so the window
+/// must comfortably exceed one round's wall time; a scope whose segment already returned
+/// is cancelled harmlessly (nobody is listening).
+struct StallMonitor {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl StallMonitor {
+    /// Starts the watcher over `scopes`; `None` when stall detection is disabled.
+    fn spawn(scopes: &[CancelSource], stall_timeout_ms: u64) -> Option<StallMonitor> {
+        if stall_timeout_ms == 0 || scopes.is_empty() {
+            return None;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let watch: Vec<CancelSource> = scopes.to_vec();
+        let timeout = Duration::from_millis(stall_timeout_ms);
+        let tick = Duration::from_millis((stall_timeout_ms / 4).clamp(5, 50));
+        let handle = std::thread::spawn(move || {
+            let mut seen: Vec<(u64, Instant)> = watch
+                .iter()
+                .map(|scope| (scope.heartbeats(), Instant::now()))
+                .collect();
+            while !stop_flag.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                for (scope, (beats, since)) in watch.iter().zip(seen.iter_mut()) {
+                    let current = scope.heartbeats();
+                    if current != *beats {
+                        *beats = current;
+                        *since = Instant::now();
+                    } else if since.elapsed() >= timeout && !scope.is_cancelled() {
+                        scope.cancel(CancelReason::Stall);
+                    }
+                }
+            }
+        });
+        Some(StallMonitor { stop, handle })
+    }
+
+    /// Stops the watcher and joins its thread.
+    fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
 }
 
 /// A supervised, crash-safe runtime for fleets of PaRMIS searches.
@@ -201,6 +309,9 @@ pub struct JobSupervisor {
     config: SupervisorConfig,
     recovery: RecoveryReport,
     rr_cursor: usize,
+    /// Root of the cancellation hierarchy: tripping it (drain request, signal, fleet
+    /// deadline) suspends every in-flight segment at its next checkpoint boundary.
+    drain: CancelSource,
 }
 
 impl JobSupervisor {
@@ -237,6 +348,29 @@ impl JobSupervisor {
         config: SupervisorConfig,
         crash: Option<CrashPlan>,
     ) -> Result<JobSupervisor> {
+        // Degenerate-budget guard: a fleet budget below one segment's watchdog floor
+        // could never pay for a single suspension cycle — every run would drain before
+        // its first checkpoint and the fleet would make no progress, ever.
+        if config.fleet_deadline_ms > 0 && config.fleet_deadline_ms < config.segment_wall_ms {
+            return Err(ParmisError::InvalidConfig {
+                reason: format!(
+                    "fleet_deadline_ms ({}) is below the segment watchdog floor \
+                     segment_wall_ms ({}); such a fleet budget can never pay for one \
+                     segment's suspension cycle",
+                    config.fleet_deadline_ms, config.segment_wall_ms
+                ),
+            });
+        }
+        if config.job_deadline_ms > 0 && config.job_deadline_ms < config.segment_wall_ms {
+            return Err(ParmisError::InvalidConfig {
+                reason: format!(
+                    "job_deadline_ms ({}) is below the segment watchdog floor \
+                     segment_wall_ms ({}); such a job budget can never pay for one \
+                     segment's suspension cycle",
+                    config.job_deadline_ms, config.segment_wall_ms
+                ),
+            });
+        }
         let mut store = CheckpointStore::open(dir, config.keep_checkpoints)?;
         if let Some(plan) = crash {
             store = store.with_crash_plan(plan);
@@ -266,12 +400,17 @@ impl JobSupervisor {
             JobJournal::new()
         };
 
+        let drain = CancelSource::new();
+        if config.drain_on_signals {
+            drain.cancel_on_signals()?;
+        }
         let mut supervisor = JobSupervisor {
             store,
             journal,
             config,
             recovery,
             rr_cursor: 0,
+            drain,
         };
         supervisor.reconcile()?;
         supervisor.persist_journal()?;
@@ -411,6 +550,22 @@ impl JobSupervisor {
         &self.store
     }
 
+    /// Requests a graceful drain: every in-flight segment suspends at its next
+    /// checkpoint boundary, [`run`](Self::run) finishes the current wave, flushes the
+    /// journal and returns with the drained jobs left `Suspended`/`Pending` — resumable
+    /// by a later `run` with the same specs. Idempotent; callable from any thread
+    /// holding a [`drain_source`](Self::drain_source) clone while `run` executes.
+    pub fn request_drain(&self) {
+        self.drain.cancel(CancelReason::User);
+    }
+
+    /// A clone of the drain root, for embedders that need to trigger
+    /// [`request_drain`](Self::request_drain) from another thread (the supervisor itself
+    /// is exclusively borrowed while [`run`](Self::run) executes).
+    pub fn drain_source(&self) -> CancelSource {
+        self.drain.clone()
+    }
+
     /// Registers `spec`, journaling a `Pending` entry if the job is new.
     ///
     /// # Errors
@@ -453,6 +608,13 @@ impl JobSupervisor {
     /// Safe to call again after a crash with the same specs: jobs already `Done` are
     /// not re-run, interrupted jobs resume from their newest valid checkpoint.
     ///
+    /// A drain ([`request_drain`](Self::request_drain), an armed signal, or the fleet
+    /// deadline budget) makes `run` return **early but cleanly**: in-flight segments
+    /// suspend at their next checkpoint boundary, the journal is flushed, and the
+    /// report may contain non-terminal phases (`Suspended` / `Pending`) — all of them
+    /// resumable by a later `run` with the same specs. Per-job deadline budgets
+    /// likewise park only the over-budget job, leaving the rest of the fleet running.
+    ///
     /// # Errors
     ///
     /// Returns [`ParmisError::Checkpoint`] for journal/store persistence failures.
@@ -469,8 +631,32 @@ impl JobSupervisor {
         let workers = resolve_workers(self.config.workers);
         let mut outcomes: HashMap<String, ParmisOutcome> = HashMap::new();
 
+        // The run-scoped cancellation scope: a child of the drain root carrying this
+        // run's fleet deadline. Every segment runs under a per-job child of it.
+        let run_scope = if self.config.fleet_deadline_ms > 0 {
+            self.drain
+                .child_with_deadline(Duration::from_millis(self.config.fleet_deadline_ms))
+        } else {
+            self.drain.child()
+        };
+        let job_deadline = (self.config.job_deadline_ms > 0)
+            .then(|| Duration::from_millis(self.config.job_deadline_ms));
+        let mut job_started: HashMap<String, Instant> = HashMap::new();
+
         loop {
-            let wave = self.pick_wave(specs, workers);
+            if run_scope.is_cancelled() {
+                break;
+            }
+            let mut wave = self.pick_wave(specs, workers);
+            // A job over its per-run deadline budget is parked (left Suspended /
+            // Pending, never killed) instead of being rescheduled this run.
+            if let Some(budget) = job_deadline {
+                wave.retain(|&(idx, _)| {
+                    job_started
+                        .get(&specs[idx].id)
+                        .map_or(true, |started| started.elapsed() < budget)
+                });
+            }
             if wave.is_empty() {
                 break;
             }
@@ -486,12 +672,51 @@ impl JobSupervisor {
             }
             self.persist_journal()?;
 
-            let results = parallel_map(&wave, workers, |_, &(idx, fresh)| {
-                self.run_segment(&specs[idx], fresh, &factory)
+            // Per-slot cancellation scopes: children of the run scope, each carrying
+            // its job's remaining deadline budget. Built on the supervisor thread so
+            // the stall monitor can watch their heartbeats by slot.
+            let slot_scopes: Vec<CancelSource> =
+                wave.iter()
+                    .map(|&(idx, _)| {
+                        let started = *job_started
+                            .entry(specs[idx].id.clone())
+                            .or_insert_with(Instant::now);
+                        match job_deadline {
+                            Some(budget) => run_scope
+                                .child_with_deadline(budget.saturating_sub(started.elapsed())),
+                            None => run_scope.child(),
+                        }
+                    })
+                    .collect();
+            let monitor = StallMonitor::spawn(&slot_scopes, self.config.stall_timeout_ms);
+
+            let results = parallel_map(&wave, workers, |slot, &(idx, fresh)| {
+                self.run_segment(&specs[idx], fresh, &slot_scopes[slot], &factory)
             });
+            if let Some(monitor) = monitor {
+                monitor.stop();
+            }
 
             for (&(idx, _), result) in wave.iter().zip(results) {
                 let id = specs[idx].id.clone();
+                // A segment cancelled through an ancestor scope reports `Parent`;
+                // resolve it to the root cause (drain/signal beats fleet deadline) so
+                // journal notes name what actually stopped the fleet.
+                let result = match result {
+                    SegmentResult::Suspended {
+                        saved,
+                        cause: SuspendCause::Cancel(CancelReason::Parent),
+                    } => SegmentResult::Suspended {
+                        saved,
+                        cause: SuspendCause::Cancel(
+                            self.drain
+                                .cancelled()
+                                .or_else(|| run_scope.cancelled())
+                                .unwrap_or(CancelReason::Parent),
+                        ),
+                    },
+                    other => other,
+                };
                 if let Some(outcome) = self.apply_segment_result(&id, result)? {
                     outcomes.insert(id, outcome);
                 }
@@ -544,8 +769,15 @@ impl JobSupervisor {
         wave
     }
 
-    /// Executes one segment of `spec` (worker-side, `&self` only).
-    fn run_segment<F>(&self, spec: &JobSpec, fresh: bool, factory: &F) -> SegmentResult
+    /// Executes one segment of `spec` (worker-side, `&self` only) under `scope`'s
+    /// cancellation token.
+    fn run_segment<F>(
+        &self,
+        spec: &JobSpec,
+        fresh: bool,
+        scope: &CancelSource,
+        factory: &F,
+    ) -> SegmentResult
     where
         F: Fn(&JobSpec) -> Result<Box<dyn PolicyEvaluator>> + Sync,
     {
@@ -562,7 +794,7 @@ impl JobSupervisor {
             // The watchdog fires at checkpoint boundaries; give it boundaries.
             config.checkpoint_every = config.batch_size.max(1);
         }
-        let search = Parmis::new(config);
+        let search = Parmis::new(config).with_cancel_token(scope.token());
         let started = Instant::now();
         let wall_ms = self.config.segment_wall_ms;
         let mut last_saved: Option<(u64, usize, Option<u64>)> = None;
@@ -598,26 +830,37 @@ impl JobSupervisor {
 
         match step {
             Ok(SearchStep::Completed(outcome)) => SegmentResult::Completed(outcome),
-            Ok(SearchStep::Suspended(state)) => match self.store.save(&spec.id, &state) {
-                Ok(seq) => SegmentResult::Suspended {
-                    seq,
-                    evaluations: state.evaluations(),
-                    last_trace_hash: state.last_trace_hash(),
-                    watchdog: false,
-                },
-                Err(e) => SegmentResult::Faulted(e),
-            },
+            Ok(SearchStep::Suspended { state, reason }) => {
+                match self.store.save(&spec.id, &state) {
+                    Ok(seq) => SegmentResult::Suspended {
+                        saved: Some((seq, state.evaluations(), state.last_trace_hash())),
+                        cause: match reason {
+                            StopReason::Cancelled(r) => SuspendCause::Cancel(r),
+                            _ => SuspendCause::Fuel,
+                        },
+                    },
+                    Err(e) => SegmentResult::Faulted(e),
+                }
+            }
             Err(e) if e.checkpoint_fault() == Some(CheckpointFault::Watchdog) => {
                 let (seq, evaluations, last_trace_hash) =
                     last_saved.expect("the watchdog only fires after a successful save");
                 SegmentResult::Suspended {
-                    seq,
-                    evaluations,
-                    last_trace_hash,
-                    watchdog: true,
+                    saved: Some((seq, evaluations, last_trace_hash)),
+                    cause: SuspendCause::Watchdog,
                 }
             }
-            Err(e) => SegmentResult::Faulted(e),
+            // A cancellation raised below the round boundary (inside the evaluator or
+            // the streaming engine) unwinds like the watchdog: the job suspends at the
+            // last durable checkpoint, losing at most one cadence window of work that a
+            // resumed run recomputes bit-identically.
+            Err(e) => match e.cancel_reason() {
+                Some(reason) => SegmentResult::Suspended {
+                    saved: last_saved,
+                    cause: SuspendCause::Cancel(reason),
+                },
+                None => SegmentResult::Faulted(e),
+            },
         }
     }
 
@@ -640,18 +883,47 @@ impl JobSupervisor {
                 entry.transition(JobPhase::Done)?;
                 Ok(Some(*outcome))
             }
-            SegmentResult::Suspended {
-                seq,
-                evaluations,
-                last_trace_hash,
-                watchdog,
-            } => {
-                entry.checkpoint_seq = Some(seq);
-                entry.evaluations = evaluations;
-                entry.last_trace_hash = last_trace_hash;
-                entry.attempts = 0;
-                entry.note = watchdog.then(|| "suspended by the segment watchdog".to_string());
-                entry.transition(JobPhase::Suspended)?;
+            SegmentResult::Suspended { saved, cause } => {
+                let progressed = match saved {
+                    Some((_, evaluations, _)) => evaluations > entry.evaluations,
+                    None => false,
+                };
+                if let Some((seq, evaluations, last_trace_hash)) = saved {
+                    entry.checkpoint_seq = Some(seq);
+                    entry.evaluations = evaluations;
+                    entry.last_trace_hash = last_trace_hash;
+                }
+                // A stall that suspended without any forward progress is a hung worker,
+                // not a scheduling pause: it consumes the bounded restart budget exactly
+                // like a faulted segment, so a backend that hangs forever converges to
+                // `Failed` instead of being rescheduled indefinitely.
+                let charged_stall =
+                    matches!(cause, SuspendCause::Cancel(CancelReason::Stall)) && !progressed;
+                if charged_stall {
+                    entry.attempts += 1;
+                    let shift = (entry.attempts - 1).min(20) as u32;
+                    entry.backoff_micros += backoff_base << shift;
+                } else {
+                    entry.attempts = 0;
+                }
+                entry.note = match cause {
+                    SuspendCause::Fuel => None,
+                    SuspendCause::Watchdog => Some("suspended by the segment watchdog".to_string()),
+                    SuspendCause::Cancel(reason) => {
+                        Some(format!("suspended by cancellation [{reason}]"))
+                    }
+                };
+                if charged_stall && entry.attempts > max_restarts {
+                    entry.transition(JobPhase::Failed)?;
+                } else if entry.checkpoint_seq.is_some() {
+                    entry.transition(JobPhase::Suspended)?;
+                } else {
+                    // Cancelled before the very first checkpoint: nothing durable exists
+                    // yet, so the job simply returns to the queue (`Running → Pending`
+                    // is the journal's restart edge) and starts from scratch later —
+                    // bit-identical, since trajectories are pure functions of config.
+                    entry.transition(JobPhase::Pending)?;
+                }
                 Ok(None)
             }
             SegmentResult::Faulted(e) => {
@@ -762,6 +1034,66 @@ mod tests {
             })
             .unwrap();
         assert_eq!(report.job("doomed").unwrap().segments, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgets_below_the_segment_watchdog_floor_are_rejected() {
+        let dir = temp_dir("degenerate-budget");
+        let err = JobSupervisor::open(
+            &dir,
+            SupervisorConfig {
+                segment_wall_ms: 5_000,
+                fleet_deadline_ms: 100,
+                ..SupervisorConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParmisError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("fleet_deadline_ms"), "{err}");
+
+        let err = JobSupervisor::open(
+            &dir,
+            SupervisorConfig {
+                segment_wall_ms: 5_000,
+                job_deadline_ms: 100,
+                ..SupervisorConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParmisError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("job_deadline_ms"), "{err}");
+
+        // Disabled budgets (0) and budgets at/above the floor are accepted.
+        JobSupervisor::open(
+            &dir,
+            SupervisorConfig {
+                segment_wall_ms: 5_000,
+                fleet_deadline_ms: 5_000,
+                job_deadline_ms: 0,
+                ..SupervisorConfig::default()
+            },
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_pre_tripped_drain_leaves_the_fleet_untouched_and_resumable() {
+        let dir = temp_dir("pre-drain");
+        let mut supervisor = JobSupervisor::open(&dir, SupervisorConfig::default()).unwrap();
+        supervisor.request_drain();
+        let specs = vec![JobSpec::new("parked", tiny_config(1, 8))];
+        let report = supervisor
+            .run(&specs, |_spec| {
+                panic!("a drained supervisor must not start segments");
+            })
+            .unwrap();
+        let job = report.job("parked").expect("reported");
+        assert_eq!(job.phase, JobPhase::Pending);
+        assert_eq!(job.segments, 0);
+        assert!(report.any_resumable());
+        assert!(!report.all_done());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -56,6 +56,19 @@
 //! journaled job table, and watchdog-supervised multi-search scheduling that survives
 //! `SIGKILL` at any point with bit-identical final fronts.
 //!
+//! # Cancellation, deadlines & graceful drain
+//!
+//! Every execution layer is **cooperatively cancellable** through the [`cancel`] module's
+//! hierarchical [`cancel::CancelSource`]/[`cancel::CancelToken`] pair: searches wired with
+//! [`framework::Parmis::with_cancel_token`] suspend at the next deterministic boundary
+//! with a reason-carrying [`framework::StopReason`], wall-clock budgets
+//! ([`framework::ParmisConfig::deadline_ms`], the supervisor's per-job and fleet
+//! deadlines) convert expiry into a suspend-at-checkpoint rather than a kill, a
+//! supervisor-side monitor raises `Stall` on workers whose heartbeat stops moving, and
+//! SIGTERM/SIGINT drain the whole fleet gracefully
+//! ([`jobs::JobSupervisor::request_drain`]). Timing only decides *when* a trajectory
+//! suspends — resumed runs stay bit-identical.
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -78,6 +91,7 @@
 
 pub mod acquisition;
 pub mod backend;
+pub mod cancel;
 pub mod checkpoint;
 mod error;
 pub mod evaluation;
@@ -106,12 +120,15 @@ pub mod prelude {
         AnalyticSim, BackendInfo, CounterProfile, EvalBackend, EvalContext, FaultInject, FaultKind,
         TraceReplay,
     };
+    pub use crate::cancel::{CancelReason, CancelSource, CancelToken};
     pub use crate::checkpoint::SearchState;
     pub use crate::evaluation::{
         DegradeMode, EvaluatorBuilder, GlobalEvaluator, ParallelEvaluator, PolicyEvaluator,
         RetryPolicy, RetryStats, SimBuffers, SocEvaluator,
     };
-    pub use crate::framework::{IterationRecord, Parmis, ParmisConfig, ParmisOutcome, SearchStep};
+    pub use crate::framework::{
+        IterationRecord, Parmis, ParmisConfig, ParmisOutcome, SearchStep, StopReason,
+    };
     pub use crate::jobs::{
         CheckpointStore, FleetReport, JobPhase, JobReport, JobSpec, JobSupervisor, SupervisorConfig,
     };

@@ -49,6 +49,7 @@ fn every_registry_scenario_replays_bit_identically() {
             platform: &platform,
             application: &application,
             seed: 17,
+            cancel: None,
         };
         let mut buffers = live.sim_buffers();
         buffers.policy_mut().set_flat_parameters(&theta);

@@ -8,13 +8,15 @@
 
 use parmis::acquisition::AcquisitionOptimizerConfig;
 use parmis::backend::{AnalyticSim, TraceReplay};
+use parmis::cancel::{CancelReason, CancelSource};
 use parmis::checkpoint::SearchState;
 use parmis::evaluation::{PolicyEvaluator, SocEvaluator};
-use parmis::framework::{Parmis, ParmisConfig, ParmisOutcome, SearchStep};
+use parmis::framework::{Parmis, ParmisConfig, ParmisOutcome, SearchStep, StopReason};
 use parmis::objective::Objective;
 use parmis::pareto_sampling::ParetoSamplingConfig;
 use parmis::{ParmisError, Result};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Cheap synthetic evaluator (Schaffer-like trade-off over 3 parameters) so the full
@@ -128,7 +130,7 @@ fn run_segmented(
     let search = Parmis::new(fueled);
     let mut segments = 1;
     let mut step = search.run_resumable(evaluator).unwrap();
-    while let SearchStep::Suspended(state) = step {
+    while let SearchStep::Suspended { state, .. } = step {
         // The kill: nothing survives except the serialized checkpoint.
         let json = state.to_json().unwrap();
         let restored = SearchState::from_json(&json).unwrap();
@@ -141,6 +143,37 @@ fn run_segmented(
         step = search.resume(restored, evaluator).unwrap();
     }
     (step.into_completed().unwrap(), segments)
+}
+
+/// Wraps an evaluator so that the shared [`CancelSource`] trips (with
+/// [`CancelReason::User`]) once `cancel_after` evaluations have been served — turning an
+/// arbitrary evaluation index into the cancellation point for the next round boundary.
+struct CancelAfter<E> {
+    inner: E,
+    served: AtomicUsize,
+    cancel_after: usize,
+    source: CancelSource,
+}
+
+impl<E: PolicyEvaluator> PolicyEvaluator for CancelAfter<E> {
+    fn parameter_dim(&self) -> usize {
+        self.inner.parameter_dim()
+    }
+
+    fn parameter_bound(&self) -> f64 {
+        self.inner.parameter_bound()
+    }
+
+    fn objectives(&self) -> &[Objective] {
+        self.inner.objectives()
+    }
+
+    fn evaluate(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        if self.served.fetch_add(1, Ordering::SeqCst) + 1 >= self.cancel_after {
+            self.source.cancel(CancelReason::User);
+        }
+        self.inner.evaluate(theta)
+    }
 }
 
 proptest! {
@@ -164,6 +197,60 @@ proptest! {
         let (resumed, segments) = run_segmented(&config, fuel, &evaluator);
         prop_assert!(segments >= 2, "fuel {fuel} never suspended");
         assert_outcomes_identical(&uninterrupted, &resumed, &format!("fuel {fuel}"));
+    }
+
+    /// Cancellation equivalence property: cancelling at an arbitrary evaluation index
+    /// suspends the search at the next iteration boundary with the cancellation reason,
+    /// and resuming the serialized checkpoint (without the token) completes bit-identical
+    /// to the uninterrupted run — cancellation decides when, never what.
+    #[test]
+    fn cancelled_run_resumes_bit_identically(
+        seed in 0u64..1000,
+        cancel_after in 1usize..12,
+    ) {
+        let config = tiny_config(seed, 11);
+        let uninterrupted = Parmis::new(config.clone())
+            .run_resumable(&SyntheticEvaluator::new())
+            .unwrap()
+            .into_completed()
+            .unwrap();
+
+        let source = CancelSource::new();
+        let tripwire = CancelAfter {
+            inner: SyntheticEvaluator::new(),
+            served: AtomicUsize::new(0),
+            cancel_after,
+            source: source.clone(),
+        };
+        let step = Parmis::new(config.clone())
+            .with_cancel_token(source.token())
+            .run_resumable(&tripwire)
+            .unwrap();
+        let state = match step {
+            SearchStep::Suspended { state, reason } => {
+                prop_assert_eq!(reason, StopReason::Cancelled(CancelReason::User));
+                prop_assert!(state.evaluations() >= cancel_after);
+                state
+            }
+            SearchStep::Completed(_) => {
+                // The trip point can land inside the very last round; then the search
+                // finishes before any boundary observes the token. Nothing to resume.
+                return;
+            }
+        };
+
+        // The kill: only the checkpoint JSON survives; the resumer has no token.
+        let restored = SearchState::from_json(&state.to_json().unwrap()).unwrap();
+        let resumed = Parmis::new(config)
+            .resume(restored, &SyntheticEvaluator::new())
+            .unwrap()
+            .into_completed()
+            .unwrap();
+        assert_outcomes_identical(
+            &uninterrupted,
+            &resumed,
+            &format!("cancel after {cancel_after}"),
+        );
     }
 }
 

@@ -5,6 +5,7 @@
 //! configuration, for every worker count.
 
 use parmis::backend::{AnalyticSim, FaultInject, FaultKind};
+use parmis::cancel::CancelReason;
 use parmis::checkpoint::config_digest;
 use parmis::evaluation::{PolicyEvaluator, RetryPolicy, SocEvaluator};
 use parmis::framework::{Parmis, ParmisConfig, ParmisOutcome};
@@ -15,6 +16,7 @@ use parmis::jobs::{
 use parmis::objective::Objective;
 use parmis::Result;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cheap synthetic evaluator (no SoC simulator) for the fleet-scale tests.
@@ -436,6 +438,200 @@ fn corrupt_newest_generation_falls_back_and_still_converges() {
     assert_eq!(
         supervisor.store().quarantined_files().expect("scan").len(),
         1
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful drain mid-run: tripping the drain source suspends the in-flight segment at
+/// its next iteration boundary, parks everything else, flushes the journal and returns
+/// early with only resumable phases; a later run over the same store finishes the whole
+/// fleet bit-identical to uninterrupted references.
+#[test]
+fn requested_drain_suspends_cleanly_and_resumes_bit_identically() {
+    let dir = temp_dir("drain");
+    let specs = fleet_specs(3, 10);
+    let references: Vec<ParmisOutcome> =
+        specs.iter().map(|s| reference_outcome(&s.config)).collect();
+
+    let config = SupervisorConfig {
+        workers: 1,
+        segment_fuel: 4,
+        checkpoint_every: 2,
+        ..SupervisorConfig::default()
+    };
+    let mut supervisor = JobSupervisor::open(&dir, config.clone()).expect("open");
+    let drain = supervisor.drain_source();
+    let segments_started = AtomicUsize::new(0);
+    let report = supervisor
+        .run(&specs, |_spec| {
+            // With one worker the first three segments belong to the three jobs; the
+            // fourth (job-0 resuming) finds the fleet draining before its first round
+            // and suspends without recomputing anything.
+            if segments_started.fetch_add(1, Ordering::SeqCst) + 1 == 4 {
+                drain.cancel(CancelReason::User);
+            }
+            Ok(Box::new(SyntheticEvaluator::new()))
+        })
+        .expect("drained run");
+    assert!(!report.all_done(), "{report:?}");
+    assert!(report.any_resumable(), "{report:?}");
+    for spec in &specs {
+        let job = report.job(&spec.id).expect("reported");
+        assert!(
+            matches!(job.phase, JobPhase::Suspended | JobPhase::Pending),
+            "{}: a drain must leave only resumable phases, got {:?}",
+            spec.id,
+            job.phase
+        );
+    }
+    let drained = report.job("job-0").expect("reported");
+    assert!(
+        drained.note.as_deref().unwrap_or("").contains("[user]"),
+        "the drained segment's journal note must carry the root cause, got {:?}",
+        drained.note
+    );
+
+    // A fresh supervisor (fresh drain source) over the same store finishes the fleet.
+    drop(supervisor);
+    let mut resumed = JobSupervisor::open(&dir, config).expect("reopen");
+    let report = resumed.run(&specs, synthetic_factory).expect("final run");
+    assert!(report.all_done(), "{report:?}");
+    for (spec, reference) in specs.iter().zip(&references) {
+        assert_eq!(
+            report.job(&spec.id).expect("reported").outcome_digest,
+            Some(outcome_digest(reference)),
+            "{}: drain + resume diverged from the uninterrupted run",
+            spec.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An expired fleet deadline drains the run early — in-flight segments suspend at the
+/// next iteration boundary with the deadline recorded as the cause, nothing is killed or
+/// quarantined — and a later run without the budget completes bit-identically.
+#[test]
+fn fleet_deadline_drains_early_and_a_later_run_completes() {
+    let dir = temp_dir("fleet-deadline");
+    let specs = fleet_specs(2, 10);
+    let references: Vec<ParmisOutcome> =
+        specs.iter().map(|s| reference_outcome(&s.config)).collect();
+
+    let slow_factory = |_spec: &JobSpec| -> Result<Box<dyn PolicyEvaluator>> {
+        Ok(Box::new(SlowEvaluator {
+            inner: SyntheticEvaluator::new(),
+            per_eval: std::time::Duration::from_millis(3),
+        }))
+    };
+    let mut supervisor = JobSupervisor::open(
+        &dir,
+        SupervisorConfig {
+            workers: 1,
+            segment_fuel: 4,
+            checkpoint_every: 2,
+            // Two jobs x 10 evaluations x 3 ms/eval needs ~60 ms minimum: a 25 ms fleet
+            // budget must expire with resumable work left over.
+            fleet_deadline_ms: 25,
+            ..SupervisorConfig::default()
+        },
+    )
+    .expect("open");
+    let report = supervisor.run(&specs, slow_factory).expect("drained run");
+    assert!(!report.all_done(), "{report:?}");
+    assert!(report.any_resumable(), "{report:?}");
+    for spec in &specs {
+        let job = report.job(&spec.id).expect("reported");
+        assert!(
+            matches!(job.phase, JobPhase::Suspended | JobPhase::Pending),
+            "{}: got {:?}",
+            spec.id,
+            job.phase
+        );
+        if let Some(note) = &job.note {
+            assert!(note.contains("[deadline]"), "{}: note {note:?}", spec.id);
+        }
+    }
+
+    let mut resumed = JobSupervisor::open(
+        &dir,
+        SupervisorConfig {
+            workers: 1,
+            segment_fuel: 4,
+            checkpoint_every: 2,
+            ..SupervisorConfig::default()
+        },
+    )
+    .expect("reopen without deadline");
+    let report = resumed.run(&specs, synthetic_factory).expect("final run");
+    assert!(report.all_done(), "{report:?}");
+    for (spec, reference) in specs.iter().zip(&references) {
+        assert_eq!(
+            report.job(&spec.id).expect("reported").outcome_digest,
+            Some(outcome_digest(reference)),
+            "{}: deadline drain diverged from the uninterrupted run",
+            spec.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hung-backend regression: a backend that blocks for a full second (one real-latency
+/// spike on its first run) makes no heartbeat progress, so the stall monitor cancels the
+/// worker with [`CancelReason::Stall`]; the segment suspends at its next iteration
+/// boundary, is rescheduled within the same run, and the job completes bit-identical to
+/// a clean uninterrupted run.
+#[test]
+fn stalled_worker_is_detected_suspended_and_completes_on_restart() {
+    let config = tiny_config(67, 6);
+    let objectives = vec![Objective::ExecutionTime, Objective::Energy];
+    let clean = SocEvaluator::for_benchmark(soc_sim::apps::Benchmark::Qsort, objectives.clone());
+    let reference = Parmis::new(config.clone())
+        .run(&clean)
+        .expect("clean reference");
+
+    // One FaultInject shared across factory calls: the global run counter fires the
+    // spike exactly once, on the very first backend run of the first segment.
+    let hung_backend = Arc::new(
+        FaultInject::new(Arc::new(AnalyticSim::new()))
+            .fault_on(0, FaultKind::LatencySpike { micros: 1_000_000 })
+            .with_real_latency(),
+    );
+
+    let dir = temp_dir("stall");
+    let mut supervisor = JobSupervisor::open(
+        &dir,
+        SupervisorConfig {
+            workers: 1,
+            segment_fuel: 0, // unlimited fuel: only the stall monitor can interrupt
+            checkpoint_every: 2,
+            stall_timeout_ms: 300,
+            ..SupervisorConfig::default()
+        },
+    )
+    .expect("open");
+    let spec = JobSpec::new("hung", config);
+    let report = supervisor
+        .run(std::slice::from_ref(&spec), |_spec| {
+            Ok(Box::new(
+                SocEvaluator::for_benchmark(
+                    soc_sim::apps::Benchmark::Qsort,
+                    vec![Objective::ExecutionTime, Objective::Energy],
+                )
+                .with_backend(hung_backend.clone()),
+            ))
+        })
+        .expect("run");
+    let job = report.job("hung").expect("reported");
+    assert_eq!(job.phase, JobPhase::Done, "note: {:?}", job.note);
+    assert!(
+        job.segments >= 2,
+        "the stall monitor must force at least one suspension (got {} segments)",
+        job.segments
+    );
+    assert_eq!(
+        job.outcome_digest,
+        Some(outcome_digest(&reference)),
+        "a stall suspension must not perturb the trajectory"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

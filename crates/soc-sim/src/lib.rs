@@ -70,8 +70,8 @@ pub use engine::{DecisionEntry, DecisionTable};
 pub use error::SocError;
 pub use fastmath::Precision;
 pub use platform::{
-    CollectEpochs, DiscardEpochs, DrmController, EpochResult, EpochSink, Platform, RunAggregates,
-    RunSummary, SocSpec, TransitionModel,
+    CancelEpochs, CollectEpochs, DiscardEpochs, DrmController, EpochResult, EpochSink, Platform,
+    RunAggregates, RunSummary, SocSpec, TransitionModel,
 };
 pub use scenario::{BackendKind, Scenario};
 pub use thermal::{PerClusterThermal, ThermalModel, ThermalState};

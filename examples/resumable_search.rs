@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resumed = loop {
         match step {
             SearchStep::Completed(outcome) => break *outcome,
-            SearchStep::Suspended(state) => {
+            SearchStep::Suspended { state, .. } => {
                 // Simulated kill: everything is dropped except the checkpoint JSON. A
                 // real deployment writes this to disk (see the `resume_smoke` bench bin
                 // for the two-process version).

@@ -6,7 +6,7 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "quickstart",
     "governor_comparison",
     "energy_performance_tradeoff",
@@ -15,6 +15,7 @@ const EXAMPLES: [&str; 8] = [
     "thermal_aware_optimization",
     "resumable_search",
     "job_supervisor",
+    "graceful_shutdown",
 ];
 
 #[test]

@@ -1,0 +1,154 @@
+//! Offline stand-in for the [`signal-hook`](https://docs.rs/signal-hook) crate.
+//!
+//! Implements the one entry point this workspace uses — [`flag::register`], which arms an
+//! [`AtomicBool`](std::sync::atomic::AtomicBool) to flip when a POSIX signal arrives — on
+//! top of the classic `signal(2)` libc call (linked by `std` on every supported target).
+//! The installed handler is async-signal-safe: it only walks a fixed table of atomics and
+//! stores `true` into the registered flags, exactly the discipline the real crate's flag
+//! module follows.
+//!
+//! All `unsafe` in the workspace is confined to this crate (the FFI call and the
+//! raw-pointer dereference inside the handler); every consumer crate keeps
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+/// Signal numbers, mirroring `signal_hook::consts`.
+pub mod consts {
+    /// Terminal interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+    /// Termination request — the "graceful shutdown" signal sent by process managers.
+    pub const SIGTERM: i32 = 15;
+}
+
+/// Registering [`AtomicBool`](std::sync::atomic::AtomicBool) flags to be set on signal
+/// arrival, mirroring `signal_hook::flag`.
+pub mod flag {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicI32, AtomicPtr, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// One registration: the signal number it listens for plus the leaked flag to set.
+    /// `signal == 0` means the slot is unclaimed; the flag pointer is published *before*
+    /// the signal number so the handler never observes a claimed slot with a null flag.
+    struct Slot {
+        signal: AtomicI32,
+        flag: AtomicPtr<AtomicBool>,
+    }
+
+    // A const (not static) on purpose: it is the repeat-element initializer for SLOTS,
+    // so each array element must get its own fresh atomics.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: Slot = Slot {
+        signal: AtomicI32::new(0),
+        flag: AtomicPtr::new(std::ptr::null_mut()),
+    };
+
+    /// Process-wide registration table. Registrations live for the rest of the process
+    /// (the real crate hands back an unregister token; this workspace never unregisters),
+    /// so a small fixed capacity suffices.
+    const MAX_REGISTRATIONS: usize = 16;
+    static SLOTS: [Slot; MAX_REGISTRATIONS] = [EMPTY; MAX_REGISTRATIONS];
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)`; both handler values
+        /// travel as plain pointer-sized integers so no libc types are needed.
+        #[link_name = "signal"]
+        fn install_signal_handler(signum: i32, handler: usize) -> usize;
+    }
+
+    /// `SIG_ERR`: `(sighandler_t) -1`.
+    const SIG_ERR: usize = usize::MAX;
+
+    /// The installed handler. Async-signal-safe by construction: it performs atomic loads
+    /// and stores only — no allocation, no locks, no formatting.
+    extern "C" fn on_signal(signum: i32) {
+        for slot in SLOTS.iter() {
+            if slot.signal.load(Ordering::Acquire) == signum {
+                let flag = slot.flag.load(Ordering::Acquire);
+                if !flag.is_null() {
+                    // SAFETY: the pointer came from `Arc::into_raw` in `register` and the
+                    // Arc's refcount was intentionally leaked, so the AtomicBool outlives
+                    // the process. Signal handlers may race with normal code, which is
+                    // exactly what atomics permit.
+                    unsafe { (*flag).store(true, Ordering::SeqCst) };
+                }
+            }
+        }
+    }
+
+    /// Arranges for `flag` to be set to `true` when `signal` is delivered to the process.
+    ///
+    /// Multiple flags may be registered for the same signal and one flag may be registered
+    /// for multiple signals; all matching flags are set on delivery. Each registration is
+    /// permanent (the flag's `Arc` is leaked so the handler can touch it safely forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `signal` is not a valid signal number, if the process-wide
+    /// registration table (capacity 16) is full, or if installing the handler fails.
+    pub fn register(signal: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        if !(1..32).contains(&signal) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid signal number {signal}"),
+            ));
+        }
+        let index = NEXT.fetch_add(1, Ordering::SeqCst);
+        if index >= MAX_REGISTRATIONS {
+            return Err(io::Error::other(format!(
+                "signal flag registration table full ({MAX_REGISTRATIONS} slots)"
+            )));
+        }
+        let raw = Arc::into_raw(flag) as *mut AtomicBool;
+        SLOTS[index].flag.store(raw, Ordering::Release);
+        SLOTS[index].signal.store(signal, Ordering::Release);
+        // SAFETY: `on_signal` is a valid `extern "C" fn(i32)` for the whole process
+        // lifetime and touches only atomics, so installing it via signal(2) is sound.
+        let previous =
+            unsafe { install_signal_handler(signal, on_signal as extern "C" fn(i32) as usize) };
+        if previous == SIG_ERR {
+            // Roll the slot back so the handler ignores it; the leaked Arc stays leaked
+            // (one AtomicBool, once per failed registration — negligible).
+            SLOTS[index].signal.store(0, Ordering::Release);
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn registered_flag_is_set_when_the_signal_arrives() {
+        let flag = Arc::new(AtomicBool::new(false));
+        super::flag::register(super::consts::SIGTERM, Arc::clone(&flag)).expect("register");
+        assert!(!flag.load(Ordering::SeqCst));
+
+        let status = std::process::Command::new("kill")
+            .args(["-TERM", &std::process::id().to_string()])
+            .status()
+            .expect("spawn kill");
+        assert!(status.success(), "kill -TERM failed: {status}");
+
+        // Delivery is asynchronous; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !flag.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "signal never set the flag");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn invalid_signal_numbers_are_rejected() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(super::flag::register(0, Arc::clone(&flag)).is_err());
+        assert!(super::flag::register(-3, Arc::clone(&flag)).is_err());
+        assert!(super::flag::register(99, flag).is_err());
+    }
+}
